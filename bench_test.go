@@ -1,0 +1,259 @@
+// Package identxx_bench regenerates every evaluation artifact of the paper
+// (E1-E8, one per figure/section — see DESIGN.md's per-experiment index)
+// and the implied microbenchmarks (M1-M6). Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The E-benchmarks execute the full scenario per iteration, so their ns/op
+// is the cost of the whole experiment; their correctness is asserted by the
+// experiment's own table checks (run via internal/experiments tests and
+// cmd/identxx-bench).
+package identxx_bench
+
+import (
+	"context"
+	"io"
+	"testing"
+	"time"
+
+	"identxx/internal/daemon"
+	"identxx/internal/experiments"
+	"identxx/internal/flow"
+	"identxx/internal/hostinfo"
+	"identxx/internal/netaddr"
+	"identxx/internal/openflow"
+	"identxx/internal/pf"
+	"identxx/internal/wire"
+	"identxx/internal/workload"
+)
+
+func benchExperiment(b *testing.B, run func(w io.Writer) *experiments.Table) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		run(io.Discard)
+	}
+}
+
+func BenchmarkE1_FlowSetup(b *testing.B)          { benchExperiment(b, experiments.RunE1) }
+func BenchmarkE2_SkypePolicy(b *testing.B)        { benchExperiment(b, experiments.RunE2) }
+func BenchmarkE3_ResearchDelegation(b *testing.B) { benchExperiment(b, experiments.RunE3) }
+func BenchmarkE4_TrustDelegation(b *testing.B)    { benchExperiment(b, experiments.RunE4) }
+func BenchmarkE5_PatchGate(b *testing.B)          { benchExperiment(b, experiments.RunE5) }
+func BenchmarkE6_Compromise(b *testing.B)         { benchExperiment(b, experiments.RunE6) }
+func BenchmarkE7_BranchCollab(b *testing.B)       { benchExperiment(b, experiments.RunE7) }
+func BenchmarkE8_Incremental(b *testing.B)        { benchExperiment(b, experiments.RunE8) }
+
+// BenchmarkM1_SetupVsPolicySize sweeps flow-setup cost against policy size
+// and topology diameter: the Ethane-lineage scalability question. The
+// reported virtual_setup_us metric is the p50 end-to-end setup latency in
+// simulated time; ns/op is the controller's real compute cost.
+func BenchmarkM1_SetupVsPolicySize(b *testing.B) {
+	for _, rules := range []int{10, 100, 1000} {
+		for _, diameter := range []int{1, 4, 8} {
+			name := ""
+			switch {
+			case rules < 100:
+				name = "rules=10"
+			case rules < 1000:
+				name = "rules=100"
+			default:
+				name = "rules=1000"
+			}
+			b.Run(name+"/diameter="+itoa(diameter), func(b *testing.B) {
+				sb := experiments.NewSetupBench(diameter, rules)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := sb.OneFlow(); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StopTimer()
+				b.ReportMetric(float64(sb.Ctl.Setup.Total.Quantile(0.5))/1e3, "virtual_setup_us")
+			})
+		}
+	}
+}
+
+// BenchmarkM2_PFEval measures PF+=2 evaluation throughput against rule
+// count, with the `quick` ablation showing what short-circuiting buys.
+func BenchmarkM2_PFEval(b *testing.B) {
+	f := flow.Five{
+		SrcIP: netaddr.MustParseIP("10.0.0.1"), DstIP: netaddr.MustParseIP("10.0.0.2"),
+		Proto: netaddr.ProtoTCP, SrcPort: 40000, DstPort: 5060,
+	}
+	in := pf.Input{Flow: f}
+	src := wire.NewResponse(f)
+	src.Add(wire.KeyName, "skype")
+	dst := wire.NewResponse(f)
+	dst.Add(wire.KeyName, "skype")
+	in.Src, in.Dst = src, dst
+	for _, rules := range []int{10, 100, 1000} {
+		for _, quick := range []bool{false, true} {
+			name := "rules=" + itoa(rules)
+			if quick {
+				name += "/quick"
+			} else {
+				name += "/scan"
+			}
+			b.Run(name, func(b *testing.B) {
+				p := experiments.SyntheticPolicy(rules, quick)
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if d := p.Evaluate(in); d.Action != pf.Pass {
+						b.Fatal("wrong decision")
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkM3_FlowTable measures the switch datapath: exact-match lookup
+// (the hot path for cached verdicts) and flow-mod installation throughput.
+// The wildcard-scan variant lives in internal/openflow's benches.
+func BenchmarkM3_FlowTable(b *testing.B) {
+	b.Run("lookup-exact-1k-entries", func(b *testing.B) {
+		tb := openflow.NewTable(0)
+		now := time.Now()
+		var ten flow.Ten
+		ten.EthType = flow.EthTypeIPv4
+		ten.Proto = netaddr.ProtoTCP
+		for i := 0; i < 1000; i++ {
+			ten.DstPort = netaddr.Port(i)
+			e := &openflow.Entry{Match: flow.ExactMatch(ten), Actions: openflow.Output(1)}
+			if err := tb.Insert(e, now); err != nil {
+				b.Fatal(err)
+			}
+		}
+		ten.DstPort = 500
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if tb.Lookup(ten, 64, now) == nil {
+				b.Fatal("miss")
+			}
+		}
+	})
+	b.Run("flow-mod-install", func(b *testing.B) {
+		sw := openflow.NewSwitch(1, "bench", 0)
+		sw.AddPort(1)
+		var ten flow.Ten
+		ten.EthType = flow.EthTypeIPv4
+		ten.Proto = netaddr.ProtoTCP
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ten.DstPort = netaddr.Port(i)
+			ten.SrcPort = netaddr.Port(i >> 16)
+			err := sw.Apply(openflow.FlowMod{
+				Match:    flow.ExactMatch(ten),
+				Actions:  openflow.Output(1),
+				BufferID: openflow.BufferNone,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkM4_WireRTT measures a full ident++ exchange over a real TCP
+// loopback socket: dial, framed query, daemon lookup, framed response.
+func BenchmarkM4_WireRTT(b *testing.B) {
+	client := hostinfo.New("pc", netaddr.MustParseIP("10.0.0.1"), 1)
+	alice := client.AddUser("alice", "users")
+	proc := client.Exec(alice, workload.Skype.Exe())
+	five, err := client.Connect(proc.PID, flow.Five{
+		DstIP: netaddr.MustParseIP("10.0.0.2"), Proto: netaddr.ProtoTCP, DstPort: 5060,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	d := daemon.New(client)
+	srv := daemon.NewServer(d)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	q := wire.Query{Flow: five, Keys: []string{wire.KeyUserID, wire.KeyName}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		resp, err := daemon.Query(ctx, addr.String(), q)
+		cancel()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if v, _ := resp.Latest(wire.KeyUserID); v != "alice" {
+			b.Fatal("wrong response")
+		}
+	}
+}
+
+// BenchmarkM5_CacheAblation compares decision caching in switch tables
+// (the paper's design) against per-packet controller involvement: the
+// punts_per_flow metric is the ablation's cost for a 20-packet flow.
+func BenchmarkM5_CacheAblation(b *testing.B) {
+	for _, install := range []bool{true, false} {
+		name := "install-entries"
+		if !install {
+			name = "ablated-no-cache"
+		}
+		b.Run(name, func(b *testing.B) {
+			sb := experiments.NewSetupBench(2, 10)
+			if !install {
+				// Rebuild with caching off.
+				sb = experiments.NewSetupBenchNoCache(2, 10)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			totalFlows := 0
+			for i := 0; i < b.N; i++ {
+				if err := sb.PacketTrain(20); err != nil {
+					b.Fatal(err)
+				}
+				totalFlows++
+			}
+			b.StopTimer()
+			punts := float64(sb.Ctl.Counters.Get("packet_ins"))
+			b.ReportMetric(punts/float64(totalFlows), "punts_per_flow")
+		})
+	}
+}
+
+// BenchmarkM6_SigCost measures what Ed25519 verification adds to the
+// decision path (Figures 5/7's verify), against the same policy without it.
+func BenchmarkM6_SigCost(b *testing.B) {
+	for _, withVerify := range []bool{false, true} {
+		name := "no-verify"
+		if withVerify {
+			name = "verify"
+		}
+		b.Run(name, func(b *testing.B) {
+			policy, in := experiments.VerifyPolicy(withVerify)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if d := policy.Evaluate(in); d.Action != pf.Pass {
+					b.Fatalf("wrong decision: %+v", d.Diags)
+				}
+			}
+		})
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

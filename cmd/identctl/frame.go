@@ -1,0 +1,8 @@
+package main
+
+import "identxx/internal/packet"
+
+// decodeFrame wraps packet.Decode for the handler.
+func decodeFrame(frame []byte) (*packet.Packet, error) {
+	return packet.Decode(frame)
+}

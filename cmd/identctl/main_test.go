@@ -1,0 +1,49 @@
+package main
+
+import (
+	"testing"
+
+	"identxx/internal/netaddr"
+)
+
+func TestParseTopology(t *testing.T) {
+	topo, err := parseTopology(`
+# comment
+host 10.0.0.1 switch 1 port 2 daemon 10.0.0.1:783
+host 10.0.0.2 switch 1 port 3
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hops, err := topo.Path(netaddr.MustParseIP("10.0.0.2"), netaddr.MustParseIP("10.0.0.1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hops) != 1 || hops[0].Datapath != 1 || hops[0].OutPort != 2 {
+		t.Errorf("path = %+v", hops)
+	}
+	if p := topo.hosts[netaddr.MustParseIP("10.0.0.1")]; p.daemon != "10.0.0.1:783" {
+		t.Errorf("daemon addr = %q", p.daemon)
+	}
+	if p := topo.hosts[netaddr.MustParseIP("10.0.0.2")]; p.daemon != "" {
+		t.Errorf("daemonless host has addr %q", p.daemon)
+	}
+	if _, err := topo.Path(0, netaddr.MustParseIP("9.9.9.9")); err == nil {
+		t.Error("unknown destination should fail")
+	}
+}
+
+func TestParseTopologyErrors(t *testing.T) {
+	for _, src := range []string{
+		"",
+		"host 10.0.0.1 switch 1",
+		"host bogus switch 1 port 2",
+		"host 10.0.0.1 switch x port 2",
+		"host 10.0.0.1 switch 1 port x",
+		"peer 10.0.0.1 switch 1 port 2",
+	} {
+		if _, err := parseTopology(src); err == nil {
+			t.Errorf("parseTopology(%q) should fail", src)
+		}
+	}
+}

@@ -1,0 +1,221 @@
+// Command identd runs the ident++ end-host daemon on TCP port 783 (§2).
+//
+// On a real deployment the daemon would walk the local OS (lsof-style,
+// §3.5); this binary instead loads a *host specification* describing the
+// users, processes, listeners and patches of the host it answers for —
+// which is also what makes it deployable in containers and test rigs where
+// the interesting state is synthetic. Application key-value configuration
+// (@app blocks, Figure 3) loads from -config.
+//
+// Host specification format (one directive per line, # comments):
+//
+//	name pc1
+//	ip 192.168.0.5
+//	patch MS08-067
+//	user alice groups users,research
+//	proc alice /usr/bin/skype name=skype version=210 vendor=skype.com type=voip
+//	listen alice /usr/bin/skype 5060
+//	conn alice /usr/bin/skype tcp :40000 > 192.168.1.1:80
+//
+// Usage:
+//
+//	identd -listen :783 -host host.spec [-config /etc/identxx]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"identxx/internal/daemon"
+	"identxx/internal/flow"
+	"identxx/internal/hostinfo"
+	"identxx/internal/netaddr"
+)
+
+func main() {
+	listen := flag.String("listen", ":783", "address to serve ident++ queries on")
+	hostSpec := flag.String("host", "", "host specification file (required)")
+	configDir := flag.String("config", "", "daemon @app configuration directory (*.conf)")
+	flag.Parse()
+	if *hostSpec == "" {
+		fmt.Fprintln(os.Stderr, "identd: -host is required")
+		os.Exit(2)
+	}
+	spec, err := os.ReadFile(*hostSpec)
+	if err != nil {
+		fatal(err)
+	}
+	host, err := parseHostSpec(string(spec))
+	if err != nil {
+		fatal(err)
+	}
+	d := daemon.New(host)
+	if *configDir != "" {
+		cf, err := daemon.LoadConfigDir(*configDir)
+		if err != nil {
+			fatal(err)
+		}
+		d.InstallConfig(cf, true)
+	}
+	srv := daemon.NewServer(d)
+	addr, err := srv.Listen(*listen)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("identd: answering for host %s (%s) on %s\n", host.Name, host.IP, addr)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("identd: shutting down")
+	srv.Close()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "identd:", err)
+	os.Exit(1)
+}
+
+// parseHostSpec builds a hostinfo.Host from the directive format above.
+func parseHostSpec(src string) (*hostinfo.Host, error) {
+	name := "host"
+	ip := netaddr.MustParseIP("127.0.0.1")
+	type procKey struct{ user, path string }
+	var host *hostinfo.Host
+	procs := map[procKey]*hostinfo.Process{}
+	ensureHost := func() *hostinfo.Host {
+		if host == nil {
+			host = hostinfo.New(name, ip, netaddr.MAC(2))
+		}
+		return host
+	}
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		errf := func(format string, args ...any) error {
+			return fmt.Errorf("host spec line %d: %s", lineNo+1, fmt.Sprintf(format, args...))
+		}
+		switch fields[0] {
+		case "name":
+			if host != nil {
+				return nil, errf("name must precede users/procs")
+			}
+			if len(fields) != 2 {
+				return nil, errf("usage: name <hostname>")
+			}
+			name = fields[1]
+		case "ip":
+			if host != nil {
+				return nil, errf("ip must precede users/procs")
+			}
+			if len(fields) != 2 {
+				return nil, errf("usage: ip <addr>")
+			}
+			parsed, err := netaddr.ParseIP(fields[1])
+			if err != nil {
+				return nil, errf("%v", err)
+			}
+			ip = parsed
+		case "patch":
+			for _, p := range fields[1:] {
+				ensureHost().InstallPatch(p)
+			}
+		case "user":
+			if len(fields) < 2 {
+				return nil, errf("usage: user <name> [groups a,b]")
+			}
+			var groups []string
+			for i := 2; i+1 < len(fields); i += 2 {
+				if fields[i] == "groups" {
+					groups = strings.Split(fields[i+1], ",")
+				}
+			}
+			ensureHost().AddUser(fields[1], groups...)
+		case "proc":
+			if len(fields) < 3 {
+				return nil, errf("usage: proc <user> <path> [k=v...]")
+			}
+			u, ok := ensureHost().UserByName(fields[1])
+			if !ok {
+				return nil, errf("unknown user %q", fields[1])
+			}
+			exe := hostinfo.Executable{Path: fields[2]}
+			for _, kv := range fields[3:] {
+				eq := strings.IndexByte(kv, '=')
+				if eq < 0 {
+					return nil, errf("bad attribute %q", kv)
+				}
+				k, v := kv[:eq], kv[eq+1:]
+				switch k {
+				case "name":
+					exe.Name = v
+				case "version":
+					exe.Version = v
+				case "vendor":
+					exe.Vendor = v
+				case "type":
+					exe.Type = v
+				default:
+					return nil, errf("unknown attribute %q", k)
+				}
+			}
+			procs[procKey{fields[1], fields[2]}] = ensureHost().Exec(u, exe)
+		case "listen":
+			if len(fields) != 4 {
+				return nil, errf("usage: listen <user> <path> <port>")
+			}
+			p, ok := procs[procKey{fields[1], fields[2]}]
+			if !ok {
+				return nil, errf("no proc %s %s", fields[1], fields[2])
+			}
+			port, err := netaddr.ParsePort(fields[3])
+			if err != nil {
+				return nil, errf("%v", err)
+			}
+			if err := ensureHost().Listen(p.PID, netaddr.ProtoTCP, port); err != nil {
+				return nil, errf("%v", err)
+			}
+		case "conn":
+			// conn <user> <path> tcp :sport > dip:dport
+			if len(fields) != 7 || fields[3] != "tcp" || fields[4] == "" ||
+				fields[4][0] != ':' || fields[5] != ">" {
+				return nil, errf("usage: conn <user> <path> tcp :sport > dip:dport")
+			}
+			p, ok := procs[procKey{fields[1], fields[2]}]
+			if !ok {
+				return nil, errf("no proc %s %s", fields[1], fields[2])
+			}
+			sport, err := netaddr.ParsePort(fields[4][1:])
+			if err != nil {
+				return nil, errf("%v", err)
+			}
+			colon := strings.LastIndexByte(fields[6], ':')
+			if colon < 0 {
+				return nil, errf("bad destination %q", fields[6])
+			}
+			dip, err := netaddr.ParseIP(fields[6][:colon])
+			if err != nil {
+				return nil, errf("%v", err)
+			}
+			dport, err := netaddr.ParsePort(fields[6][colon+1:])
+			if err != nil {
+				return nil, errf("%v", err)
+			}
+			if _, err := ensureHost().Connect(p.PID, flow.Five{
+				DstIP: dip, Proto: netaddr.ProtoTCP, SrcPort: sport, DstPort: dport,
+			}); err != nil {
+				return nil, errf("%v", err)
+			}
+		default:
+			return nil, errf("unknown directive %q", fields[0])
+		}
+	}
+	return ensureHost(), nil
+}

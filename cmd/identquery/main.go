@@ -1,0 +1,49 @@
+// Command identquery is the ident++ client: it asks a daemon about a flow
+// and prints the key-value response, sections delimited as on the wire.
+//
+// Usage:
+//
+//	identquery -addr 192.168.0.5:783 "tcp 192.168.0.5:40000 > 192.168.1.1:80" [key...]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"identxx/internal/daemon"
+	"identxx/internal/flow"
+	"identxx/internal/wire"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:783", "daemon address")
+	timeout := flag.Duration("timeout", 3*time.Second, "query timeout")
+	flag.Parse()
+	if flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, `usage: identquery -addr host:783 "tcp a.b.c.d:sp > e.f.g.h:dp" [key...]`)
+		os.Exit(2)
+	}
+	f, err := flow.ParseFive(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "identquery:", err)
+		os.Exit(2)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	resp, err := daemon.Query(ctx, *addr, wire.Query{Flow: f, Keys: flag.Args()[1:]})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "identquery:", err)
+		os.Exit(1)
+	}
+	for i, sec := range resp.Sections {
+		if i > 0 {
+			fmt.Println()
+		}
+		for _, p := range sec.Pairs {
+			fmt.Printf("%s: %s\n", p.Key, p.Value)
+		}
+	}
+}

@@ -1,0 +1,40 @@
+// Command identxx-bench runs every paper experiment (E1-E8) and emits the
+// tables EXPERIMENTS.md records, in plain text or markdown.
+//
+// Usage:
+//
+//	identxx-bench [-markdown] [-only E6]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"identxx/internal/experiments"
+)
+
+func main() {
+	markdown := flag.Bool("markdown", false, "emit GitHub markdown tables")
+	only := flag.String("only", "", "run a single experiment id (e.g. E3)")
+	flag.Parse()
+
+	ran := 0
+	for _, r := range experiments.All {
+		if *only != "" && r.ID != *only {
+			continue
+		}
+		ran++
+		if *markdown {
+			tab := r.Run(io.Discard)
+			tab.Markdown(os.Stdout)
+		} else {
+			r.Run(os.Stdout)
+		}
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "identxx-bench: unknown experiment %q\n", *only)
+		os.Exit(2)
+	}
+}

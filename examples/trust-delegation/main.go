@@ -1,0 +1,93 @@
+// trust-delegation reenacts Figures 6-7: a third-party security company
+// ("Secur") publishes signed firewall rules for applications; the
+// administrator's whole policy is "trust Secur's key". Users run whatever
+// Secur has vetted — here thunderbird, which Secur's rules confine to
+// email servers.
+package main
+
+import (
+	"fmt"
+
+	"identxx/internal/core"
+	"identxx/internal/daemon"
+	"identxx/internal/netaddr"
+	"identxx/internal/netsim"
+	"identxx/internal/pf"
+	"identxx/internal/sig"
+	"identxx/internal/workload"
+)
+
+func main() {
+	securPub, securPriv := sig.MustGenerateKey()
+
+	// Figure 6: Secur's signed per-application rule file, shipped to
+	// end-hosts with the software.
+	requirements := "block all pass from any with eq(@src[name], thunderbird) to any with eq(@dst[type], email-server)"
+	signature := sig.Sign(securPriv,
+		workload.Thunderbird.Exe().Hash(), "thunderbird", requirements)
+	thunderbirdConf := fmt.Sprintf(`
+@app /usr/bin/thunderbird {
+	name : thunderbird
+	type : email-client
+	rule-maker : Secur
+	requirements : %s
+	req-sig : %s
+}
+`, requirements, signature)
+
+	// Figure 7: the administrator's rule — anything Secur approved runs
+	// under Secur's rules.
+	policy := pf.MustCompile("30-secur.control", fmt.Sprintf(`
+dict <pubkeys> { Secur : %s }
+block all
+pass from any \
+     with eq(@src[rule-maker], Secur) \
+     with allowed(@src[requirements]) \
+     with verify(@src[req-sig], @pubkeys[Secur], \
+                 @src[exe-hash], @src[app-name], @src[requirements]) \
+     to any
+`, securPub))
+
+	n := netsim.New()
+	sw := n.AddSwitch("office", 0)
+	desktop := n.AddHost("desktop", netaddr.MustParseIP("10.0.0.10"))
+	mail := n.AddHost("mail", netaddr.MustParseIP("10.0.0.25"))
+	web := n.AddHost("web", netaddr.MustParseIP("10.0.0.80"))
+	for _, h := range []*netsim.Host{desktop, mail, web} {
+		n.ConnectHost(h, sw, 0)
+	}
+	carol := workload.Populate(desktop, "carol", []string{"users"}, workload.Thunderbird)
+	workload.Populate(mail, "postmaster", nil, workload.SMTPD)
+	workload.Populate(web, "webmaster", nil, workload.HTTPD)
+
+	cf, err := daemon.ParseConfig("thunderbird.conf", thunderbirdConf)
+	if err != nil {
+		panic(err)
+	}
+	desktop.Daemon.InstallConfig(cf, true)
+
+	ctl := core.New(core.Config{
+		Name: "office", Policy: policy, Transport: n.Transport(sw, nil),
+		Topology: n, InstallEntries: true, Clock: n.Clock.Now,
+	})
+	n.AttachController(ctl, sw)
+
+	try := func(desc string, dst *netsim.Host, port netaddr.Port) {
+		dst.ClearReceived()
+		if err := carol.StartFlow("thunderbird", dst.IP(), port); err != nil {
+			panic(err)
+		}
+		n.Run(0)
+		verdict := "BLOCKED"
+		if dst.ReceivedCount() > 0 {
+			verdict = "delivered"
+		}
+		fmt.Printf("%-52s %s\n", desc, verdict)
+	}
+
+	try("thunderbird -> mail:25 (Secur's rules allow email)", mail, 25)
+	try("thunderbird -> web:80 (not an email server)", web, 80)
+
+	fmt.Printf("\ndecisions: %s\n", ctl.Counters)
+	fmt.Println("\nThe administrator never mentioned thunderbird: dict <pubkeys> { Secur : ... } is the entire trust decision.")
+}

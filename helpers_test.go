@@ -1,0 +1,19 @@
+package identxx_bench
+
+import (
+	"testing"
+
+	"identxx/internal/flow"
+	"identxx/internal/netaddr"
+)
+
+func mustFive(t *testing.T) flow.Five {
+	t.Helper()
+	return flow.Five{
+		SrcIP:   netaddr.MustParseIP("10.0.0.1"),
+		DstIP:   netaddr.MustParseIP("10.0.0.2"),
+		Proto:   netaddr.ProtoTCP,
+		SrcPort: 40000,
+		DstPort: 80,
+	}
+}

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"identxx/internal/flow"
+	"identxx/internal/metrics"
+	"identxx/internal/pf"
+)
+
+// AuditEntry records one flow decision. The audit trail is what lets an
+// administrator "override, audit, and revoke the delegation when necessary"
+// (§7): every decision names the deciding rule and carries the evaluation
+// diagnostics.
+type AuditEntry struct {
+	Time      time.Time
+	Flow      flow.Five
+	Action    pf.Action
+	Rule      string
+	Matched   bool
+	KeepState bool
+	Diags     []string
+	Setup     metrics.SetupBreakdown
+}
+
+func (e AuditEntry) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s %s -> %s (rule: %s)",
+		e.Time.Format(time.RFC3339), e.Flow, e.Action, e.Rule)
+	if len(e.Diags) > 0 {
+		fmt.Fprintf(&b, " diags=%d", len(e.Diags))
+	}
+	return b.String()
+}
+
+// AuditLog is a bounded ring buffer of decisions.
+type AuditLog struct {
+	mu      sync.Mutex
+	entries []AuditEntry
+	next    int
+	full    bool
+	total   int64
+}
+
+// NewAuditLog creates a log holding up to capEntries (default 4096).
+func NewAuditLog(capEntries int) *AuditLog {
+	if capEntries <= 0 {
+		capEntries = 4096
+	}
+	return &AuditLog{entries: make([]AuditEntry, capEntries)}
+}
+
+// Record appends an entry.
+func (l *AuditLog) Record(e AuditEntry) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.entries[l.next] = e
+	l.next++
+	l.total++
+	if l.next == len(l.entries) {
+		l.next = 0
+		l.full = true
+	}
+}
+
+// Total returns the number of entries ever recorded.
+func (l *AuditLog) Total() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.total
+}
+
+// Entries returns the retained entries, oldest first.
+func (l *AuditLog) Entries() []AuditEntry {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if !l.full {
+		out := make([]AuditEntry, l.next)
+		copy(out, l.entries[:l.next])
+		return out
+	}
+	out := make([]AuditEntry, 0, len(l.entries))
+	out = append(out, l.entries[l.next:]...)
+	out = append(out, l.entries[:l.next]...)
+	return out
+}
+
+// Denials returns the retained entries that denied a flow.
+func (l *AuditLog) Denials() []AuditEntry {
+	var out []AuditEntry
+	for _, e := range l.Entries() {
+		if e.Action == pf.Block {
+			out = append(out, e)
+		}
+	}
+	return out
+}

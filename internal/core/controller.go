@@ -1,0 +1,501 @@
+// Package core implements the ident++ controller, the paper's primary
+// contribution (§3.4): an OpenFlow controller that, on a flow's first
+// packet, queries the ident++ daemons at both ends for additional
+// information, evaluates the administrator's PF+=2 policy over the flow's
+// 5-tuple plus the returned key-value dictionaries, and caches the verdict
+// as flow entries along the path (Figure 1). It also implements the
+// interception roles of §3.4: answering queries on behalf of hosts and
+// augmenting responses that transit its network.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"identxx/internal/flow"
+	"identxx/internal/metrics"
+	"identxx/internal/netaddr"
+	"identxx/internal/openflow"
+	"identxx/internal/pf"
+	"identxx/internal/wire"
+)
+
+// ErrNoDaemon is returned by a QueryTransport when the target host does not
+// run an ident++ daemon — the §4 "Incremental Benefit" case. The controller
+// proceeds with a nil response (or its own answer-on-behalf data) and lets
+// the policy fail closed or open as written.
+var ErrNoDaemon = errors.New("core: host has no ident++ daemon")
+
+// QueryTransport delivers an ident++ query to a host's daemon and returns
+// its response plus the round-trip latency (virtual in simulation, wall on
+// TCP).
+type QueryTransport interface {
+	Query(host netaddr.IP, q wire.Query) (*wire.Response, time.Duration, error)
+}
+
+// Hop is one switch traversal on a flow's path.
+type Hop struct {
+	Datapath uint64
+	OutPort  uint16
+}
+
+// Topology answers path queries so the controller can "insert entries in
+// switches across the network preemptively" (§3.1).
+type Topology interface {
+	Path(src, dst netaddr.IP) ([]Hop, error)
+}
+
+// LatencyModel supplies the control-channel latencies the controller cannot
+// observe itself; the simulator implements it with its virtual link delays.
+// A nil model contributes zero punt/install time to breakdowns.
+type LatencyModel interface {
+	PuntLatency(datapath uint64) time.Duration
+	InstallLatency(datapath uint64) time.Duration
+}
+
+// Config parameterizes a Controller.
+type Config struct {
+	Name      string
+	Policy    *pf.Policy
+	Transport QueryTransport
+	Topology  Topology
+	Latency   LatencyModel
+
+	// QueryKeys overrides the key hints sent in queries; when nil the
+	// controller derives them from the policy's referenced keys.
+	QueryKeys []string
+
+	// IdleTimeout/HardTimeout are applied to installed entries. Defaults:
+	// 60s idle, no hard timeout (Ethane-style).
+	IdleTimeout time.Duration
+	HardTimeout time.Duration
+
+	// InstallEntries caches verdicts in switch flow tables. Disabling it is
+	// the M5 ablation: every packet of every flow punts to the controller.
+	InstallEntries bool
+
+	// ResponseCacheTTL caches (flow -> responses) so retransmissions during
+	// slow installs and repeated short flows skip daemon queries. Zero
+	// disables the cache.
+	ResponseCacheTTL time.Duration
+
+	// AuditCap bounds the audit ring buffer (default 4096).
+	AuditCap int
+
+	// Clock for cache expiry; defaults to time.Now.
+	Clock func() time.Time
+}
+
+// Controller is an ident++-enabled OpenFlow controller.
+type Controller struct {
+	name      string
+	transport QueryTransport
+	topo      Topology
+	latency   LatencyModel
+	idle      time.Duration
+	hard      time.Duration
+	install   bool
+	cacheTTL  time.Duration
+	clock     func() time.Time
+
+	mu        sync.RWMutex
+	policy    *pf.Policy
+	queryKeys []string
+	datapaths map[uint64]openflow.Datapath
+	answers   map[netaddr.IP][]wire.KV // answer-on-behalf data (§3.4, §4)
+	augment   func(q wire.Query, resp *wire.Response)
+	respCache map[flow.Five]cacheEntry
+	pending   map[flow.Five]bool
+
+	// Counters and latency recorder are exported for the harness.
+	Counters *metrics.Counter
+	Setup    *metrics.SetupRecorder
+	Audit    *AuditLog
+}
+
+type cacheEntry struct {
+	src, dst *wire.Response
+	expires  time.Time
+}
+
+// New creates a controller. Config.Policy, Transport and Topology are
+// required; the rest default sensibly.
+func New(cfg Config) *Controller {
+	if cfg.Policy == nil {
+		panic("core: Config.Policy is required")
+	}
+	if cfg.Transport == nil {
+		panic("core: Config.Transport is required")
+	}
+	if cfg.Topology == nil {
+		panic("core: Config.Topology is required")
+	}
+	idle := cfg.IdleTimeout
+	if idle == 0 {
+		idle = 60 * time.Second
+	}
+	clock := cfg.Clock
+	if clock == nil {
+		clock = time.Now
+	}
+	keys := cfg.QueryKeys
+	if keys == nil {
+		keys = cfg.Policy.ReferencedKeys()
+	}
+	c := &Controller{
+		name:      cfg.Name,
+		transport: cfg.Transport,
+		topo:      cfg.Topology,
+		latency:   cfg.Latency,
+		idle:      idle,
+		hard:      cfg.HardTimeout,
+		install:   cfg.InstallEntries,
+		cacheTTL:  cfg.ResponseCacheTTL,
+		clock:     clock,
+		policy:    cfg.Policy,
+		queryKeys: keys,
+		datapaths: make(map[uint64]openflow.Datapath),
+		answers:   make(map[netaddr.IP][]wire.KV),
+		respCache: make(map[flow.Five]cacheEntry),
+		pending:   make(map[flow.Five]bool),
+		Counters:  metrics.NewCounter(),
+		Setup:     metrics.NewSetupRecorder(),
+		Audit:     NewAuditLog(cfg.AuditCap),
+	}
+	return c
+}
+
+// Name returns the controller's name (used in augmentation sections).
+func (c *Controller) Name() string { return c.name }
+
+// AddDatapath registers a switch the controller programs.
+func (c *Controller) AddDatapath(dp openflow.Datapath) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.datapaths[dp.DatapathID()] = dp
+}
+
+// SetPolicy atomically replaces the policy and flushes every cached verdict
+// from the switches — the revocation path: a delegation withdrawn in the
+// policy takes effect for the next packet of every flow.
+func (c *Controller) SetPolicy(p *pf.Policy) {
+	c.mu.Lock()
+	c.policy = p
+	c.queryKeys = p.ReferencedKeys()
+	c.respCache = make(map[flow.Five]cacheEntry)
+	dps := make([]openflow.Datapath, 0, len(c.datapaths))
+	for _, dp := range c.datapaths {
+		dps = append(dps, dp)
+	}
+	c.mu.Unlock()
+	for _, dp := range dps {
+		dp.Apply(openflow.FlowMod{Delete: true, Match: flow.MatchAll(), BufferID: openflow.BufferNone})
+	}
+	c.Counters.Add("policy_reloads", 1)
+}
+
+// AnswerForHost registers static pairs the controller serves on behalf of a
+// host without a daemon (§3.4 "the controller spoofs the IP address of the
+// end-host, sends a response itself"; §4 incremental deployment).
+func (c *Controller) AnswerForHost(ip netaddr.IP, pairs ...wire.KV) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.answers[ip] = append(c.answers[ip], pairs...)
+}
+
+// SetAugmenter installs the response-augmentation hook used when this
+// controller intercepts ident++ responses transiting its network (§3.4).
+func (c *Controller) SetAugmenter(f func(q wire.Query, resp *wire.Response)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.augment = f
+}
+
+// HandlePacketIn implements openflow.Controller for in-process switches.
+func (c *Controller) HandlePacketIn(sw *openflow.Switch, ev openflow.PacketIn) {
+	c.HandleEvent(ev)
+}
+
+// HandleFlowRemoved implements openflow.Controller.
+func (c *Controller) HandleFlowRemoved(sw *openflow.Switch, ev openflow.FlowRemoved) {
+	c.Counters.Add("flow_removed", 1)
+}
+
+// PacketInFromRemote adapts ChannelServer events (TCP-attached switches).
+func (c *Controller) PacketInFromRemote(sw *openflow.RemoteSwitch, ev openflow.PacketIn) {
+	c.HandleEvent(ev)
+}
+
+// HandleEvent is the Figure 1 pipeline. It is safe for concurrent calls.
+func (c *Controller) HandleEvent(ev openflow.PacketIn) {
+	c.Counters.Add("packet_ins", 1)
+	c.mu.RLock()
+	dp := c.datapaths[ev.SwitchID]
+	c.mu.RUnlock()
+	if dp == nil {
+		c.Counters.Add("unknown_datapath", 1)
+		return
+	}
+	if ev.Tuple.EthType != flow.EthTypeIPv4 {
+		// Policy is written over IP flows; other ether types are dropped at
+		// the edge (a deployment would run a learning-switch app besides).
+		dp.ReleaseBuffer(ev.BufferID)
+		c.Counters.Add("non_ip_dropped", 1)
+		return
+	}
+	five := ev.Tuple.Five()
+
+	// Collapse duplicate packet-ins for a flow whose verdict is being
+	// computed: the first packet's install resolves them.
+	c.mu.Lock()
+	if c.pending[five] {
+		c.mu.Unlock()
+		dp.ReleaseBuffer(ev.BufferID)
+		c.Counters.Add("duplicate_packet_ins", 1)
+		return
+	}
+	c.pending[five] = true
+	c.mu.Unlock()
+	defer func() {
+		c.mu.Lock()
+		delete(c.pending, five)
+		c.mu.Unlock()
+	}()
+
+	var bd metrics.SetupBreakdown
+	if c.latency != nil {
+		bd.Punt = c.latency.PuntLatency(ev.SwitchID)
+		bd.Install = c.latency.InstallLatency(ev.SwitchID)
+	}
+
+	src, dst, qsrc, qdst := c.gatherResponses(five)
+	bd.QuerySrc, bd.QueryDst = qsrc, qdst
+
+	evalStart := time.Now()
+	c.mu.RLock()
+	policy := c.policy
+	c.mu.RUnlock()
+	d := policy.Evaluate(pf.Input{Flow: five, Src: src, Dst: dst})
+	bd.Eval = time.Since(evalStart)
+
+	c.Setup.Observe(bd)
+	c.Audit.Record(AuditEntry{
+		Time:      c.clock(),
+		Flow:      five,
+		Action:    d.Action,
+		Rule:      ruleString(d.Rule),
+		Matched:   d.Matched,
+		KeepState: d.KeepState,
+		Diags:     d.Diags,
+		Setup:     bd,
+	})
+
+	if d.Action == pf.Pass {
+		c.Counters.Add("flows_allowed", 1)
+		c.installPath(dp, ev, five, d.KeepState)
+	} else {
+		c.Counters.Add("flows_denied", 1)
+		c.installDrop(dp, ev, five)
+	}
+	if len(d.Diags) > 0 {
+		c.Counters.Add("eval_diags", int64(len(d.Diags)))
+	}
+}
+
+// gatherResponses queries both ends concurrently (§2 step 3) with the
+// response cache in front.
+func (c *Controller) gatherResponses(five flow.Five) (src, dst *wire.Response, qsrc, qdst time.Duration) {
+	now := c.clock()
+	if c.cacheTTL > 0 {
+		c.mu.RLock()
+		if e, ok := c.respCache[five]; ok && now.Before(e.expires) {
+			c.mu.RUnlock()
+			c.Counters.Add("response_cache_hits", 1)
+			return e.src, e.dst, 0, 0
+		}
+		c.mu.RUnlock()
+	}
+	c.mu.RLock()
+	keys := c.queryKeys
+	c.mu.RUnlock()
+	q := wire.Query{Flow: five, Keys: keys}
+
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		src, qsrc = c.queryOne(five.SrcIP, q)
+	}()
+	go func() {
+		defer wg.Done()
+		dst, qdst = c.queryOne(five.DstIP, q)
+	}()
+	wg.Wait()
+
+	if c.cacheTTL > 0 {
+		c.mu.Lock()
+		c.respCache[five] = cacheEntry{src: src, dst: dst, expires: now.Add(c.cacheTTL)}
+		c.mu.Unlock()
+	}
+	return src, dst, qsrc, qdst
+}
+
+func (c *Controller) queryOne(host netaddr.IP, q wire.Query) (*wire.Response, time.Duration) {
+	resp, rtt, err := c.transport.Query(host, q)
+	if err == nil {
+		return resp, rtt
+	}
+	c.Counters.Add("query_errors", 1)
+	// Answer on behalf of daemon-less hosts from local configuration.
+	c.mu.RLock()
+	pairs := c.answers[host]
+	name := c.name
+	c.mu.RUnlock()
+	if len(pairs) == 0 {
+		return nil, rtt
+	}
+	c.Counters.Add("answered_on_behalf", 1)
+	r := &wire.Response{Flow: q.Flow}
+	sec := r.Augment("controller:" + name)
+	sec.Pairs = append(sec.Pairs, pairs...)
+	return r, rtt
+}
+
+// installPath caches a pass verdict as exact-granularity entries along the
+// whole path, releasing the buffered first packet at the ingress switch
+// (Figure 1 steps 4-5), plus the reverse path under `keep state`.
+func (c *Controller) installPath(ingress openflow.Datapath, ev openflow.PacketIn, five flow.Five, keepState bool) {
+	if !c.install {
+		// Ablation mode: forward this one packet, cache nothing.
+		hops, err := c.topo.Path(five.SrcIP, five.DstIP)
+		if err == nil {
+			for _, h := range hops {
+				if h.Datapath == ev.SwitchID {
+					c.packetOutOrRelease(ingress, ev, h.OutPort)
+					return
+				}
+			}
+		}
+		ingress.ReleaseBuffer(ev.BufferID)
+		return
+	}
+	hops, err := c.topo.Path(five.SrcIP, five.DstIP)
+	if err != nil {
+		c.Counters.Add("path_errors", 1)
+		ingress.ReleaseBuffer(ev.BufferID)
+		return
+	}
+	cookie := five.Hash() | 1 // non-zero so delete-by-cookie can target it
+	for _, h := range hops {
+		c.mu.RLock()
+		dp := c.datapaths[h.Datapath]
+		c.mu.RUnlock()
+		if dp == nil {
+			continue
+		}
+		mod := openflow.FlowMod{
+			Match:       flow.FiveMatch(five),
+			Priority:    100,
+			Actions:     openflow.Output(h.OutPort),
+			Cookie:      cookie,
+			IdleTimeout: c.idle,
+			HardTimeout: c.hard,
+			BufferID:    openflow.BufferNone,
+		}
+		if h.Datapath == ev.SwitchID {
+			mod.BufferID = ev.BufferID
+			mod.NotifyRemoved = true
+		}
+		if err := dp.Apply(mod); err != nil {
+			c.Counters.Add("install_errors", 1)
+		}
+	}
+	c.Counters.Add("entries_installed", int64(len(hops)))
+	if keepState {
+		rev := five.Reverse()
+		rhops, err := c.topo.Path(rev.SrcIP, rev.DstIP)
+		if err != nil {
+			c.Counters.Add("path_errors", 1)
+			return
+		}
+		for _, h := range rhops {
+			c.mu.RLock()
+			dp := c.datapaths[h.Datapath]
+			c.mu.RUnlock()
+			if dp == nil {
+				continue
+			}
+			mod := openflow.FlowMod{
+				Match:       flow.FiveMatch(rev),
+				Priority:    100,
+				Actions:     openflow.Output(h.OutPort),
+				Cookie:      cookie,
+				IdleTimeout: c.idle,
+				HardTimeout: c.hard,
+				BufferID:    openflow.BufferNone,
+			}
+			if err := dp.Apply(mod); err != nil {
+				c.Counters.Add("install_errors", 1)
+			}
+		}
+		c.Counters.Add("entries_installed", int64(len(rhops)))
+	}
+}
+
+func (c *Controller) packetOutOrRelease(dp openflow.Datapath, ev openflow.PacketIn, outPort uint16) {
+	if len(ev.Frame) > 0 {
+		dp.ReleaseBuffer(ev.BufferID)
+		dp.PacketOut(outPort, ev.Frame)
+		return
+	}
+	dp.ReleaseBuffer(ev.BufferID)
+}
+
+// installDrop caches a deny verdict at the ingress switch so subsequent
+// packets of the flow die in hardware, and discards the buffered packet.
+func (c *Controller) installDrop(dp openflow.Datapath, ev openflow.PacketIn, five flow.Five) {
+	dp.ReleaseBuffer(ev.BufferID)
+	if !c.install {
+		return
+	}
+	mod := openflow.FlowMod{
+		Match:       flow.FiveMatch(five),
+		Priority:    100,
+		Actions:     openflow.Drop,
+		Cookie:      five.Hash() | 1,
+		IdleTimeout: c.idle,
+		HardTimeout: c.hard,
+		BufferID:    openflow.BufferNone,
+	}
+	if err := dp.Apply(mod); err != nil {
+		c.Counters.Add("install_errors", 1)
+	}
+}
+
+// RevokeFlow deletes the cached entries for a flow everywhere, forcing the
+// next packet back to the controller — per-flow revocation.
+func (c *Controller) RevokeFlow(five flow.Five) {
+	cookie := five.Hash() | 1
+	c.mu.RLock()
+	dps := make([]openflow.Datapath, 0, len(c.datapaths))
+	for _, dp := range c.datapaths {
+		dps = append(dps, dp)
+	}
+	c.mu.RUnlock()
+	for _, dp := range dps {
+		dp.Apply(openflow.FlowMod{Delete: true, Cookie: cookie, Match: flow.MatchAll(), BufferID: openflow.BufferNone})
+	}
+	c.mu.Lock()
+	delete(c.respCache, five)
+	c.mu.Unlock()
+	c.Counters.Add("flows_revoked", 1)
+}
+
+func ruleString(r *pf.Rule) string {
+	if r == nil {
+		return "(default)"
+	}
+	return fmt.Sprintf("%s @ %s", r, r.Pos)
+}

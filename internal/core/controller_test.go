@@ -1,0 +1,517 @@
+package core
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"identxx/internal/flow"
+	"identxx/internal/netaddr"
+	"identxx/internal/openflow"
+	"identxx/internal/pf"
+	"identxx/internal/wire"
+)
+
+// fakeTransport serves canned responses per host.
+type fakeTransport struct {
+	mu        sync.Mutex
+	responses map[netaddr.IP]map[string]string // host -> kv
+	rtt       time.Duration
+	queries   int
+	lastKeys  []string
+}
+
+func (t *fakeTransport) Query(host netaddr.IP, q wire.Query) (*wire.Response, time.Duration, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.queries++
+	t.lastKeys = q.Keys
+	kv, ok := t.responses[host]
+	if !ok {
+		return nil, t.rtt, ErrNoDaemon
+	}
+	r := wire.NewResponse(q.Flow)
+	for k, v := range kv {
+		r.Add(k, v)
+	}
+	return r, t.rtt, nil
+}
+
+// fakeTopo returns a fixed two-hop path for every flow.
+type fakeTopo struct {
+	hops []Hop
+	err  error
+}
+
+func (t *fakeTopo) Path(src, dst netaddr.IP) ([]Hop, error) { return t.hops, t.err }
+
+// fakeDatapath records applied mods.
+type fakeDatapath struct {
+	id       uint64
+	mu       sync.Mutex
+	mods     []openflow.FlowMod
+	released []uint32
+	outs     []uint16
+}
+
+func (d *fakeDatapath) DatapathID() uint64 { return d.id }
+func (d *fakeDatapath) Apply(m openflow.FlowMod) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.mods = append(d.mods, m)
+	return nil
+}
+func (d *fakeDatapath) PacketOut(port uint16, frame []byte) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.outs = append(d.outs, port)
+}
+func (d *fakeDatapath) ReleaseBuffer(id uint32) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.released = append(d.released, id)
+}
+func (d *fakeDatapath) modCount() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.mods)
+}
+
+var (
+	hostA = netaddr.MustParseIP("10.0.0.1")
+	hostB = netaddr.MustParseIP("10.0.0.2")
+)
+
+func sampleEvent(five flow.Five, swID uint64) openflow.PacketIn {
+	return openflow.PacketIn{
+		SwitchID: swID,
+		BufferID: 7,
+		InPort:   1,
+		Tuple: flow.Ten{
+			EthType: flow.EthTypeIPv4,
+			SrcIP:   five.SrcIP, DstIP: five.DstIP, Proto: five.Proto,
+			SrcPort: five.SrcPort, DstPort: five.DstPort,
+		},
+	}
+}
+
+func newTestController(policySrc string, tr QueryTransport, topo Topology) (*Controller, *fakeDatapath, *fakeDatapath) {
+	dp1 := &fakeDatapath{id: 1}
+	dp2 := &fakeDatapath{id: 2}
+	c := New(Config{
+		Name:           "ctl",
+		Policy:         pf.MustCompile("policy", policySrc),
+		Transport:      tr,
+		Topology:       topo,
+		InstallEntries: true,
+	})
+	c.AddDatapath(dp1)
+	c.AddDatapath(dp2)
+	return c, dp1, dp2
+}
+
+func TestPassInstallsAlongPathAndReleasesBuffer(t *testing.T) {
+	tr := &fakeTransport{responses: map[netaddr.IP]map[string]string{
+		hostA: {"name": "skype"},
+		hostB: {"name": "skype"},
+	}}
+	topo := &fakeTopo{hops: []Hop{{Datapath: 1, OutPort: 2}, {Datapath: 2, OutPort: 3}}}
+	c, dp1, dp2 := newTestController(`
+block all
+pass from any to any with eq(@src[name], skype) with eq(@dst[name], skype)
+`, tr, topo)
+
+	five := flow.Five{SrcIP: hostA, DstIP: hostB, Proto: netaddr.ProtoTCP, SrcPort: 100, DstPort: 200}
+	c.HandleEvent(sampleEvent(five, 1))
+
+	if dp1.modCount() != 1 || dp2.modCount() != 1 {
+		t.Fatalf("mods: dp1=%d dp2=%d, want 1 each (preemptive path install)", dp1.modCount(), dp2.modCount())
+	}
+	// Ingress switch's mod carries the buffer id so the packet proceeds.
+	if dp1.mods[0].BufferID != 7 {
+		t.Errorf("ingress mod buffer = %d, want 7", dp1.mods[0].BufferID)
+	}
+	if dp2.mods[0].BufferID != openflow.BufferNone {
+		t.Errorf("downstream mod must not reference the buffer")
+	}
+	if dp1.mods[0].Actions[0] != (openflow.Action{Type: openflow.ActionOutput, Port: 2}) {
+		t.Errorf("ingress action = %+v", dp1.mods[0].Actions)
+	}
+	if dp2.mods[0].Actions[0].Port != 3 {
+		t.Errorf("downstream action = %+v", dp2.mods[0].Actions)
+	}
+	if c.Counters.Get("flows_allowed") != 1 {
+		t.Error("allow counter not bumped")
+	}
+	if c.Audit.Total() != 1 {
+		t.Error("no audit entry")
+	}
+}
+
+func TestBlockInstallsDropAndReleases(t *testing.T) {
+	tr := &fakeTransport{responses: map[netaddr.IP]map[string]string{
+		hostA: {"name": "dropbox"},
+	}}
+	topo := &fakeTopo{hops: []Hop{{Datapath: 1, OutPort: 2}}}
+	c, dp1, _ := newTestController(`
+block all
+pass from any to any with eq(@src[name], skype)
+`, tr, topo)
+
+	five := flow.Five{SrcIP: hostA, DstIP: hostB, Proto: netaddr.ProtoTCP, SrcPort: 100, DstPort: 200}
+	c.HandleEvent(sampleEvent(five, 1))
+
+	if len(dp1.released) != 1 || dp1.released[0] != 7 {
+		t.Error("buffered packet of denied flow must be released (dropped)")
+	}
+	if dp1.modCount() != 1 || dp1.mods[0].Actions[0].Type != openflow.ActionDrop {
+		t.Fatalf("expected one drop entry, got %+v", dp1.mods)
+	}
+	if c.Counters.Get("flows_denied") != 1 {
+		t.Error("deny counter not bumped")
+	}
+}
+
+func TestKeepStateInstallsReversePath(t *testing.T) {
+	tr := &fakeTransport{responses: map[netaddr.IP]map[string]string{
+		hostA: {"name": "firefox"}, hostB: {"name": "httpd"},
+	}}
+	topo := &fakeTopo{hops: []Hop{{Datapath: 1, OutPort: 2}}}
+	c, dp1, _ := newTestController(`
+block all
+pass from any to any keep state
+`, tr, topo)
+	five := flow.Five{SrcIP: hostA, DstIP: hostB, Proto: netaddr.ProtoTCP, SrcPort: 100, DstPort: 200}
+	c.HandleEvent(sampleEvent(five, 1))
+	if dp1.modCount() != 2 {
+		t.Fatalf("mods = %d, want forward + reverse", dp1.modCount())
+	}
+	fwd := dp1.mods[0].Match.Tuple
+	rev := dp1.mods[1].Match.Tuple
+	if fwd.SrcIP != five.SrcIP || rev.SrcIP != five.DstIP || rev.DstPort != five.SrcPort {
+		t.Errorf("reverse entry wrong: fwd=%v rev=%v", fwd, rev)
+	}
+}
+
+func TestNoDaemonFailsClosedUnderDefaultDeny(t *testing.T) {
+	tr := &fakeTransport{responses: map[netaddr.IP]map[string]string{}} // nobody answers
+	topo := &fakeTopo{hops: []Hop{{Datapath: 1, OutPort: 2}}}
+	c, dp1, _ := newTestController(`
+block all
+pass from any to any with eq(@src[name], skype)
+`, tr, topo)
+	five := flow.Five{SrcIP: hostA, DstIP: hostB, Proto: netaddr.ProtoTCP, SrcPort: 1, DstPort: 2}
+	c.HandleEvent(sampleEvent(five, 1))
+	if c.Counters.Get("flows_denied") != 1 {
+		t.Error("flow without responses should be denied by block all")
+	}
+	if c.Counters.Get("query_errors") != 2 {
+		t.Errorf("query_errors = %d, want 2", c.Counters.Get("query_errors"))
+	}
+	if dp1.mods[0].Actions[0].Type != openflow.ActionDrop {
+		t.Error("expected drop entry")
+	}
+}
+
+func TestAnswerOnBehalf(t *testing.T) {
+	tr := &fakeTransport{responses: map[netaddr.IP]map[string]string{
+		hostA: {"name": "backup-agent"},
+	}}
+	topo := &fakeTopo{hops: []Hop{{Datapath: 1, OutPort: 2}}}
+	c, _, _ := newTestController(`
+block all
+pass from any to any with eq(@dst[type], printer)
+`, tr, topo)
+	// hostB is a printer with no daemon; the administrator registers its
+	// identity with the controller (§4 incremental benefit).
+	c.AnswerForHost(hostB, wire.KV{Key: wire.KeyType, Value: "printer"})
+	five := flow.Five{SrcIP: hostA, DstIP: hostB, Proto: netaddr.ProtoTCP, SrcPort: 1, DstPort: 631}
+	c.HandleEvent(sampleEvent(five, 1))
+	if c.Counters.Get("flows_allowed") != 1 {
+		t.Errorf("printer flow should pass via answer-on-behalf; counters: %s", c.Counters)
+	}
+	if c.Counters.Get("answered_on_behalf") != 1 {
+		t.Error("answered_on_behalf not counted")
+	}
+}
+
+func TestQueryKeysDerivedFromPolicy(t *testing.T) {
+	tr := &fakeTransport{responses: map[netaddr.IP]map[string]string{hostA: {"name": "x"}}}
+	topo := &fakeTopo{hops: []Hop{{Datapath: 1, OutPort: 2}}}
+	c, _, _ := newTestController(`
+block all
+pass from any to any with eq(@src[name], skype) with lt(@src[version], 200) with includes(@dst[os-patch], MS08-067)
+`, tr, topo)
+	five := flow.Five{SrcIP: hostA, DstIP: hostB, Proto: netaddr.ProtoTCP, SrcPort: 1, DstPort: 2}
+	c.HandleEvent(sampleEvent(five, 1))
+	tr.mu.Lock()
+	keys := tr.lastKeys
+	tr.mu.Unlock()
+	want := map[string]bool{"name": true, "version": true, "os-patch": true}
+	if len(keys) != len(want) {
+		t.Fatalf("keys = %v", keys)
+	}
+	for _, k := range keys {
+		if !want[k] {
+			t.Errorf("unexpected hint key %q", k)
+		}
+	}
+}
+
+func TestDuplicateSuppression(t *testing.T) {
+	block := make(chan struct{})
+	slow := &slowTransport{unblock: block}
+	topo := &fakeTopo{hops: []Hop{{Datapath: 1, OutPort: 2}}}
+	c, dp1, _ := newTestController(`pass from any to any`, slow, topo)
+	five := flow.Five{SrcIP: hostA, DstIP: hostB, Proto: netaddr.ProtoTCP, SrcPort: 1, DstPort: 2}
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c.HandleEvent(sampleEvent(five, 1)) // slow first packet
+	}()
+	slow.waitUntilQuerying()
+	// Second packet of the same flow arrives while the first is deciding.
+	c.HandleEvent(sampleEvent(five, 1))
+	if c.Counters.Get("duplicate_packet_ins") != 1 {
+		t.Error("duplicate packet-in not suppressed")
+	}
+	close(block)
+	wg.Wait()
+	if dp1.modCount() != 1 {
+		t.Errorf("mods = %d, want 1", dp1.modCount())
+	}
+}
+
+type slowTransport struct {
+	unblock  chan struct{}
+	mu       sync.Mutex
+	querying chan struct{}
+	once     sync.Once
+}
+
+func (s *slowTransport) waitUntilQuerying() {
+	s.mu.Lock()
+	if s.querying == nil {
+		s.querying = make(chan struct{})
+	}
+	ch := s.querying
+	s.mu.Unlock()
+	<-ch
+}
+
+func (s *slowTransport) Query(host netaddr.IP, q wire.Query) (*wire.Response, time.Duration, error) {
+	s.mu.Lock()
+	if s.querying == nil {
+		s.querying = make(chan struct{})
+	}
+	ch := s.querying
+	s.mu.Unlock()
+	s.once.Do(func() { close(ch) })
+	<-s.unblock
+	return wire.NewResponse(q.Flow), 0, nil
+}
+
+func TestResponseCache(t *testing.T) {
+	tr := &fakeTransport{responses: map[netaddr.IP]map[string]string{
+		hostA: {"name": "skype"}, hostB: {"name": "skype"},
+	}}
+	topo := &fakeTopo{hops: []Hop{{Datapath: 1, OutPort: 2}}}
+	dp := &fakeDatapath{id: 1}
+	c := New(Config{
+		Name: "ctl", Policy: pf.MustCompile("p", `pass from any to any`),
+		Transport: tr, Topology: topo, InstallEntries: true,
+		ResponseCacheTTL: time.Minute,
+	})
+	c.AddDatapath(dp)
+	five := flow.Five{SrcIP: hostA, DstIP: hostB, Proto: netaddr.ProtoTCP, SrcPort: 1, DstPort: 2}
+	c.HandleEvent(sampleEvent(five, 1))
+	c.HandleEvent(sampleEvent(five, 1))
+	if tr.queries != 2 {
+		t.Errorf("queries = %d, want 2 (second event served from cache)", tr.queries)
+	}
+	if c.Counters.Get("response_cache_hits") != 1 {
+		t.Error("cache hit not counted")
+	}
+}
+
+func TestSetPolicyFlushesAndRevokes(t *testing.T) {
+	tr := &fakeTransport{responses: map[netaddr.IP]map[string]string{
+		hostA: {"name": "skype"}, hostB: {"name": "skype"},
+	}}
+	topo := &fakeTopo{hops: []Hop{{Datapath: 1, OutPort: 2}}}
+	c, dp1, _ := newTestController(`pass from any to any`, tr, topo)
+	five := flow.Five{SrcIP: hostA, DstIP: hostB, Proto: netaddr.ProtoTCP, SrcPort: 1, DstPort: 2}
+	c.HandleEvent(sampleEvent(five, 1))
+	c.SetPolicy(pf.MustCompile("p2", `block all`))
+	// The flush is a delete-all FlowMod.
+	dp1.mu.Lock()
+	last := dp1.mods[len(dp1.mods)-1]
+	dp1.mu.Unlock()
+	if !last.Delete {
+		t.Error("SetPolicy should flush switch tables")
+	}
+	// New flows evaluate under the new policy.
+	c.HandleEvent(sampleEvent(five, 1))
+	if c.Counters.Get("flows_denied") != 1 {
+		t.Error("new policy not applied")
+	}
+}
+
+func TestRevokeFlow(t *testing.T) {
+	tr := &fakeTransport{responses: map[netaddr.IP]map[string]string{hostA: {"name": "x"}, hostB: {"name": "x"}}}
+	topo := &fakeTopo{hops: []Hop{{Datapath: 1, OutPort: 2}}}
+	c, dp1, dp2 := newTestController(`pass from any to any`, tr, topo)
+	five := flow.Five{SrcIP: hostA, DstIP: hostB, Proto: netaddr.ProtoTCP, SrcPort: 1, DstPort: 2}
+	c.HandleEvent(sampleEvent(five, 1))
+	c.RevokeFlow(five)
+	for _, dp := range []*fakeDatapath{dp1, dp2} {
+		dp.mu.Lock()
+		last := dp.mods[len(dp.mods)-1]
+		dp.mu.Unlock()
+		if !last.Delete || last.Cookie != five.Hash()|1 {
+			t.Errorf("dp%d: revoke mod = %+v", dp.id, last)
+		}
+	}
+}
+
+func TestNonIPDropped(t *testing.T) {
+	tr := &fakeTransport{}
+	topo := &fakeTopo{hops: []Hop{{Datapath: 1, OutPort: 2}}}
+	c, dp1, _ := newTestController(`pass from any to any`, tr, topo)
+	ev := openflow.PacketIn{SwitchID: 1, BufferID: 3, Tuple: flow.Ten{EthType: flow.EthTypeARP}}
+	c.HandleEvent(ev)
+	if len(dp1.released) != 1 {
+		t.Error("non-IP buffer not released")
+	}
+	if c.Counters.Get("non_ip_dropped") != 1 {
+		t.Error("non-IP counter not bumped")
+	}
+}
+
+func TestInstallEntriesAblation(t *testing.T) {
+	tr := &fakeTransport{responses: map[netaddr.IP]map[string]string{hostA: {"name": "x"}, hostB: {"name": "x"}}}
+	topo := &fakeTopo{hops: []Hop{{Datapath: 1, OutPort: 2}}}
+	dp := &fakeDatapath{id: 1}
+	c := New(Config{
+		Name: "ctl", Policy: pf.MustCompile("p", `pass from any to any`),
+		Transport: tr, Topology: topo, InstallEntries: false,
+	})
+	c.AddDatapath(dp)
+	five := flow.Five{SrcIP: hostA, DstIP: hostB, Proto: netaddr.ProtoTCP, SrcPort: 1, DstPort: 2}
+	ev := sampleEvent(five, 1)
+	ev.Frame = []byte{1} // non-empty so the controller can packet-out
+	c.HandleEvent(ev)
+	if dp.modCount() != 0 {
+		t.Error("ablation mode must not install entries")
+	}
+	if len(dp.outs) != 1 || dp.outs[0] != 2 {
+		t.Errorf("packet should still be forwarded once: %v", dp.outs)
+	}
+}
+
+func TestAuditEntriesAndDenials(t *testing.T) {
+	tr := &fakeTransport{responses: map[netaddr.IP]map[string]string{hostA: {"name": "dropbox"}}}
+	topo := &fakeTopo{hops: []Hop{{Datapath: 1, OutPort: 2}}}
+	c, _, _ := newTestController(`
+block all
+pass from any to any with eq(@src[name], skype)
+`, tr, topo)
+	five := flow.Five{SrcIP: hostA, DstIP: hostB, Proto: netaddr.ProtoTCP, SrcPort: 1, DstPort: 2}
+	c.HandleEvent(sampleEvent(five, 1))
+	entries := c.Audit.Entries()
+	if len(entries) != 1 {
+		t.Fatalf("audit entries = %d", len(entries))
+	}
+	if entries[0].Action != pf.Block || entries[0].Flow != five {
+		t.Errorf("audit entry = %+v", entries[0])
+	}
+	if len(c.Audit.Denials()) != 1 {
+		t.Error("denials not found")
+	}
+	if entries[0].String() == "" {
+		t.Error("empty audit string")
+	}
+}
+
+func TestInterceptChainAnswersAndAugments(t *testing.T) {
+	tr := &fakeTransport{responses: map[netaddr.IP]map[string]string{}}
+	topo := &fakeTopo{hops: []Hop{{Datapath: 1, OutPort: 2}}}
+	cA, _, _ := newTestController(`pass from any to any`, tr, topo)
+	cB, _, _ := newTestController(`pass from any to any`, tr, topo)
+	cB.SetAugmenter(func(q wire.Query, resp *wire.Response) {
+		resp.Augment("controller:B").Add("netpath", "branchB")
+	})
+
+	five := flow.Five{SrcIP: hostA, DstIP: hostB, Proto: netaddr.ProtoTCP, SrcPort: 1, DstPort: 2}
+	q := wire.Query{Flow: five}
+
+	// Augmentation: the authoritative answer passes through B.
+	resp := InterceptChain{Outbound: []Interceptor{cB}}.Exchange(hostB, q, func() *wire.Response {
+		r := wire.NewResponse(five)
+		r.Add("name", "httpd")
+		return r
+	})
+	if v, _ := resp.Latest("netpath"); v != "branchB" {
+		t.Errorf("augmented netpath = %q", v)
+	}
+	if len(resp.Sections) != 2 {
+		t.Errorf("sections = %d, want 2", len(resp.Sections))
+	}
+
+	// Interception: A answers on behalf of the host; the chain stops.
+	cA.AnswerForHost(hostB, wire.KV{Key: "type", Value: "printer"})
+	called := false
+	resp2 := InterceptChain{Outbound: []Interceptor{cA, cB}}.Exchange(hostB, q, func() *wire.Response {
+		called = true
+		return nil
+	})
+	if called {
+		t.Error("intercepted query must not reach the daemon")
+	}
+	if v, _ := resp2.Latest("type"); v != "printer" {
+		t.Errorf("intercepted answer = %q", v)
+	}
+}
+
+func TestConcurrentHandleEvent(t *testing.T) {
+	tr := &fakeTransport{responses: map[netaddr.IP]map[string]string{hostA: {"name": "x"}, hostB: {"name": "x"}}}
+	topo := &fakeTopo{hops: []Hop{{Datapath: 1, OutPort: 2}}}
+	c, _, _ := newTestController(`pass from any to any`, tr, topo)
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			five := flow.Five{SrcIP: hostA, DstIP: hostB, Proto: netaddr.ProtoTCP,
+				SrcPort: netaddr.Port(1000 + i), DstPort: 80}
+			c.HandleEvent(sampleEvent(five, 1))
+		}(i)
+	}
+	wg.Wait()
+	if got := c.Counters.Get("flows_allowed"); got != 16 {
+		t.Errorf("flows_allowed = %d, want 16", got)
+	}
+	if c.Audit.Total() != 16 {
+		t.Errorf("audit total = %d", c.Audit.Total())
+	}
+}
+
+func BenchmarkHandleEventCachedPolicy(b *testing.B) {
+	tr := &fakeTransport{responses: map[netaddr.IP]map[string]string{
+		hostA: {"name": "skype", "version": "210"},
+		hostB: {"name": "skype"},
+	}}
+	topo := &fakeTopo{hops: []Hop{{Datapath: 1, OutPort: 2}}}
+	c, _, _ := newTestController(`
+block all
+pass from any to any with eq(@src[name], skype) with eq(@dst[name], skype)
+`, tr, topo)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		five := flow.Five{SrcIP: hostA, DstIP: hostB, Proto: netaddr.ProtoTCP,
+			SrcPort: netaddr.Port(i), DstPort: 80}
+		c.HandleEvent(sampleEvent(five, 1))
+	}
+}

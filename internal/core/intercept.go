@@ -1,0 +1,76 @@
+package core
+
+import (
+	"identxx/internal/netaddr"
+	"identxx/internal/wire"
+)
+
+// Interceptor is the role a controller plays for ident++ traffic crossing
+// its network (§2, §3.4): it may answer a query on behalf of an end-host
+// (spoofing the host, without forwarding the query) or augment a response
+// with an additional empty-line-delimited section. "Intercepted queries are
+// not allowed to cause new queries" — InterceptQuery never queries.
+type Interceptor interface {
+	// InterceptQuery may answer q for host on the controller's own
+	// authority. ok=false passes the query through unanswered.
+	InterceptQuery(host netaddr.IP, q wire.Query) (resp *wire.Response, ok bool)
+	// AugmentResponse may append a section to a response in transit.
+	AugmentResponse(q wire.Query, resp *wire.Response)
+}
+
+// InterceptQuery implements Interceptor using the controller's
+// answer-on-behalf table.
+func (c *Controller) InterceptQuery(host netaddr.IP, q wire.Query) (*wire.Response, bool) {
+	c.mu.RLock()
+	pairs := c.answers[host]
+	name := c.name
+	c.mu.RUnlock()
+	if len(pairs) == 0 {
+		return nil, false
+	}
+	c.Counters.Add("queries_intercepted", 1)
+	r := &wire.Response{Flow: q.Flow}
+	sec := r.Augment("controller:" + name)
+	sec.Pairs = append(sec.Pairs, pairs...)
+	return r, true
+}
+
+// AugmentResponse implements Interceptor: it appends a new section produced
+// by the configured augmenter, the "empty line followed by the key-value
+// pairs it wishes to add" of §3.4.
+func (c *Controller) AugmentResponse(q wire.Query, resp *wire.Response) {
+	c.mu.RLock()
+	aug := c.augment
+	c.mu.RUnlock()
+	if aug == nil || resp == nil {
+		return
+	}
+	aug(q, resp)
+	c.Counters.Add("responses_augmented", 1)
+}
+
+// InterceptChain applies a sequence of interceptors to a query/response
+// exchange the way a path of ident++-enabled networks would (§2): the first
+// interceptor willing to answer the query does so and the query stops
+// travelling; otherwise the authoritative responder answers and every
+// interceptor augments the response on the way back, in reverse path order.
+type InterceptChain struct {
+	// Outbound lists the interceptors between the querier and the host, in
+	// path order.
+	Outbound []Interceptor
+}
+
+// Exchange runs the chain around an authoritative responder function.
+func (ch InterceptChain) Exchange(host netaddr.IP, q wire.Query,
+	respond func() *wire.Response) *wire.Response {
+	for _, ic := range ch.Outbound {
+		if resp, ok := ic.InterceptQuery(host, q); ok {
+			return resp
+		}
+	}
+	resp := respond()
+	for i := len(ch.Outbound) - 1; i >= 0; i-- {
+		ch.Outbound[i].AugmentResponse(q, resp)
+	}
+	return resp
+}

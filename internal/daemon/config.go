@@ -1,0 +1,191 @@
+// Package daemon implements the ident++ end-host daemon (§3.5): it answers
+// controller queries about flows with key-value pairs assembled from three
+// sources — the host's kernel-derived ground truth (the lsof-style lookup
+// in internal/hostinfo), static configuration files in the Figure 3 format,
+// and pairs the application provides at run time for its own flows.
+//
+// The daemon listens on TCP port 783 (§2) in real-socket deployments and is
+// also callable in-process by the simulator.
+package daemon
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"identxx/internal/wire"
+)
+
+// AppConfig is one `@app <path> { ... }` block from a daemon configuration
+// file (Figure 3): the static pairs to include in responses for flows owned
+// by that executable, e.g. name, version, vendor, requirements, req-sig.
+type AppConfig struct {
+	// Path is the executable path the block applies to.
+	Path string
+	// Pairs are the block's key-value pairs in file order.
+	Pairs []wire.KV
+	// Origin names the source file, for diagnostics.
+	Origin string
+}
+
+// Get returns the last value for key in the block.
+func (a *AppConfig) Get(key string) (string, bool) {
+	for i := len(a.Pairs) - 1; i >= 0; i-- {
+		if a.Pairs[i].Key == key {
+			return a.Pairs[i].Value, true
+		}
+	}
+	return "", false
+}
+
+// ConfigFile is a parsed daemon configuration file: optional host-level
+// pairs (outside any block) plus per-application blocks.
+type ConfigFile struct {
+	HostPairs []wire.KV
+	Apps      []*AppConfig
+}
+
+// ParseConfig parses the Figure 3 configuration format:
+//
+//	# comment
+//	host-key : value
+//	@app /usr/bin/skype {
+//	    name : skype
+//	    version : 210
+//	    requirements : \
+//	        pass from any port http \
+//	        with eq(@src[name], skype)
+//	    req-sig : 21oir...w3eda
+//	}
+//
+// Values run to end of line; a trailing backslash continues the value onto
+// the next line (joined with a single space), which is how multi-rule
+// `requirements` values are written.
+func ParseConfig(origin, src string) (*ConfigFile, error) {
+	cf := &ConfigFile{}
+	lines := splitLogicalLines(src)
+	var cur *AppConfig
+	for _, ln := range lines {
+		text := strings.TrimSpace(ln.text)
+		if text == "" {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(text, "@app"):
+			if cur != nil {
+				return nil, fmt.Errorf("%s:%d: nested @app block", origin, ln.line)
+			}
+			rest := strings.TrimSpace(strings.TrimPrefix(text, "@app"))
+			if !strings.HasSuffix(rest, "{") {
+				return nil, fmt.Errorf("%s:%d: expected '{' after @app path", origin, ln.line)
+			}
+			path := strings.TrimSpace(strings.TrimSuffix(rest, "{"))
+			if path == "" {
+				return nil, fmt.Errorf("%s:%d: @app requires an executable path", origin, ln.line)
+			}
+			cur = &AppConfig{Path: path, Origin: origin}
+		case text == "}":
+			if cur == nil {
+				return nil, fmt.Errorf("%s:%d: unmatched '}'", origin, ln.line)
+			}
+			cf.Apps = append(cf.Apps, cur)
+			cur = nil
+		default:
+			colon := strings.Index(text, ":")
+			if colon <= 0 {
+				return nil, fmt.Errorf("%s:%d: expected 'key : value', got %q", origin, ln.line, text)
+			}
+			kv := wire.KV{
+				Key:   strings.TrimSpace(text[:colon]),
+				Value: strings.TrimSpace(text[colon+1:]),
+			}
+			if cur != nil {
+				cur.Pairs = append(cur.Pairs, kv)
+			} else {
+				cf.HostPairs = append(cf.HostPairs, kv)
+			}
+		}
+	}
+	if cur != nil {
+		return nil, fmt.Errorf("%s: unterminated @app block for %s", origin, cur.Path)
+	}
+	return cf, nil
+}
+
+type logicalLine struct {
+	text string
+	line int // first physical line number
+}
+
+// splitLogicalLines joins backslash-continued lines and strips comments.
+// A '#' starts a comment only at the beginning of a logical line, so values
+// (signatures, rules) may contain '#'-free text safely; the paper's files
+// only use whole-line comments.
+func splitLogicalLines(src string) []logicalLine {
+	physical := strings.Split(src, "\n")
+	var out []logicalLine
+	i := 0
+	for i < len(physical) {
+		start := i
+		line := strings.TrimRight(physical[i], "\r")
+		i++
+		for strings.HasSuffix(strings.TrimRight(line, " \t"), "\\") {
+			line = strings.TrimRight(strings.TrimRight(line, " \t"), "\\")
+			if i >= len(physical) {
+				break
+			}
+			next := strings.TrimSpace(strings.TrimRight(physical[i], "\r"))
+			line = strings.TrimRight(line, " \t") + " " + next
+			i++
+		}
+		trimmed := strings.TrimSpace(line)
+		if strings.HasPrefix(trimmed, "#") {
+			continue
+		}
+		out = append(out, logicalLine{text: line, line: start + 1})
+	}
+	return out
+}
+
+// LoadConfigDir parses every *.conf file in dir in alphabetical order and
+// returns the concatenation, mirroring the controller's .control loading
+// convention for the daemon side ("/etc/identxx" in the paper).
+func LoadConfigDir(dir string) (*ConfigFile, error) {
+	return loadConfigFS(os.DirFS(dir), ".")
+}
+
+// LoadConfigFS is LoadConfigDir over an fs.FS.
+func LoadConfigFS(fsys fs.FS, dir string) (*ConfigFile, error) {
+	return loadConfigFS(fsys, dir)
+}
+
+func loadConfigFS(fsys fs.FS, dir string) (*ConfigFile, error) {
+	entries, err := fs.ReadDir(fsys, dir)
+	if err != nil {
+		return nil, fmt.Errorf("daemon: reading config dir: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".conf") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	merged := &ConfigFile{}
+	for _, name := range names {
+		b, err := fs.ReadFile(fsys, filepath.Join(dir, name))
+		if err != nil {
+			return nil, fmt.Errorf("daemon: reading %s: %w", name, err)
+		}
+		cf, err := ParseConfig(name, string(b))
+		if err != nil {
+			return nil, err
+		}
+		merged.HostPairs = append(merged.HostPairs, cf.HostPairs...)
+		merged.Apps = append(merged.Apps, cf.Apps...)
+	}
+	return merged, nil
+}

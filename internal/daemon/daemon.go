@@ -1,0 +1,175 @@
+package daemon
+
+import (
+	"path"
+	"strings"
+	"sync"
+
+	"identxx/internal/flow"
+	"identxx/internal/hostinfo"
+	"identxx/internal/wire"
+)
+
+// ForgeFunc lets tests and the §5 security experiments model a compromised
+// end-host: it receives the query and the honest response the daemon would
+// have sent and returns what actually goes on the wire. "The attacker would
+// gain control of the ident++ daemon and can send false ident++ responses"
+// (§5.3).
+type ForgeFunc func(q wire.Query, honest *wire.Response) *wire.Response
+
+// Daemon answers ident++ queries for one host. It is safe for concurrent
+// use; controllers may query while applications register flow pairs.
+type Daemon struct {
+	host *hostinfo.Host
+
+	mu        sync.RWMutex
+	userApps  map[string]*AppConfig // user-writable config, by exe path
+	sysApps   map[string]*AppConfig // system config (/etc/identxx), by exe path
+	hostPairs []wire.KV             // host-level static pairs (system)
+	dynamic   map[flow.Five][]wire.KV
+	forge     ForgeFunc
+}
+
+// New creates a daemon serving queries about h.
+func New(h *hostinfo.Host) *Daemon {
+	return &Daemon{
+		host:     h,
+		userApps: make(map[string]*AppConfig),
+		sysApps:  make(map[string]*AppConfig),
+		dynamic:  make(map[flow.Five][]wire.KV),
+	}
+}
+
+// Host returns the host this daemon serves.
+func (d *Daemon) Host() *hostinfo.Host { return d.host }
+
+// InstallConfig merges a parsed configuration file. system marks files from
+// the system configuration directory, "only modifiable by the local
+// end-host administrator" (§3.5); their pairs are emitted after (and thus
+// override) user-writable configuration.
+func (d *Daemon) InstallConfig(cf *ConfigFile, system bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, app := range cf.Apps {
+		if system {
+			d.sysApps[app.Path] = app
+		} else {
+			d.userApps[app.Path] = app
+		}
+	}
+	if system {
+		d.hostPairs = append(d.hostPairs, cf.HostPairs...)
+	}
+}
+
+// ProvideFlowPairs registers application-supplied pairs for a flow — the
+// run-time channel the paper routes over a Unix domain socket, used e.g. by
+// a browser to distinguish user-initiated flows (§3.5).
+func (d *Daemon) ProvideFlowPairs(f flow.Five, pairs ...wire.KV) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.dynamic[f] = append(d.dynamic[f], pairs...)
+}
+
+// ClearFlowPairs drops the dynamic pairs for a flow (connection closed).
+func (d *Daemon) ClearFlowPairs(f flow.Five) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	delete(d.dynamic, f)
+}
+
+// SetForge installs (or, with nil, removes) a compromise hook.
+func (d *Daemon) SetForge(f ForgeFunc) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.forge = f
+}
+
+// HandleQuery produces the response for a query. The response always has
+// the daemon's kernel-derived section last, so `Latest` semantics prefer
+// ground truth over application- or user-supplied values; an intercepting
+// controller augmenting later still overrides everything, as §3.3 intends.
+//
+// Section order:
+//  1. application — dynamic per-flow pairs, least trusted
+//  2. user-config — pairs from user-writable configuration files
+//  3. system-config — pairs from the administrator's configuration
+//  4. daemon — kernel-derived ground truth (userID, exe-hash, ...)
+//
+// Empty sections are elided. A query about a flow the host knows nothing
+// about yields a single section carrying an error pair, like the ident
+// protocol's NO-USER.
+func (d *Daemon) HandleQuery(q wire.Query) *wire.Response {
+	honest := d.buildHonest(q)
+	d.mu.RLock()
+	forge := d.forge
+	d.mu.RUnlock()
+	if forge != nil {
+		return forge(q, honest)
+	}
+	return honest
+}
+
+func (d *Daemon) buildHonest(q wire.Query) *wire.Response {
+	resp := &wire.Response{Flow: q.Flow}
+
+	proc, ok := d.host.OwnerOf(q.Flow, hostinfo.RoleAuto)
+	if !ok {
+		s := wire.Section{Source: "daemon"}
+		s.Add(wire.KeyError, "NO-USER")
+		s.Add(wire.KeyHost, d.host.Name)
+		resp.Sections = append(resp.Sections, s)
+		return resp
+	}
+
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+
+	if pairs, ok := d.dynamic[q.Flow]; ok && len(pairs) > 0 {
+		resp.Sections = append(resp.Sections, wire.Section{
+			Source: "application",
+			Pairs:  append([]wire.KV(nil), pairs...),
+		})
+	}
+	if app, ok := d.userApps[proc.Exe.Path]; ok && len(app.Pairs) > 0 {
+		resp.Sections = append(resp.Sections, wire.Section{
+			Source: "user-config",
+			Pairs:  append([]wire.KV(nil), app.Pairs...),
+		})
+	}
+	sys := wire.Section{Source: "system-config", Pairs: append([]wire.KV(nil), d.hostPairs...)}
+	if app, ok := d.sysApps[proc.Exe.Path]; ok {
+		sys.Pairs = append(sys.Pairs, app.Pairs...)
+	}
+	if len(sys.Pairs) > 0 {
+		resp.Sections = append(resp.Sections, sys)
+	}
+
+	ground := wire.Section{Source: "daemon"}
+	ground.Add(wire.KeyUserID, proc.User.Name)
+	if len(proc.User.Groups) > 0 {
+		ground.Add(wire.KeyGroupID, strings.Join(proc.User.Groups, " "))
+	}
+	name := proc.Exe.Name
+	if name == "" {
+		name = path.Base(proc.Exe.Path)
+	}
+	ground.Add(wire.KeyName, name)
+	ground.Add(wire.KeyAppName, name)
+	ground.Add(wire.KeyExeHash, proc.Exe.Hash())
+	if proc.Exe.Version != "" {
+		ground.Add(wire.KeyVersion, proc.Exe.Version)
+	}
+	if proc.Exe.Vendor != "" {
+		ground.Add(wire.KeyVendor, proc.Exe.Vendor)
+	}
+	if proc.Exe.Type != "" {
+		ground.Add(wire.KeyType, proc.Exe.Type)
+	}
+	if patches := d.host.Patches(); patches != "" {
+		ground.Add(wire.KeyOSPatch, patches)
+	}
+	ground.Add(wire.KeyHost, d.host.Name)
+	resp.Sections = append(resp.Sections, ground)
+	return resp
+}

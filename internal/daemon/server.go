@@ -1,0 +1,164 @@
+package daemon
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"identxx/internal/wire"
+)
+
+// Port is the TCP port the ident++ daemon listens on (§2): "end-hosts run
+// an ident++ daemon as a server that receives queries on TCP port 783".
+const Port = 783
+
+// Server serves framed ident++ queries over TCP. One connection may carry
+// any number of query/response exchanges; each read is bounded by
+// ReadTimeout and the frame codec's size limit, so a slow or hostile client
+// cannot pin resources indefinitely.
+type Server struct {
+	Daemon *Daemon
+
+	// ReadTimeout bounds each query read; zero means DefaultReadTimeout.
+	ReadTimeout time.Duration
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[net.Conn]struct{}
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// DefaultReadTimeout is applied when Server.ReadTimeout is zero.
+const DefaultReadTimeout = 5 * time.Second
+
+// NewServer wraps a daemon in a TCP server.
+func NewServer(d *Daemon) *Server {
+	return &Server{Daemon: d, conns: make(map[net.Conn]struct{})}
+}
+
+// Listen starts listening on addr (e.g. "127.0.0.1:0") and serving in a
+// background goroutine. It returns the bound address.
+func (s *Server) Listen(addr string) (net.Addr, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		l.Close()
+		return nil, errors.New("daemon: server closed")
+	}
+	s.listener = l
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		s.acceptLoop(l)
+	}()
+	return l.Addr(), nil
+}
+
+func (s *Server) acceptLoop(l net.Listener) {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer func() {
+				s.mu.Lock()
+				delete(s.conns, conn)
+				s.mu.Unlock()
+				conn.Close()
+			}()
+			s.serveConn(conn)
+		}()
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	timeout := s.ReadTimeout
+	if timeout == 0 {
+		timeout = DefaultReadTimeout
+	}
+	for {
+		if err := conn.SetReadDeadline(time.Now().Add(timeout)); err != nil {
+			return
+		}
+		q, err := wire.ReadQuery(conn)
+		if err != nil {
+			return // EOF, timeout, or garbage: drop the connection
+		}
+		resp := s.Daemon.HandleQuery(q)
+		if err := conn.SetWriteDeadline(time.Now().Add(timeout)); err != nil {
+			return
+		}
+		if err := wire.WriteResponse(conn, resp); err != nil {
+			return
+		}
+	}
+}
+
+// Close stops accepting, closes active connections, and waits for the
+// serving goroutines to drain.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	l := s.listener
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	var err error
+	if l != nil {
+		err = l.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+// Query performs one ident++ exchange with the daemon at addr. It is the
+// controller-side client for real-socket deployments.
+func Query(ctx context.Context, addr string, q wire.Query) (*wire.Response, error) {
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("daemon: dial %s: %w", addr, err)
+	}
+	defer conn.Close()
+	if deadline, ok := ctx.Deadline(); ok {
+		if err := conn.SetDeadline(deadline); err != nil {
+			return nil, err
+		}
+	}
+	if err := wire.WriteQuery(conn, q); err != nil {
+		return nil, fmt.Errorf("daemon: write query: %w", err)
+	}
+	resp, err := wire.ReadResponse(conn)
+	if err != nil {
+		if errors.Is(err, io.EOF) {
+			return nil, fmt.Errorf("daemon: connection closed before response")
+		}
+		return nil, fmt.Errorf("daemon: read response: %w", err)
+	}
+	if resp.Flow != q.Flow {
+		return nil, fmt.Errorf("daemon: response flow %v does not match query %v", resp.Flow, q.Flow)
+	}
+	return resp, nil
+}

@@ -1,0 +1,32 @@
+package daemon
+
+import (
+	"io/fs"
+	"net"
+	"testing/fstest"
+	"time"
+)
+
+// testFS adapts a map of file name to contents into an fs.FS for
+// config-loading tests.
+type testFS map[string]string
+
+func (t testFS) Open(name string) (fs.File, error) {
+	m := fstest.MapFS{}
+	for k, v := range t {
+		m[k] = &fstest.MapFile{Data: []byte(v)}
+	}
+	return m.Open(name)
+}
+
+func (t testFS) ReadDir(name string) ([]fs.DirEntry, error) {
+	m := fstest.MapFS{}
+	for k, v := range t {
+		m[k] = &fstest.MapFile{Data: []byte(v)}
+	}
+	return m.ReadDir(name)
+}
+
+func netDial(addr string) (net.Conn, error) {
+	return net.DialTimeout("tcp", addr, time.Second)
+}

@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestRunE1(t *testing.T) {
+	var buf bytes.Buffer
+	tab := RunE1(&buf)
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+}
+
+func TestRunE2(t *testing.T) { checkNoMismatch(t, RunE2) }
+func TestRunE3(t *testing.T) { checkNoMismatch(t, RunE3) }
+func TestRunE4(t *testing.T) { checkNoMismatch(t, RunE4) }
+func TestRunE5(t *testing.T) { checkNoMismatch(t, RunE5) }
+
+func checkNoMismatch(t *testing.T, run func(w io.Writer) *Table) {
+	t.Helper()
+	var buf bytes.Buffer
+	tab := run(&buf)
+	if len(tab.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	for _, row := range tab.Rows {
+		for _, c := range row {
+			if strings.Contains(c, "MISMATCH") {
+				t.Errorf("mismatch row: %v", row)
+			}
+		}
+	}
+	if !strings.Contains(buf.String(), tab.ID) {
+		t.Error("table not printed")
+	}
+}
+
+func TestRunE6Matrix(t *testing.T) {
+	var buf bytes.Buffer
+	tab := RunE6(&buf)
+	if len(tab.Rows) != 6 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	get := func(row, col int) string { return tab.Rows[row][col] }
+	// Honest network: ident++ admits nothing; vanilla/dist admit the
+	// port-masquerade attacks.
+	if get(0, 1) != "0/3" {
+		t.Errorf("honest identxx = %s, want 0/3", get(0, 1))
+	}
+	if get(0, 2) != "2/3" {
+		t.Errorf("honest vanilla = %s, want 2/3", get(0, 2))
+	}
+	// §5: ident++ never admits more than the vanilla firewall in any row.
+	for i := range tab.Rows {
+		id := get(i, 1)[0] - '0'
+		va := get(i, 2)[0] - '0'
+		if id > va {
+			t.Errorf("row %q: identxx %d > vanilla %d", get(i, 0), id, va)
+		}
+	}
+	// §5.4: user-app compromise is strictly narrower than daemon compromise.
+	if !(get(2, 1)[0]-'0' < get(1, 1)[0]-'0') {
+		t.Errorf("user-app (%s) should admit less than daemon compromise (%s)", get(2, 1), get(1, 1))
+	}
+	// §5.1: controller compromise is total everywhere.
+	for col := 1; col <= 4; col++ {
+		if get(4, col) != "3/3" {
+			t.Errorf("controller compromise col %d = %s, want 3/3", col, get(4, col))
+		}
+	}
+	// §6: distributed firewalls lose everything with the victim host;
+	// ident++ does not.
+	if get(5, 4) != "3/3" {
+		t.Errorf("victim-compromise distributed = %s, want 3/3", get(5, 4))
+	}
+	if get(5, 1) == "3/3" {
+		t.Errorf("victim-compromise identxx = %s, should not be total", get(5, 1))
+	}
+}
+
+func TestRunE7(t *testing.T) {
+	var buf bytes.Buffer
+	tab := RunE7(&buf)
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	for _, n := range tab.Notes {
+		if strings.Contains(n, "UNEXPECTED") {
+			t.Errorf("E7 shape violated: %s", n)
+		}
+	}
+}
+
+func TestRunE8(t *testing.T) { checkNoMismatch(t, RunE8) }

@@ -1,0 +1,20 @@
+package experiments
+
+import (
+	"identxx/internal/flow"
+	"identxx/internal/netaddr"
+	"identxx/internal/packet"
+)
+
+const synFlag = packet.TCPSyn
+
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
+}
+
+// flowTo builds a destination spec for hostinfo.Connect.
+func flowTo(dst netaddr.IP, port netaddr.Port) flow.Five {
+	return flow.Five{DstIP: dst, Proto: netaddr.ProtoTCP, DstPort: port}
+}

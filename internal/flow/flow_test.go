@@ -1,0 +1,283 @@
+package flow
+
+import (
+	"testing"
+	"testing/quick"
+
+	"identxx/internal/netaddr"
+)
+
+func tcpFlow(src string, sp netaddr.Port, dst string, dp netaddr.Port) Five {
+	return Five{
+		SrcIP:   netaddr.MustParseIP(src),
+		DstIP:   netaddr.MustParseIP(dst),
+		Proto:   netaddr.ProtoTCP,
+		SrcPort: sp,
+		DstPort: dp,
+	}
+}
+
+func TestFiveReverse(t *testing.T) {
+	f := tcpFlow("10.0.0.1", 1234, "10.0.0.2", 80)
+	r := f.Reverse()
+	if r.SrcIP != f.DstIP || r.DstIP != f.SrcIP || r.SrcPort != f.DstPort || r.DstPort != f.SrcPort {
+		t.Errorf("Reverse wrong: %v", r)
+	}
+	if r.Reverse() != f {
+		t.Error("double reverse is not identity")
+	}
+}
+
+func TestFiveStringParseRoundTrip(t *testing.T) {
+	f := tcpFlow("192.168.1.9", 50000, "8.8.8.8", 53)
+	back, err := ParseFive(f.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back != f {
+		t.Errorf("round trip: got %v want %v", back, f)
+	}
+}
+
+func TestParseFiveErrors(t *testing.T) {
+	for _, bad := range []string{
+		"",
+		"tcp 1.2.3.4:1 1.2.3.4:2",
+		"tcp 1.2.3.4:1 > 1.2.3.4",
+		"bogus 1.2.3.4:1 > 1.2.3.4:2",
+		"tcp 1.2.3:1 > 1.2.3.4:2",
+		"tcp 1.2.3.4:99999 > 1.2.3.4:2",
+	} {
+		if _, err := ParseFive(bad); err == nil {
+			t.Errorf("ParseFive(%q) should fail", bad)
+		}
+	}
+}
+
+func TestFiveHashStable(t *testing.T) {
+	f := tcpFlow("10.0.0.1", 1234, "10.0.0.2", 80)
+	if f.Hash() != f.Hash() {
+		t.Error("hash not deterministic")
+	}
+	g := tcpFlow("10.0.0.1", 1234, "10.0.0.2", 81)
+	if f.Hash() == g.Hash() {
+		t.Error("distinct flows hash equal (possible but vanishingly unlikely)")
+	}
+}
+
+func TestTenFiveProjection(t *testing.T) {
+	ten := Ten{
+		InPort: 3, MACSrc: 1, MACDst: 2, EthType: EthTypeIPv4, VLAN: VLANNone,
+		SrcIP:   netaddr.MustParseIP("10.0.0.1"),
+		DstIP:   netaddr.MustParseIP("10.0.0.2"),
+		Proto:   netaddr.ProtoUDP,
+		SrcPort: 111, DstPort: 222,
+	}
+	f := ten.Five()
+	if f.SrcIP != ten.SrcIP || f.DstIP != ten.DstIP || f.Proto != ten.Proto ||
+		f.SrcPort != ten.SrcPort || f.DstPort != ten.DstPort {
+		t.Errorf("projection wrong: %v", f)
+	}
+}
+
+func TestTenReverse(t *testing.T) {
+	ten := Ten{
+		InPort: 3, MACSrc: 1, MACDst: 2, EthType: EthTypeIPv4,
+		SrcIP:   netaddr.MustParseIP("10.0.0.1"),
+		DstIP:   netaddr.MustParseIP("10.0.0.2"),
+		Proto:   netaddr.ProtoTCP,
+		SrcPort: 111, DstPort: 222,
+	}
+	r := ten.Reverse()
+	if r.InPort != 0 {
+		t.Error("reverse should clear ingress port")
+	}
+	if r.MACSrc != ten.MACDst || r.MACDst != ten.MACSrc {
+		t.Error("reverse should swap MACs")
+	}
+	if r.Five() != ten.Five().Reverse() {
+		t.Error("Ten.Reverse and Five.Reverse disagree")
+	}
+}
+
+func TestExactMatch(t *testing.T) {
+	ten := Ten{
+		InPort: 1, MACSrc: 10, MACDst: 20, EthType: EthTypeIPv4, VLAN: VLANNone,
+		SrcIP:   netaddr.MustParseIP("10.0.0.1"),
+		DstIP:   netaddr.MustParseIP("10.0.0.2"),
+		Proto:   netaddr.ProtoTCP,
+		SrcPort: 111, DstPort: 222,
+	}
+	m := ExactMatch(ten)
+	if !m.Covers(ten) {
+		t.Fatal("exact match must cover its own tuple")
+	}
+	if !m.IsExact() {
+		t.Error("ExactMatch not IsExact")
+	}
+	// Perturb each field; the match must reject.
+	perturbed := []Ten{}
+	p := ten
+	p.InPort = 9
+	perturbed = append(perturbed, p)
+	p = ten
+	p.MACSrc = 99
+	perturbed = append(perturbed, p)
+	p = ten
+	p.MACDst = 99
+	perturbed = append(perturbed, p)
+	p = ten
+	p.EthType = EthTypeARP
+	perturbed = append(perturbed, p)
+	p = ten
+	p.VLAN = 5
+	perturbed = append(perturbed, p)
+	p = ten
+	p.SrcIP++
+	perturbed = append(perturbed, p)
+	p = ten
+	p.DstIP++
+	perturbed = append(perturbed, p)
+	p = ten
+	p.Proto = netaddr.ProtoUDP
+	perturbed = append(perturbed, p)
+	p = ten
+	p.SrcPort++
+	perturbed = append(perturbed, p)
+	p = ten
+	p.DstPort++
+	perturbed = append(perturbed, p)
+	for i, q := range perturbed {
+		if m.Covers(q) {
+			t.Errorf("exact match covered perturbed tuple %d: %v", i, q)
+		}
+	}
+}
+
+func TestMatchAllCoversEverything(t *testing.T) {
+	m := MatchAll()
+	f := func(in uint16, ms, md uint64, et, vl uint16, s, d uint32, pr uint8, sp, dp uint16) bool {
+		return m.Covers(Ten{
+			InPort: in, MACSrc: netaddr.MAC(ms), MACDst: netaddr.MAC(md),
+			EthType: et, VLAN: vl,
+			SrcIP: netaddr.IP(s), DstIP: netaddr.IP(d),
+			Proto:   netaddr.Proto(pr),
+			SrcPort: netaddr.Port(sp), DstPort: netaddr.Port(dp),
+		})
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFiveMatchIgnoresL2(t *testing.T) {
+	five := tcpFlow("10.0.0.1", 1234, "10.0.0.2", 80)
+	m := FiveMatch(five)
+	ten := Ten{
+		InPort: 7, MACSrc: 42, MACDst: 43, EthType: EthTypeIPv4, VLAN: 12,
+		SrcIP: five.SrcIP, DstIP: five.DstIP, Proto: five.Proto,
+		SrcPort: five.SrcPort, DstPort: five.DstPort,
+	}
+	if !m.Covers(ten) {
+		t.Error("FiveMatch should ignore L2 fields")
+	}
+	ten.DstPort = 81
+	if m.Covers(ten) {
+		t.Error("FiveMatch must still check ports")
+	}
+}
+
+func TestMatchCIDR(t *testing.T) {
+	m := Match{
+		Wild:    WAll &^ (WSrcIP | WDstIP),
+		SrcBits: 24,
+		DstBits: 8,
+		Tuple: Ten{
+			SrcIP: netaddr.MustParseIP("192.168.1.0"),
+			DstIP: netaddr.MustParseIP("10.0.0.0"),
+		},
+	}
+	in := Ten{SrcIP: netaddr.MustParseIP("192.168.1.200"), DstIP: netaddr.MustParseIP("10.99.1.1")}
+	if !m.Covers(in) {
+		t.Error("CIDR match should cover in-prefix tuple")
+	}
+	out := in
+	out.SrcIP = netaddr.MustParseIP("192.168.2.1")
+	if m.Covers(out) {
+		t.Error("CIDR match should reject out-of-prefix source")
+	}
+}
+
+func TestSpecificityOrdering(t *testing.T) {
+	exact := ExactMatch(Ten{})
+	five := FiveMatch(Five{})
+	all := MatchAll()
+	if !(exact.Specificity() > five.Specificity() && five.Specificity() > all.Specificity()) {
+		t.Errorf("specificity ordering wrong: %d %d %d",
+			exact.Specificity(), five.Specificity(), all.Specificity())
+	}
+	if all.Specificity() != 0 {
+		t.Errorf("MatchAll specificity = %d", all.Specificity())
+	}
+	if exact.Specificity() != 10 {
+		t.Errorf("exact specificity = %d", exact.Specificity())
+	}
+}
+
+func TestMatchCoversProperty(t *testing.T) {
+	// An exact match built from a tuple always covers that tuple, and
+	// widening any wildcard bit preserves coverage.
+	f := func(s, d uint32, pr uint8, sp, dp uint16, bits uint16) bool {
+		ten := Ten{
+			EthType: EthTypeIPv4,
+			SrcIP:   netaddr.IP(s), DstIP: netaddr.IP(d),
+			Proto:   netaddr.Proto(pr),
+			SrcPort: netaddr.Port(sp), DstPort: netaddr.Port(dp),
+		}
+		m := ExactMatch(ten)
+		if !m.Covers(ten) {
+			return false
+		}
+		m.Wild |= Wildcard(bits) & WAll
+		return m.Covers(ten)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMatchString(t *testing.T) {
+	if MatchAll().String() != "match(*)" {
+		t.Errorf("MatchAll string = %q", MatchAll().String())
+	}
+	m := FiveMatch(tcpFlow("10.0.0.1", 1, "10.0.0.2", 2))
+	s := m.String()
+	if s == "" || s == "match(*)" {
+		t.Errorf("FiveMatch string = %q", s)
+	}
+}
+
+func BenchmarkMatchCoversExact(b *testing.B) {
+	ten := Ten{
+		InPort: 1, MACSrc: 10, MACDst: 20, EthType: EthTypeIPv4, VLAN: VLANNone,
+		SrcIP:   netaddr.MustParseIP("10.0.0.1"),
+		DstIP:   netaddr.MustParseIP("10.0.0.2"),
+		Proto:   netaddr.ProtoTCP,
+		SrcPort: 111, DstPort: 222,
+	}
+	m := ExactMatch(ten)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if !m.Covers(ten) {
+			b.Fatal("miss")
+		}
+	}
+}
+
+func BenchmarkFiveHash(b *testing.B) {
+	f := tcpFlow("10.0.0.1", 1234, "10.0.0.2", 80)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = f.Hash()
+	}
+}

@@ -1,0 +1,319 @@
+// Package hostinfo simulates the end-host operating system state the
+// ident++ daemon reads: users and their groups, running processes and the
+// executables behind them, listening sockets, and active connections. The
+// paper's daemon "uses the 5-tuple in the query packet to find the process
+// ID and user ID associated with the flow using techniques similar to lsof"
+// (§3.5); OwnerOf is that lookup.
+//
+// This is the substitution for real enterprise hosts: the observable
+// surface (what an lsof walk plus /etc state would yield) is preserved, and
+// tests can construct any configuration of it, including adversarial ones.
+package hostinfo
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"identxx/internal/flow"
+	"identxx/internal/netaddr"
+)
+
+// User is an account on a host.
+type User struct {
+	Name   string
+	UID    int
+	Groups []string
+}
+
+// InGroup reports whether the user belongs to the named group.
+func (u *User) InGroup(g string) bool {
+	for _, x := range u.Groups {
+		if x == g {
+			return true
+		}
+	}
+	return false
+}
+
+// Executable describes an on-disk program image. Hash stands in for the
+// "hash of the executable" key the paper ships to controllers.
+type Executable struct {
+	Path    string
+	Name    string
+	Version string
+	Vendor  string
+	Type    string
+}
+
+// Hash returns a deterministic content hash for the executable; in the
+// simulation the image content is a function of path+version+vendor, so
+// upgrading an executable changes its hash as it would on a real disk.
+func (e Executable) Hash() string {
+	h := sha256.Sum256([]byte(e.Path + "\x00" + e.Version + "\x00" + e.Vendor))
+	return hex.EncodeToString(h[:16])
+}
+
+// Process is a running instance of an executable owned by a user.
+type Process struct {
+	PID  int
+	User *User
+	Exe  Executable
+}
+
+// ErrPortInUse is returned by Listen for an already-bound port.
+var ErrPortInUse = fmt.Errorf("hostinfo: port in use")
+
+type sockKey struct {
+	proto netaddr.Proto
+	port  netaddr.Port
+}
+
+// Host is one end-host's OS view. All methods are safe for concurrent use.
+type Host struct {
+	Name string
+	IP   netaddr.IP
+	MAC  netaddr.MAC
+
+	mu        sync.RWMutex
+	users     map[string]*User
+	procs     map[int]*Process
+	listeners map[sockKey]int   // bound port -> pid
+	conns     map[flow.Five]int // active outbound/accepted flows -> pid
+	patches   []string          // installed OS patches (Figure 8)
+	nextPID   int
+	nextUID   int
+	nextPort  netaddr.Port
+}
+
+// New creates a host with the given name and addresses.
+func New(name string, ip netaddr.IP, mac netaddr.MAC) *Host {
+	return &Host{
+		Name:      name,
+		IP:        ip,
+		MAC:       mac,
+		users:     make(map[string]*User),
+		procs:     make(map[int]*Process),
+		listeners: make(map[sockKey]int),
+		conns:     make(map[flow.Five]int),
+		nextPID:   100,
+		nextUID:   1000,
+		nextPort:  32768,
+	}
+}
+
+// AddUser creates an account. The first group, if any, is the primary group.
+func (h *Host) AddUser(name string, groups ...string) *User {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	u := &User{Name: name, UID: h.nextUID, Groups: groups}
+	h.nextUID++
+	h.users[name] = u
+	return u
+}
+
+// AddSystemUser creates a privileged account with UID below 1000 —
+// the paper's "it is more difficult to gain access as a super-user" hosts
+// distinguish these.
+func (h *Host) AddSystemUser(name string, groups ...string) *User {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	u := &User{Name: name, UID: len(h.users), Groups: groups}
+	h.users[name] = u
+	return u
+}
+
+// UserByName returns a user account.
+func (h *Host) UserByName(name string) (*User, bool) {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	u, ok := h.users[name]
+	return u, ok
+}
+
+// Exec starts a process running exe as user.
+func (h *Host) Exec(user *User, exe Executable) *Process {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	p := &Process{PID: h.nextPID, User: user, Exe: exe}
+	h.nextPID++
+	h.procs[p.PID] = p
+	return p
+}
+
+// Kill terminates a process, releasing its sockets and connections.
+func (h *Host) Kill(pid int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	delete(h.procs, pid)
+	for k, owner := range h.listeners {
+		if owner == pid {
+			delete(h.listeners, k)
+		}
+	}
+	for k, owner := range h.conns {
+		if owner == pid {
+			delete(h.conns, k)
+		}
+	}
+}
+
+// Listen binds a process to a local port. Binding below 1024 requires a
+// UID < 1000, mirroring the superuser-endorsement convention §5.4 discusses.
+func (h *Host) Listen(pid int, proto netaddr.Proto, port netaddr.Port) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	p, ok := h.procs[pid]
+	if !ok {
+		return fmt.Errorf("hostinfo: no such process %d", pid)
+	}
+	if port < 1024 && p.User.UID >= 1000 {
+		return fmt.Errorf("hostinfo: pid %d (uid %d) may not bind privileged port %d",
+			pid, p.User.UID, port)
+	}
+	k := sockKey{proto, port}
+	if _, busy := h.listeners[k]; busy {
+		return fmt.Errorf("%w: %s/%d", ErrPortInUse, proto, port)
+	}
+	h.listeners[k] = pid
+	return nil
+}
+
+// Connect registers an outbound flow owned by a process and returns the
+// flow with an allocated ephemeral source port. The supplied five-tuple's
+// SrcPort is used when non-zero.
+func (h *Host) Connect(pid int, f flow.Five) (flow.Five, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if _, ok := h.procs[pid]; !ok {
+		return f, fmt.Errorf("hostinfo: no such process %d", pid)
+	}
+	if f.SrcPort == 0 {
+		f.SrcPort = h.allocPortLocked()
+	}
+	f.SrcIP = h.IP
+	h.conns[f] = pid
+	return f, nil
+}
+
+// Accept registers an inbound flow as owned by the listener's process,
+// modelling a completed accept().
+func (h *Host) Accept(f flow.Five) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	pid, ok := h.listeners[sockKey{f.Proto, f.DstPort}]
+	if !ok {
+		return fmt.Errorf("hostinfo: no listener on %s/%d", f.Proto, f.DstPort)
+	}
+	h.conns[f] = pid
+	return nil
+}
+
+// Close removes a registered flow.
+func (h *Host) Close(f flow.Five) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	delete(h.conns, f)
+}
+
+func (h *Host) allocPortLocked() netaddr.Port {
+	for {
+		p := h.nextPort
+		h.nextPort++
+		if h.nextPort == 0 {
+			h.nextPort = 32768
+		}
+		if _, busy := h.listeners[sockKey{netaddr.ProtoTCP, p}]; !busy {
+			return p
+		}
+	}
+}
+
+// AllocPort returns a fresh ephemeral port.
+func (h *Host) AllocPort() netaddr.Port {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.allocPortLocked()
+}
+
+// Role distinguishes which end of a flow this host is when resolving
+// ownership.
+type Role int
+
+// Roles for OwnerOf.
+const (
+	// RoleAuto infers the role from the flow's addresses.
+	RoleAuto Role = iota
+	RoleSource
+	RoleDestination
+)
+
+// OwnerOf resolves the process responsible for a flow, the daemon's
+// lsof-style lookup (§3.5). For the source end it matches a registered
+// connection exactly; for the destination end it falls back to the listener
+// on the flow's destination port, covering "a destination that has yet to
+// accept a connection".
+func (h *Host) OwnerOf(f flow.Five, role Role) (*Process, bool) {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	if role == RoleAuto {
+		switch h.IP {
+		case f.SrcIP:
+			role = RoleSource
+		case f.DstIP:
+			role = RoleDestination
+		default:
+			return nil, false
+		}
+	}
+	if role == RoleSource {
+		if pid, ok := h.conns[f]; ok {
+			return h.procs[pid], true
+		}
+		return nil, false
+	}
+	// Destination: an accepted connection is tracked under the flow as the
+	// sender names it; otherwise consult the listener table.
+	if pid, ok := h.conns[f]; ok {
+		return h.procs[pid], true
+	}
+	if pid, ok := h.listeners[sockKey{f.Proto, f.DstPort}]; ok {
+		return h.procs[pid], true
+	}
+	return nil, false
+}
+
+// InstallPatch records an installed OS patch id (e.g. "MS08-067").
+func (h *Host) InstallPatch(id string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for _, p := range h.patches {
+		if p == id {
+			return
+		}
+	}
+	h.patches = append(h.patches, id)
+	sort.Strings(h.patches)
+}
+
+// Patches returns the installed patch ids as the space-joined token list
+// the `includes` predicate consumes.
+func (h *Host) Patches() string {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return strings.Join(h.patches, " ")
+}
+
+// Snapshot summarizes the host for debugging.
+func (h *Host) Snapshot() string {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	var b strings.Builder
+	fmt.Fprintf(&b, "host %s (%s)\n", h.Name, h.IP)
+	fmt.Fprintf(&b, "  users: %d, procs: %d, listeners: %d, conns: %d\n",
+		len(h.users), len(h.procs), len(h.listeners), len(h.conns))
+	return b.String()
+}

@@ -1,0 +1,251 @@
+package hostinfo
+
+import (
+	"errors"
+	"testing"
+
+	"identxx/internal/flow"
+	"identxx/internal/netaddr"
+)
+
+func newTestHost() *Host {
+	return New("pc1", netaddr.MustParseIP("10.0.0.1"), netaddr.MustParseMAC("02:00:00:00:00:01"))
+}
+
+var skypeExe = Executable{Path: "/usr/bin/skype", Name: "skype", Version: "210", Vendor: "skype.com", Type: "voip"}
+
+func TestExecAndOwnerOfSource(t *testing.T) {
+	h := newTestHost()
+	alice := h.AddUser("alice", "users", "research")
+	p := h.Exec(alice, skypeExe)
+
+	f := flow.Five{DstIP: netaddr.MustParseIP("10.0.0.2"), Proto: netaddr.ProtoTCP, DstPort: 5060}
+	f, err := h.Connect(p.PID, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.SrcIP != h.IP || f.SrcPort == 0 {
+		t.Fatalf("Connect did not fill source endpoint: %v", f)
+	}
+	owner, ok := h.OwnerOf(f, RoleAuto)
+	if !ok || owner.PID != p.PID || owner.User.Name != "alice" {
+		t.Fatalf("OwnerOf = %+v, %v", owner, ok)
+	}
+}
+
+func TestOwnerOfDestinationListener(t *testing.T) {
+	h := newTestHost()
+	smtp := h.AddSystemUser("smtp")
+	p := h.Exec(smtp, Executable{Path: "/usr/sbin/sendmail", Name: "sendmail", Version: "8"})
+	if err := h.Listen(p.PID, netaddr.ProtoTCP, 25); err != nil {
+		t.Fatal(err)
+	}
+	// A flow the host has not accepted yet still resolves via the listener:
+	// "a destination that has yet to accept a connection" (§3.5).
+	f := flow.Five{
+		SrcIP: netaddr.MustParseIP("10.0.0.9"), DstIP: h.IP,
+		Proto: netaddr.ProtoTCP, SrcPort: 40000, DstPort: 25,
+	}
+	owner, ok := h.OwnerOf(f, RoleAuto)
+	if !ok || owner.User.Name != "smtp" {
+		t.Fatalf("listener lookup failed: %+v %v", owner, ok)
+	}
+	// After Accept, the exact connection resolves too.
+	if err := h.Accept(f); err != nil {
+		t.Fatal(err)
+	}
+	owner2, ok := h.OwnerOf(f, RoleDestination)
+	if !ok || owner2.PID != p.PID {
+		t.Fatal("accepted flow lookup failed")
+	}
+}
+
+func TestOwnerOfUnknownFlow(t *testing.T) {
+	h := newTestHost()
+	f := flow.Five{SrcIP: h.IP, DstIP: netaddr.MustParseIP("10.0.0.2"), Proto: netaddr.ProtoTCP, SrcPort: 1, DstPort: 2}
+	if _, ok := h.OwnerOf(f, RoleAuto); ok {
+		t.Error("unknown flow should not resolve")
+	}
+	// Flow not involving this host at all.
+	g := flow.Five{SrcIP: netaddr.MustParseIP("9.9.9.9"), DstIP: netaddr.MustParseIP("8.8.8.8")}
+	if _, ok := h.OwnerOf(g, RoleAuto); ok {
+		t.Error("foreign flow should not resolve")
+	}
+}
+
+func TestPrivilegedPortRequiresSystemUser(t *testing.T) {
+	h := newTestHost()
+	alice := h.AddUser("alice", "users")
+	pa := h.Exec(alice, Executable{Path: "/home/alice/srv", Name: "srv"})
+	if err := h.Listen(pa.PID, netaddr.ProtoTCP, 80); err == nil {
+		t.Error("unprivileged user bound port 80")
+	}
+	root := h.AddSystemUser("root", "wheel")
+	pr := h.Exec(root, Executable{Path: "/usr/sbin/httpd", Name: "httpd"})
+	if err := h.Listen(pr.PID, netaddr.ProtoTCP, 80); err != nil {
+		t.Errorf("system user failed to bind port 80: %v", err)
+	}
+	if err := h.Listen(pa.PID, netaddr.ProtoTCP, 8080); err != nil {
+		t.Errorf("unprivileged high port bind failed: %v", err)
+	}
+}
+
+func TestListenConflict(t *testing.T) {
+	h := newTestHost()
+	u := h.AddUser("u")
+	p1 := h.Exec(u, Executable{Path: "/bin/a", Name: "a"})
+	p2 := h.Exec(u, Executable{Path: "/bin/b", Name: "b"})
+	if err := h.Listen(p1.PID, netaddr.ProtoTCP, 8080); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Listen(p2.PID, netaddr.ProtoTCP, 8080); !errors.Is(err, ErrPortInUse) {
+		t.Errorf("conflict err = %v, want ErrPortInUse", err)
+	}
+	// UDP on the same port number is a distinct namespace.
+	if err := h.Listen(p2.PID, netaddr.ProtoUDP, 8080); err != nil {
+		t.Errorf("udp bind on tcp-used port failed: %v", err)
+	}
+}
+
+func TestKillReleasesResources(t *testing.T) {
+	h := newTestHost()
+	u := h.AddUser("u")
+	p := h.Exec(u, Executable{Path: "/bin/a", Name: "a"})
+	if err := h.Listen(p.PID, netaddr.ProtoTCP, 9000); err != nil {
+		t.Fatal(err)
+	}
+	f, err := h.Connect(p.PID, flow.Five{DstIP: netaddr.MustParseIP("10.0.0.2"), Proto: netaddr.ProtoTCP, DstPort: 80})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Kill(p.PID)
+	if _, ok := h.OwnerOf(f, RoleSource); ok {
+		t.Error("killed process still owns flow")
+	}
+	p2 := h.Exec(u, Executable{Path: "/bin/b", Name: "b"})
+	if err := h.Listen(p2.PID, netaddr.ProtoTCP, 9000); err != nil {
+		t.Errorf("port not released after kill: %v", err)
+	}
+}
+
+func TestExecutableHashChangesWithVersion(t *testing.T) {
+	v1 := Executable{Path: "/usr/bin/skype", Version: "200"}
+	v2 := Executable{Path: "/usr/bin/skype", Version: "210"}
+	if v1.Hash() == v2.Hash() {
+		t.Error("hash should change across versions")
+	}
+	if v1.Hash() != v1.Hash() {
+		t.Error("hash should be deterministic")
+	}
+	if len(v1.Hash()) != 32 {
+		t.Errorf("hash length = %d", len(v1.Hash()))
+	}
+}
+
+func TestPatches(t *testing.T) {
+	h := newTestHost()
+	h.InstallPatch("MS08-067")
+	h.InstallPatch("MS08-001")
+	h.InstallPatch("MS08-067") // duplicate
+	if got := h.Patches(); got != "MS08-001 MS08-067" {
+		t.Errorf("patches = %q", got)
+	}
+}
+
+func TestUserGroups(t *testing.T) {
+	h := newTestHost()
+	u := h.AddUser("alice", "users", "research")
+	if !u.InGroup("research") || u.InGroup("wheel") {
+		t.Error("group membership wrong")
+	}
+	got, ok := h.UserByName("alice")
+	if !ok || got != u {
+		t.Error("UserByName failed")
+	}
+	if _, ok := h.UserByName("bob"); ok {
+		t.Error("nonexistent user resolved")
+	}
+}
+
+func TestUIDAllocation(t *testing.T) {
+	h := newTestHost()
+	sys := h.AddSystemUser("daemon")
+	usr := h.AddUser("alice")
+	if sys.UID >= 1000 {
+		t.Errorf("system UID = %d, want < 1000", sys.UID)
+	}
+	if usr.UID < 1000 {
+		t.Errorf("user UID = %d, want >= 1000", usr.UID)
+	}
+}
+
+func TestConnectExplicitSourcePort(t *testing.T) {
+	h := newTestHost()
+	u := h.AddUser("u")
+	p := h.Exec(u, Executable{Path: "/bin/a", Name: "a"})
+	f, err := h.Connect(p.PID, flow.Five{
+		DstIP: netaddr.MustParseIP("10.0.0.2"), Proto: netaddr.ProtoTCP,
+		SrcPort: 12345, DstPort: 80,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.SrcPort != 12345 {
+		t.Errorf("explicit source port not preserved: %v", f)
+	}
+}
+
+func TestConnectUnknownPID(t *testing.T) {
+	h := newTestHost()
+	if _, err := h.Connect(9999, flow.Five{}); err == nil {
+		t.Error("Connect with unknown pid should fail")
+	}
+	if err := h.Listen(9999, netaddr.ProtoTCP, 8080); err == nil {
+		t.Error("Listen with unknown pid should fail")
+	}
+}
+
+func TestAcceptWithoutListener(t *testing.T) {
+	h := newTestHost()
+	f := flow.Five{SrcIP: netaddr.MustParseIP("1.1.1.1"), DstIP: h.IP, Proto: netaddr.ProtoTCP, SrcPort: 1, DstPort: 2}
+	if err := h.Accept(f); err == nil {
+		t.Error("Accept without listener should fail")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	h := newTestHost()
+	u := h.AddUser("u")
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			p := h.Exec(u, Executable{Path: "/bin/x", Name: "x"})
+			f, _ := h.Connect(p.PID, flow.Five{DstIP: netaddr.MustParseIP("10.0.0.2"), Proto: netaddr.ProtoTCP, DstPort: 80})
+			h.OwnerOf(f, RoleAuto)
+			h.Kill(p.PID)
+		}
+	}()
+	for i := 0; i < 200; i++ {
+		h.AllocPort()
+		h.Patches()
+		h.Snapshot()
+	}
+	<-done
+}
+
+func BenchmarkOwnerOf(b *testing.B) {
+	h := newTestHost()
+	u := h.AddUser("alice", "users")
+	p := h.Exec(u, skypeExe)
+	f, err := h.Connect(p.PID, flow.Five{DstIP: netaddr.MustParseIP("10.0.0.2"), Proto: netaddr.ProtoTCP, DstPort: 5060})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, ok := h.OwnerOf(f, RoleAuto); !ok {
+			b.Fatal("miss")
+		}
+	}
+}

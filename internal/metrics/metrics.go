@@ -1,0 +1,229 @@
+// Package metrics provides the counters and latency histograms the
+// experiment harness reports: flow-setup latency breakdowns (the standard
+// evaluation metric of the Ethane/NOX lineage the paper builds on),
+// decision counts, and cache statistics.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Histogram records duration samples and reports quantiles. It keeps all
+// samples up to a cap, then switches to uniform reservoir sampling, so
+// quantiles stay meaningful on long runs without unbounded memory.
+type Histogram struct {
+	mu      sync.Mutex
+	samples []time.Duration
+	count   int64
+	sum     time.Duration
+	max     time.Duration
+	min     time.Duration
+	cap     int
+	rng     uint64
+}
+
+// NewHistogram creates a histogram retaining up to capSamples samples
+// (default 4096 when 0).
+func NewHistogram(capSamples int) *Histogram {
+	if capSamples <= 0 {
+		capSamples = 4096
+	}
+	return &Histogram{cap: capSamples, rng: 0x9e3779b97f4a7c15, min: math.MaxInt64}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(d time.Duration) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.count++
+	h.sum += d
+	if d > h.max {
+		h.max = d
+	}
+	if d < h.min {
+		h.min = d
+	}
+	if len(h.samples) < h.cap {
+		h.samples = append(h.samples, d)
+		return
+	}
+	// xorshift64* reservoir replacement.
+	h.rng ^= h.rng << 13
+	h.rng ^= h.rng >> 7
+	h.rng ^= h.rng << 17
+	idx := h.rng % uint64(h.count)
+	if idx < uint64(h.cap) {
+		h.samples[idx] = d
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Mean returns the mean of all observations.
+func (h *Histogram) Mean() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / time.Duration(h.count)
+}
+
+// Max returns the largest observation.
+func (h *Histogram) Max() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	return h.max
+}
+
+// Min returns the smallest observation.
+func (h *Histogram) Min() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of the retained samples.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.samples) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), h.samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(q * float64(len(sorted)-1))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// Summary renders count/mean/p50/p95/p99/max on one line.
+func (h *Histogram) Summary() string {
+	return fmt.Sprintf("n=%d mean=%v p50=%v p95=%v p99=%v max=%v",
+		h.Count(), h.Mean().Round(time.Microsecond),
+		h.Quantile(0.50).Round(time.Microsecond),
+		h.Quantile(0.95).Round(time.Microsecond),
+		h.Quantile(0.99).Round(time.Microsecond),
+		h.Max().Round(time.Microsecond))
+}
+
+// Counter is a named monotonically increasing counter set.
+type Counter struct {
+	mu sync.Mutex
+	m  map[string]int64
+}
+
+// NewCounter creates an empty counter set.
+func NewCounter() *Counter {
+	return &Counter{m: make(map[string]int64)}
+}
+
+// Add increments name by delta.
+func (c *Counter) Add(name string, delta int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.m[name] += delta
+}
+
+// Get returns the value of name.
+func (c *Counter) Get(name string) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.m[name]
+}
+
+// Snapshot returns a copy of all counters.
+func (c *Counter) Snapshot() map[string]int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]int64, len(c.m))
+	for k, v := range c.m {
+		out[k] = v
+	}
+	return out
+}
+
+// String renders the counters sorted by name.
+func (c *Counter) String() string {
+	snap := c.Snapshot()
+	names := make([]string, 0, len(snap))
+	for k := range snap {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	parts := make([]string, len(names))
+	for i, k := range names {
+		parts[i] = fmt.Sprintf("%s=%d", k, snap[k])
+	}
+	return strings.Join(parts, " ")
+}
+
+// SetupBreakdown decomposes one flow-setup into the stages of Figure 1:
+// punt to controller (2), ident++ queries to both ends (3), policy
+// evaluation, and entry installation along the path (4).
+type SetupBreakdown struct {
+	Punt     time.Duration // switch -> controller
+	QuerySrc time.Duration // ident++ RTT to source daemon
+	QueryDst time.Duration // ident++ RTT to destination daemon
+	Eval     time.Duration // PF+=2 evaluation
+	Install  time.Duration // controller -> switches flow-mod
+}
+
+// Total returns the end-to-end setup latency. Queries to the two ends are
+// issued concurrently (§2 queries "both the source and the destination"),
+// so the slower of the two dominates.
+func (b SetupBreakdown) Total() time.Duration {
+	q := b.QuerySrc
+	if b.QueryDst > q {
+		q = b.QueryDst
+	}
+	return b.Punt + q + b.Eval + b.Install
+}
+
+// SetupRecorder aggregates breakdowns stage by stage.
+type SetupRecorder struct {
+	Punt, QuerySrc, QueryDst, Eval, Install, Total *Histogram
+}
+
+// NewSetupRecorder creates a recorder.
+func NewSetupRecorder() *SetupRecorder {
+	return &SetupRecorder{
+		Punt:     NewHistogram(0),
+		QuerySrc: NewHistogram(0),
+		QueryDst: NewHistogram(0),
+		Eval:     NewHistogram(0),
+		Install:  NewHistogram(0),
+		Total:    NewHistogram(0),
+	}
+}
+
+// Observe records one breakdown.
+func (r *SetupRecorder) Observe(b SetupBreakdown) {
+	r.Punt.Observe(b.Punt)
+	r.QuerySrc.Observe(b.QuerySrc)
+	r.QueryDst.Observe(b.QueryDst)
+	r.Eval.Observe(b.Eval)
+	r.Install.Observe(b.Install)
+	r.Total.Observe(b.Total())
+}

@@ -1,0 +1,126 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram(0)
+	for i := 1; i <= 100; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	if h.Count() != 100 {
+		t.Errorf("count = %d", h.Count())
+	}
+	if h.Min() != time.Millisecond || h.Max() != 100*time.Millisecond {
+		t.Errorf("min/max = %v/%v", h.Min(), h.Max())
+	}
+	mean := h.Mean()
+	if mean < 50*time.Millisecond || mean > 51*time.Millisecond {
+		t.Errorf("mean = %v", mean)
+	}
+	p50 := h.Quantile(0.5)
+	if p50 < 45*time.Millisecond || p50 > 55*time.Millisecond {
+		t.Errorf("p50 = %v", p50)
+	}
+	if h.Quantile(0) != time.Millisecond {
+		t.Errorf("p0 = %v", h.Quantile(0))
+	}
+	if h.Quantile(1) != 100*time.Millisecond {
+		t.Errorf("p100 = %v", h.Quantile(1))
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram(0)
+	if h.Mean() != 0 || h.Max() != 0 || h.Min() != 0 || h.Quantile(0.5) != 0 {
+		t.Error("empty histogram should report zeros")
+	}
+	if !strings.Contains(h.Summary(), "n=0") {
+		t.Errorf("summary = %q", h.Summary())
+	}
+}
+
+func TestHistogramReservoirBounded(t *testing.T) {
+	h := NewHistogram(64)
+	for i := 0; i < 10000; i++ {
+		h.Observe(time.Duration(i) * time.Microsecond)
+	}
+	if h.Count() != 10000 {
+		t.Errorf("count = %d", h.Count())
+	}
+	h.mu.Lock()
+	n := len(h.samples)
+	h.mu.Unlock()
+	if n != 64 {
+		t.Errorf("retained samples = %d, want 64", n)
+	}
+	// Quantiles remain in range.
+	if q := h.Quantile(0.5); q < 0 || q > 10000*time.Microsecond {
+		t.Errorf("p50 = %v out of range", q)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram(128)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 1000; i++ {
+			h.Observe(time.Millisecond)
+		}
+	}()
+	for i := 0; i < 1000; i++ {
+		h.Observe(2 * time.Millisecond)
+	}
+	<-done
+	if h.Count() != 2000 {
+		t.Errorf("count = %d", h.Count())
+	}
+}
+
+func TestCounter(t *testing.T) {
+	c := NewCounter()
+	c.Add("allow", 3)
+	c.Add("deny", 1)
+	c.Add("allow", 2)
+	if c.Get("allow") != 5 || c.Get("deny") != 1 || c.Get("other") != 0 {
+		t.Errorf("counter values wrong: %v", c.Snapshot())
+	}
+	if s := c.String(); s != "allow=5 deny=1" {
+		t.Errorf("String = %q", s)
+	}
+	snap := c.Snapshot()
+	snap["allow"] = 99
+	if c.Get("allow") != 5 {
+		t.Error("snapshot aliases live map")
+	}
+}
+
+func TestSetupBreakdownTotalUsesSlowerQuery(t *testing.T) {
+	b := SetupBreakdown{
+		Punt:     1 * time.Millisecond,
+		QuerySrc: 5 * time.Millisecond,
+		QueryDst: 9 * time.Millisecond,
+		Eval:     100 * time.Microsecond,
+		Install:  1 * time.Millisecond,
+	}
+	want := 1*time.Millisecond + 9*time.Millisecond + 100*time.Microsecond + 1*time.Millisecond
+	if b.Total() != want {
+		t.Errorf("total = %v, want %v", b.Total(), want)
+	}
+}
+
+func TestSetupRecorder(t *testing.T) {
+	r := NewSetupRecorder()
+	r.Observe(SetupBreakdown{Punt: time.Millisecond, QuerySrc: 2 * time.Millisecond})
+	r.Observe(SetupBreakdown{Punt: 3 * time.Millisecond, QueryDst: 4 * time.Millisecond})
+	if r.Punt.Count() != 2 || r.Total.Count() != 2 {
+		t.Error("recorder did not observe all stages")
+	}
+	if r.Total.Max() != 7*time.Millisecond {
+		t.Errorf("total max = %v", r.Total.Max())
+	}
+}

@@ -1,0 +1,275 @@
+package openflow
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Datapath abstracts "a switch the controller can program": the in-process
+// *Switch and the TCP-attached RemoteSwitch both implement it, so the
+// ident++ controller core is transport-agnostic.
+type Datapath interface {
+	DatapathID() uint64
+	Apply(FlowMod) error
+	PacketOut(port uint16, frame []byte)
+	ReleaseBuffer(bufID uint32)
+}
+
+// DatapathID implements Datapath.
+func (s *Switch) DatapathID() uint64 { return s.ID }
+
+var _ Datapath = (*Switch)(nil)
+
+// Agent runs on the switch side of a TCP secure channel: it registers as
+// the switch's Controller, relays PacketIn/FlowRemoved to the remote
+// controller, and applies FlowMod/PacketOut messages it receives.
+type Agent struct {
+	sw   *Switch
+	conn net.Conn
+
+	mu     sync.Mutex
+	closed bool
+	xid    atomic.Uint32
+}
+
+// Connect dials the controller, performs the hello exchange (hello bodies
+// carry the datapath id), and starts relaying. The agent installs itself as
+// the switch's controller.
+func Connect(sw *Switch, addr string, timeout time.Duration) (*Agent, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	var hello [8]byte
+	binary.BigEndian.PutUint64(hello[:], sw.ID)
+	if err := WriteMsg(conn, Msg{Type: MsgHello, Body: hello[:]}); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	conn.SetReadDeadline(time.Now().Add(timeout))
+	m, err := ReadMsg(conn)
+	if err != nil || m.Type != MsgHello {
+		conn.Close()
+		return nil, fmt.Errorf("openflow: hello exchange failed: %v", err)
+	}
+	conn.SetReadDeadline(time.Time{})
+	a := &Agent{sw: sw, conn: conn}
+	sw.SetController(a)
+	go a.readLoop()
+	return a, nil
+}
+
+// HandlePacketIn implements Controller by relaying the event.
+func (a *Agent) HandlePacketIn(_ *Switch, ev PacketIn) {
+	a.send(EncodePacketIn(ev, a.xid.Add(1)))
+}
+
+// HandleFlowRemoved implements Controller by relaying the event.
+func (a *Agent) HandleFlowRemoved(_ *Switch, ev FlowRemoved) {
+	a.send(EncodeFlowRemoved(ev, a.xid.Add(1)))
+}
+
+func (a *Agent) send(m Msg) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.closed {
+		return
+	}
+	if err := WriteMsg(a.conn, m); err != nil {
+		a.closed = true
+		a.conn.Close()
+	}
+}
+
+func (a *Agent) readLoop() {
+	for {
+		m, err := ReadMsg(a.conn)
+		if err != nil {
+			a.Close()
+			return
+		}
+		switch m.Type {
+		case MsgFlowMod:
+			mod, err := DecodeFlowMod(m)
+			if err == nil {
+				a.sw.Apply(mod)
+			}
+		case MsgPacketOut:
+			po, err := DecodePacketOut(m)
+			if err == nil {
+				if po.BufferID != BufferNone && len(po.Frame) == 0 {
+					a.sw.ReleaseBuffer(po.BufferID)
+				} else {
+					a.sw.PacketOut(po.Port, po.Frame)
+				}
+			}
+		case MsgEchoRequest:
+			a.send(Msg{Type: MsgEchoReply, Xid: m.Xid, Body: m.Body})
+		}
+	}
+}
+
+// Close tears the channel down.
+func (a *Agent) Close() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if !a.closed {
+		a.closed = true
+		a.conn.Close()
+	}
+}
+
+// RemoteSwitch is the controller-side handle for a TCP-attached switch.
+type RemoteSwitch struct {
+	id   uint64
+	conn net.Conn
+
+	mu     sync.Mutex
+	closed bool
+	xid    atomic.Uint32
+}
+
+// DatapathID implements Datapath.
+func (r *RemoteSwitch) DatapathID() uint64 { return r.id }
+
+// Apply implements Datapath by sending a FlowMod message.
+func (r *RemoteSwitch) Apply(mod FlowMod) error {
+	return r.send(EncodeFlowMod(mod, r.xid.Add(1)))
+}
+
+// PacketOut implements Datapath.
+func (r *RemoteSwitch) PacketOut(port uint16, frame []byte) {
+	r.send(EncodePacketOut(PacketOutMsg{BufferID: BufferNone, Port: port, Frame: frame}, r.xid.Add(1)))
+}
+
+// ReleaseBuffer implements Datapath: a PacketOut naming the buffer with no
+// frame and no output releases (drops) it.
+func (r *RemoteSwitch) ReleaseBuffer(bufID uint32) {
+	r.send(EncodePacketOut(PacketOutMsg{BufferID: bufID}, r.xid.Add(1)))
+}
+
+func (r *RemoteSwitch) send(m Msg) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return errors.New("openflow: channel closed")
+	}
+	if err := WriteMsg(r.conn, m); err != nil {
+		r.closed = true
+		r.conn.Close()
+		return err
+	}
+	return nil
+}
+
+// Close tears the channel down.
+func (r *RemoteSwitch) Close() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.closed {
+		r.closed = true
+		r.conn.Close()
+	}
+}
+
+// ChannelHandler receives events from TCP-attached switches.
+type ChannelHandler interface {
+	SwitchConnected(sw *RemoteSwitch)
+	PacketIn(sw *RemoteSwitch, ev PacketIn)
+	FlowRemoved(sw *RemoteSwitch, ev FlowRemoved)
+	SwitchDisconnected(sw *RemoteSwitch)
+}
+
+// ChannelServer accepts switch secure-channel connections for a controller.
+type ChannelServer struct {
+	Handler ChannelHandler
+
+	mu       sync.Mutex
+	listener net.Listener
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// NewChannelServer creates a server delivering events to handler.
+func NewChannelServer(h ChannelHandler) *ChannelServer {
+	return &ChannelServer{Handler: h}
+}
+
+// Listen binds addr and serves in the background, returning the bound
+// address.
+func (s *ChannelServer) Listen(addr string) (net.Addr, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.listener = l
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			s.wg.Add(1)
+			go func() {
+				defer s.wg.Done()
+				s.serveConn(conn)
+			}()
+		}
+	}()
+	return l.Addr(), nil
+}
+
+func (s *ChannelServer) serveConn(conn net.Conn) {
+	defer conn.Close()
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	m, err := ReadMsg(conn)
+	if err != nil || m.Type != MsgHello || len(m.Body) < 8 {
+		return
+	}
+	conn.SetReadDeadline(time.Time{})
+	if err := WriteMsg(conn, Msg{Type: MsgHello}); err != nil {
+		return
+	}
+	rs := &RemoteSwitch{id: binary.BigEndian.Uint64(m.Body[:8]), conn: conn}
+	s.Handler.SwitchConnected(rs)
+	defer s.Handler.SwitchDisconnected(rs)
+	for {
+		m, err := ReadMsg(conn)
+		if err != nil {
+			return
+		}
+		switch m.Type {
+		case MsgPacketIn:
+			if ev, err := DecodePacketIn(m); err == nil {
+				s.Handler.PacketIn(rs, ev)
+			}
+		case MsgFlowRemoved:
+			if ev, err := DecodeFlowRemoved(m); err == nil {
+				s.Handler.FlowRemoved(rs, ev)
+			}
+		case MsgEchoRequest:
+			WriteMsg(conn, Msg{Type: MsgEchoReply, Xid: m.Xid, Body: m.Body})
+		}
+	}
+}
+
+// Close stops the server.
+func (s *ChannelServer) Close() {
+	s.mu.Lock()
+	l := s.listener
+	s.closed = true
+	s.mu.Unlock()
+	if l != nil {
+		l.Close()
+	}
+	s.wg.Wait()
+}

@@ -1,0 +1,241 @@
+// Package openflow implements the substrate the paper assumes (§3.1): flow
+// tables in switches remotely managed by a controller. A packet that misses
+// the table is sent to the controller; the controller's decision is cached
+// as a flow entry with the 10-tuple match, actions, and idle/hard timeouts,
+// exactly the contract ident++ relies on. The package provides the switch
+// datapath, an OpenFlow-1.0-style binary message codec, and a TCP secure
+// channel, plus an in-process channel for the simulator.
+package openflow
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"identxx/internal/flow"
+)
+
+// ActionType discriminates entry actions.
+type ActionType int
+
+// Action types. OFPP-style special ports are modelled as distinct action
+// types rather than magic port numbers.
+const (
+	ActionOutput     ActionType = iota // forward on a specific port
+	ActionFlood                        // forward on every port except ingress
+	ActionController                   // punt to the controller
+	ActionDrop                         // explicit drop
+)
+
+// Action is one forwarding action.
+type Action struct {
+	Type ActionType
+	Port uint16 // for ActionOutput
+}
+
+// Drop is the action list meaning "drop" (an empty action list in OpenFlow
+// 1.0 drops; an explicit value keeps call sites readable).
+var Drop = []Action{{Type: ActionDrop}}
+
+// Output returns a single-action list forwarding on port.
+func Output(port uint16) []Action { return []Action{{Type: ActionOutput, Port: port}} }
+
+// Entry is one cached flow decision.
+type Entry struct {
+	Match    flow.Match
+	Priority int
+	Actions  []Action
+	Cookie   uint64
+
+	// IdleTimeout evicts the entry after inactivity; HardTimeout evicts it
+	// unconditionally. Zero disables the respective timeout.
+	IdleTimeout time.Duration
+	HardTimeout time.Duration
+
+	// Counters.
+	Packets uint64
+	Bytes   uint64
+
+	installed time.Time
+	lastUsed  time.Time
+}
+
+// RemovedReason says why an entry left the table.
+type RemovedReason int
+
+// Removal reasons, mirroring OFPRR_*.
+const (
+	RemovedIdleTimeout RemovedReason = iota
+	RemovedHardTimeout
+	RemovedDelete
+)
+
+// Removed reports an evicted entry to the controller (OFPT_FLOW_REMOVED).
+type Removed struct {
+	Entry  *Entry
+	Reason RemovedReason
+}
+
+// Table is a switch's flow table: exact-match entries in a hash map with a
+// priority-ordered wildcard list behind it — the standard OpenFlow 1.0
+// software-switch layout. All methods are safe for concurrent use.
+type Table struct {
+	mu       sync.RWMutex
+	exact    map[flow.Ten]*Entry
+	wild     []*Entry // sorted by Priority descending, stable
+	capacity int
+}
+
+// NewTable creates a table. capacity bounds the number of entries (0 means
+// unbounded); hardware tables are finite and E6/M5 exercise eviction.
+func NewTable(capacity int) *Table {
+	return &Table{exact: make(map[flow.Ten]*Entry), capacity: capacity}
+}
+
+// Len returns the number of installed entries.
+func (t *Table) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.exact) + len(t.wild)
+}
+
+// ErrTableFull is returned when inserting into a full table.
+type ErrTableFull struct{ Capacity int }
+
+func (e ErrTableFull) Error() string { return "openflow: flow table full" }
+
+// Insert installs an entry at now. An exact-match entry replaces any
+// previous entry with the identical tuple; wildcard entries accumulate.
+func (t *Table) Insert(e *Entry, now time.Time) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	e.installed = now
+	e.lastUsed = now
+	if e.Match.IsExact() {
+		if _, exists := t.exact[e.Match.Tuple]; !exists && t.full() {
+			return ErrTableFull{t.capacity}
+		}
+		t.exact[e.Match.Tuple] = e
+		return nil
+	}
+	if t.full() {
+		return ErrTableFull{t.capacity}
+	}
+	t.wild = append(t.wild, e)
+	sort.SliceStable(t.wild, func(i, j int) bool { return t.wild[i].Priority > t.wild[j].Priority })
+	return nil
+}
+
+func (t *Table) full() bool {
+	return t.capacity > 0 && len(t.exact)+len(t.wild) >= t.capacity
+}
+
+// Lookup finds the matching entry for a tuple, updating its counters and
+// idle timer. It returns nil on a table miss.
+func (t *Table) Lookup(ten flow.Ten, size int, now time.Time) *Entry {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if e, ok := t.exact[ten]; ok {
+		e.hit(size, now)
+		return e
+	}
+	for _, e := range t.wild {
+		if e.Match.Covers(ten) {
+			e.hit(size, now)
+			return e
+		}
+	}
+	return nil
+}
+
+func (e *Entry) hit(size int, now time.Time) {
+	e.Packets++
+	e.Bytes += uint64(size)
+	e.lastUsed = now
+}
+
+// Peek is Lookup without counter updates, for stats handlers.
+func (t *Table) Peek(ten flow.Ten) *Entry {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if e, ok := t.exact[ten]; ok {
+		return e
+	}
+	for _, e := range t.wild {
+		if e.Match.Covers(ten) {
+			return e
+		}
+	}
+	return nil
+}
+
+// Expire removes entries whose idle or hard timeout has elapsed at now and
+// returns them, for FLOW_REMOVED notifications.
+func (t *Table) Expire(now time.Time) []Removed {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []Removed
+	for k, e := range t.exact {
+		if reason, expired := e.expired(now); expired {
+			delete(t.exact, k)
+			out = append(out, Removed{Entry: e, Reason: reason})
+		}
+	}
+	kept := t.wild[:0]
+	for _, e := range t.wild {
+		if reason, expired := e.expired(now); expired {
+			out = append(out, Removed{Entry: e, Reason: reason})
+			continue
+		}
+		kept = append(kept, e)
+	}
+	t.wild = kept
+	return out
+}
+
+func (e *Entry) expired(now time.Time) (RemovedReason, bool) {
+	if e.HardTimeout > 0 && now.Sub(e.installed) >= e.HardTimeout {
+		return RemovedHardTimeout, true
+	}
+	if e.IdleTimeout > 0 && now.Sub(e.lastUsed) >= e.IdleTimeout {
+		return RemovedIdleTimeout, true
+	}
+	return 0, false
+}
+
+// DeleteWhere removes entries matching pred and returns them. The
+// controller uses it to revoke cached decisions when policy changes —
+// the paper's "override, audit, and revoke the delegation" (§7).
+func (t *Table) DeleteWhere(pred func(*Entry) bool) []Removed {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []Removed
+	for k, e := range t.exact {
+		if pred(e) {
+			delete(t.exact, k)
+			out = append(out, Removed{Entry: e, Reason: RemovedDelete})
+		}
+	}
+	kept := t.wild[:0]
+	for _, e := range t.wild {
+		if pred(e) {
+			out = append(out, Removed{Entry: e, Reason: RemovedDelete})
+			continue
+		}
+		kept = append(kept, e)
+	}
+	t.wild = kept
+	return out
+}
+
+// Entries returns a snapshot of all entries (stats requests).
+func (t *Table) Entries() []*Entry {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]*Entry, 0, len(t.exact)+len(t.wild))
+	for _, e := range t.exact {
+		out = append(out, e)
+	}
+	out = append(out, t.wild...)
+	return out
+}

@@ -1,0 +1,198 @@
+package openflow
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"identxx/internal/flow"
+	"identxx/internal/netaddr"
+)
+
+func sampleTen(dp netaddr.Port) flow.Ten {
+	return flow.Ten{
+		InPort: 1, MACSrc: 10, MACDst: 20, EthType: flow.EthTypeIPv4, VLAN: flow.VLANNone,
+		SrcIP:   netaddr.MustParseIP("10.0.0.1"),
+		DstIP:   netaddr.MustParseIP("10.0.0.2"),
+		Proto:   netaddr.ProtoTCP,
+		SrcPort: 1234, DstPort: dp,
+	}
+}
+
+func TestTableExactLookup(t *testing.T) {
+	tb := NewTable(0)
+	now := time.Now()
+	ten := sampleTen(80)
+	e := &Entry{Match: flow.ExactMatch(ten), Actions: Output(2)}
+	if err := tb.Insert(e, now); err != nil {
+		t.Fatal(err)
+	}
+	got := tb.Lookup(ten, 100, now)
+	if got != e {
+		t.Fatal("exact lookup miss")
+	}
+	if got.Packets != 1 || got.Bytes != 100 {
+		t.Errorf("counters = %d/%d", got.Packets, got.Bytes)
+	}
+	if tb.Lookup(sampleTen(81), 100, now) != nil {
+		t.Error("lookup matched wrong tuple")
+	}
+}
+
+func TestTablePriorityOrder(t *testing.T) {
+	tb := NewTable(0)
+	now := time.Now()
+	low := &Entry{Match: flow.MatchAll(), Priority: 1, Actions: Drop}
+	high := &Entry{Match: flow.FiveMatch(sampleTen(80).Five()), Priority: 10, Actions: Output(3)}
+	if err := tb.Insert(low, now); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Insert(high, now); err != nil {
+		t.Fatal(err)
+	}
+	if got := tb.Lookup(sampleTen(80), 1, now); got != high {
+		t.Error("higher priority entry should win")
+	}
+	if got := tb.Lookup(sampleTen(99), 1, now); got != low {
+		t.Error("fallback to lower priority failed")
+	}
+}
+
+func TestTableExactBeatsWildcard(t *testing.T) {
+	tb := NewTable(0)
+	now := time.Now()
+	ten := sampleTen(80)
+	wild := &Entry{Match: flow.MatchAll(), Priority: 100, Actions: Drop}
+	exact := &Entry{Match: flow.ExactMatch(ten), Priority: 0, Actions: Output(1)}
+	tb.Insert(wild, now)
+	tb.Insert(exact, now)
+	if got := tb.Lookup(ten, 1, now); got != exact {
+		t.Error("exact-match entry should beat wildcard regardless of priority")
+	}
+}
+
+func TestTableIdleTimeout(t *testing.T) {
+	tb := NewTable(0)
+	t0 := time.Now()
+	e := &Entry{Match: flow.ExactMatch(sampleTen(80)), IdleTimeout: time.Second, Actions: Output(1)}
+	tb.Insert(e, t0)
+	// Activity at t0+500ms refreshes the idle timer.
+	if tb.Lookup(sampleTen(80), 1, t0.Add(500*time.Millisecond)) == nil {
+		t.Fatal("entry should be live")
+	}
+	if removed := tb.Expire(t0.Add(1200 * time.Millisecond)); len(removed) != 0 {
+		t.Fatal("entry idle-expired despite activity at +500ms")
+	}
+	removed := tb.Expire(t0.Add(1600 * time.Millisecond))
+	if len(removed) != 1 || removed[0].Reason != RemovedIdleTimeout {
+		t.Fatalf("expire = %+v", removed)
+	}
+	if tb.Len() != 0 {
+		t.Error("expired entry still present")
+	}
+}
+
+func TestTableHardTimeout(t *testing.T) {
+	tb := NewTable(0)
+	t0 := time.Now()
+	e := &Entry{Match: flow.ExactMatch(sampleTen(80)), HardTimeout: time.Second, Actions: Output(1)}
+	tb.Insert(e, t0)
+	// Even continuous activity cannot save a hard-timed-out entry.
+	tb.Lookup(sampleTen(80), 1, t0.Add(900*time.Millisecond))
+	removed := tb.Expire(t0.Add(1100 * time.Millisecond))
+	if len(removed) != 1 || removed[0].Reason != RemovedHardTimeout {
+		t.Fatalf("expire = %+v", removed)
+	}
+}
+
+func TestTableCapacity(t *testing.T) {
+	tb := NewTable(2)
+	now := time.Now()
+	if err := tb.Insert(&Entry{Match: flow.ExactMatch(sampleTen(1))}, now); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Insert(&Entry{Match: flow.ExactMatch(sampleTen(2))}, now); err != nil {
+		t.Fatal(err)
+	}
+	err := tb.Insert(&Entry{Match: flow.ExactMatch(sampleTen(3))}, now)
+	var full ErrTableFull
+	if !errors.As(err, &full) {
+		t.Fatalf("err = %v, want ErrTableFull", err)
+	}
+	// Replacing an existing exact entry is allowed at capacity.
+	if err := tb.Insert(&Entry{Match: flow.ExactMatch(sampleTen(2)), Actions: Drop}, now); err != nil {
+		t.Errorf("replacement rejected: %v", err)
+	}
+}
+
+func TestTableDeleteWhere(t *testing.T) {
+	tb := NewTable(0)
+	now := time.Now()
+	tb.Insert(&Entry{Match: flow.ExactMatch(sampleTen(1)), Cookie: 7}, now)
+	tb.Insert(&Entry{Match: flow.ExactMatch(sampleTen(2)), Cookie: 8}, now)
+	tb.Insert(&Entry{Match: flow.MatchAll(), Cookie: 7}, now)
+	removed := tb.DeleteWhere(func(e *Entry) bool { return e.Cookie == 7 })
+	if len(removed) != 2 {
+		t.Fatalf("removed = %d, want 2", len(removed))
+	}
+	if tb.Len() != 1 {
+		t.Errorf("remaining = %d, want 1", tb.Len())
+	}
+	for _, r := range removed {
+		if r.Reason != RemovedDelete {
+			t.Error("wrong removal reason")
+		}
+	}
+}
+
+func TestTableEntriesSnapshot(t *testing.T) {
+	tb := NewTable(0)
+	now := time.Now()
+	tb.Insert(&Entry{Match: flow.ExactMatch(sampleTen(1))}, now)
+	tb.Insert(&Entry{Match: flow.MatchAll()}, now)
+	if got := len(tb.Entries()); got != 2 {
+		t.Errorf("entries = %d", got)
+	}
+}
+
+func TestPeekDoesNotCount(t *testing.T) {
+	tb := NewTable(0)
+	now := time.Now()
+	ten := sampleTen(80)
+	tb.Insert(&Entry{Match: flow.ExactMatch(ten)}, now)
+	e := tb.Peek(ten)
+	if e == nil || e.Packets != 0 {
+		t.Error("Peek should not bump counters")
+	}
+}
+
+func BenchmarkTableLookupExact(b *testing.B) {
+	tb := NewTable(0)
+	now := time.Now()
+	for i := 0; i < 1000; i++ {
+		tb.Insert(&Entry{Match: flow.ExactMatch(sampleTen(netaddr.Port(i)))}, now)
+	}
+	ten := sampleTen(500)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if tb.Lookup(ten, 64, now) == nil {
+			b.Fatal("miss")
+		}
+	}
+}
+
+func BenchmarkTableLookupWildcardScan(b *testing.B) {
+	tb := NewTable(0)
+	now := time.Now()
+	for i := 0; i < 64; i++ {
+		m := flow.FiveMatch(sampleTen(netaddr.Port(i)).Five())
+		tb.Insert(&Entry{Match: m, Priority: i}, now)
+	}
+	ten := sampleTen(0) // matches the lowest-priority entry: full scan
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if tb.Lookup(ten, 64, now) == nil {
+			b.Fatal("miss")
+		}
+	}
+}

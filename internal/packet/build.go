@@ -1,0 +1,204 @@
+package packet
+
+import (
+	"encoding/binary"
+
+	"identxx/internal/flow"
+	"identxx/internal/netaddr"
+)
+
+// Builder assembles frames layer by layer and fixes up lengths and
+// checksums at Bytes() time. The zero value is ready to use.
+//
+//	b := packet.Builder{}
+//	frame := b.Eth(src, dst).IPv4(sip, dip, netaddr.ProtoTCP).
+//	        TCPSegment(1234, 80, seq, ack, packet.TCPSyn, payload).Bytes()
+type Builder struct {
+	eth     Ethernet
+	ip      IPv4
+	hasIP   bool
+	tcp     TCP
+	hasTCP  bool
+	udp     UDP
+	hasUDP  bool
+	icmp    ICMP
+	hasICMP bool
+	payload []byte
+}
+
+// Eth sets the Ethernet header. VLAN defaults to untagged; call VLAN to tag.
+func (b Builder) Eth(src, dst netaddr.MAC, ethType uint16) Builder {
+	b.eth = Ethernet{Src: src, Dst: dst, EthType: ethType, VLAN: flow.VLANNone}
+	return b
+}
+
+// VLAN tags the frame with an 802.1Q VLAN id.
+func (b Builder) VLAN(id uint16) Builder {
+	b.eth.VLAN = id
+	return b
+}
+
+// IPv4 sets the IP header. TTL defaults to 64.
+func (b Builder) IPv4(src, dst netaddr.IP, proto netaddr.Proto) Builder {
+	b.ip = IPv4{TTL: 64, Protocol: proto, Src: src, Dst: dst}
+	b.hasIP = true
+	b.eth.EthType = flow.EthTypeIPv4
+	return b
+}
+
+// TTL overrides the IP TTL.
+func (b Builder) TTL(ttl uint8) Builder {
+	b.ip.TTL = ttl
+	return b
+}
+
+// TCPSegment appends a TCP header and payload.
+func (b Builder) TCPSegment(src, dst netaddr.Port, seq, ack uint32, flags uint8, payload []byte) Builder {
+	b.tcp = TCP{SrcPort: src, DstPort: dst, Seq: seq, Ack: ack, Flags: flags, Window: 65535}
+	b.hasTCP = true
+	b.ip.Protocol = netaddr.ProtoTCP
+	b.payload = payload
+	return b
+}
+
+// UDPDatagram appends a UDP header and payload.
+func (b Builder) UDPDatagram(src, dst netaddr.Port, payload []byte) Builder {
+	b.udp = UDP{SrcPort: src, DstPort: dst}
+	b.hasUDP = true
+	b.ip.Protocol = netaddr.ProtoUDP
+	b.payload = payload
+	return b
+}
+
+// ICMPEcho appends an ICMP echo header and payload.
+func (b Builder) ICMPEcho(typ, code uint8, id, seq uint16, payload []byte) Builder {
+	b.icmp = ICMP{Type: typ, Code: code, ID: id, Seq: seq}
+	b.hasICMP = true
+	b.ip.Protocol = netaddr.ProtoICMP
+	b.payload = payload
+	return b
+}
+
+// Payload sets a raw payload for frames without a transport layer.
+func (b Builder) Payload(p []byte) Builder {
+	b.payload = p
+	return b
+}
+
+// Bytes serializes the frame, computing lengths and checksums.
+func (b Builder) Bytes() []byte {
+	l4len := 0
+	switch {
+	case b.hasTCP:
+		l4len = tcpHeaderLen + len(b.payload)
+	case b.hasUDP:
+		l4len = udpHeaderLen + len(b.payload)
+	case b.hasICMP:
+		l4len = icmpHeaderLen + len(b.payload)
+	default:
+		l4len = len(b.payload)
+	}
+	ethLen := ethHeaderLen
+	if b.eth.VLAN != flow.VLANNone {
+		ethLen += vlanTagLen
+	}
+	total := ethLen
+	if b.hasIP {
+		total += ipv4HeaderLen
+	}
+	total += l4len
+	frame := make([]byte, total)
+
+	// L2.
+	dst := b.eth.Dst.Bytes()
+	src := b.eth.Src.Bytes()
+	copy(frame[0:6], dst[:])
+	copy(frame[6:12], src[:])
+	off := 12
+	if b.eth.VLAN != flow.VLANNone {
+		binary.BigEndian.PutUint16(frame[off:], flow.EthTypeVLAN)
+		binary.BigEndian.PutUint16(frame[off+2:], b.eth.VLAN&0x0fff)
+		off += 4
+	}
+	ethType := b.eth.EthType
+	if b.hasIP {
+		ethType = flow.EthTypeIPv4
+	}
+	binary.BigEndian.PutUint16(frame[off:], ethType)
+	off += 2
+
+	if !b.hasIP {
+		copy(frame[off:], b.payload)
+		return frame
+	}
+
+	// L3.
+	iph := frame[off : off+ipv4HeaderLen]
+	iph[0] = 0x45
+	iph[1] = b.ip.TOS
+	binary.BigEndian.PutUint16(iph[2:4], uint16(ipv4HeaderLen+l4len))
+	binary.BigEndian.PutUint16(iph[4:6], b.ip.ID)
+	binary.BigEndian.PutUint16(iph[6:8], uint16(b.ip.Flags)<<13|b.ip.FragOff&0x1fff)
+	iph[8] = b.ip.TTL
+	iph[9] = byte(b.ip.Protocol)
+	binary.BigEndian.PutUint32(iph[12:16], uint32(b.ip.Src))
+	binary.BigEndian.PutUint32(iph[16:20], uint32(b.ip.Dst))
+	binary.BigEndian.PutUint16(iph[10:12], 0)
+	binary.BigEndian.PutUint16(iph[10:12], internetChecksum(iph))
+	off += ipv4HeaderLen
+
+	// L4.
+	seg := frame[off:]
+	switch {
+	case b.hasTCP:
+		binary.BigEndian.PutUint16(seg[0:2], uint16(b.tcp.SrcPort))
+		binary.BigEndian.PutUint16(seg[2:4], uint16(b.tcp.DstPort))
+		binary.BigEndian.PutUint32(seg[4:8], b.tcp.Seq)
+		binary.BigEndian.PutUint32(seg[8:12], b.tcp.Ack)
+		seg[12] = 5 << 4
+		seg[13] = b.tcp.Flags
+		binary.BigEndian.PutUint16(seg[14:16], b.tcp.Window)
+		copy(seg[tcpHeaderLen:], b.payload)
+		binary.BigEndian.PutUint16(seg[16:18], 0)
+		binary.BigEndian.PutUint16(seg[16:18],
+			transportChecksum(b.ip.Src, b.ip.Dst, netaddr.ProtoTCP, seg[:l4len]))
+	case b.hasUDP:
+		binary.BigEndian.PutUint16(seg[0:2], uint16(b.udp.SrcPort))
+		binary.BigEndian.PutUint16(seg[2:4], uint16(b.udp.DstPort))
+		binary.BigEndian.PutUint16(seg[4:6], uint16(l4len))
+		copy(seg[udpHeaderLen:], b.payload)
+		binary.BigEndian.PutUint16(seg[6:8], 0)
+		binary.BigEndian.PutUint16(seg[6:8],
+			transportChecksum(b.ip.Src, b.ip.Dst, netaddr.ProtoUDP, seg[:l4len]))
+	case b.hasICMP:
+		seg[0] = b.icmp.Type
+		seg[1] = b.icmp.Code
+		binary.BigEndian.PutUint16(seg[4:6], b.icmp.ID)
+		binary.BigEndian.PutUint16(seg[6:8], b.icmp.Seq)
+		copy(seg[icmpHeaderLen:], b.payload)
+		binary.BigEndian.PutUint16(seg[2:4], 0)
+		binary.BigEndian.PutUint16(seg[2:4], internetChecksum(seg[:l4len]))
+	default:
+		copy(seg, b.payload)
+	}
+	return frame
+}
+
+// TCPFrame is a convenience wrapper building a complete Ethernet+IPv4+TCP
+// frame from a 5-tuple. Hosts in the simulator use it for data packets.
+func TCPFrame(srcMAC, dstMAC netaddr.MAC, f flow.Five, flags uint8, payload []byte) []byte {
+	return Builder{}.
+		Eth(srcMAC, dstMAC, flow.EthTypeIPv4).
+		IPv4(f.SrcIP, f.DstIP, netaddr.ProtoTCP).
+		TCPSegment(f.SrcPort, f.DstPort, 0, 0, flags, payload).
+		Bytes()
+}
+
+// UDPFrame builds a complete Ethernet+IPv4+UDP frame from a 5-tuple.
+func UDPFrame(srcMAC, dstMAC netaddr.MAC, f flow.Five, payload []byte) []byte {
+	return Builder{}.
+		Eth(srcMAC, dstMAC, flow.EthTypeIPv4).
+		IPv4(f.SrcIP, f.DstIP, netaddr.ProtoUDP).
+		UDPDatagram(f.SrcPort, f.DstPort, payload).
+		Bytes()
+}

@@ -1,0 +1,371 @@
+// Package packet implements the frame formats the simulated network carries:
+// Ethernet (with optional 802.1Q VLAN tag), IPv4, TCP, UDP and ICMP. The
+// design follows the layered-decoding model popularized by gopacket — a
+// packet is a stack of typed layers — but stays allocation-light: Decode
+// fills a fixed Packet struct, and headers encode into caller-provided or
+// grown byte slices.
+//
+// The checksum arithmetic (RFC 1071 internet checksum, TCP/UDP pseudo
+// header) is implemented in full so that fault-injection tests can corrupt
+// frames and have the substrate reject them, as a real datapath would.
+package packet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"identxx/internal/flow"
+	"identxx/internal/netaddr"
+)
+
+// Errors returned by Decode.
+var (
+	ErrTruncated   = errors.New("packet: truncated")
+	ErrBadChecksum = errors.New("packet: bad checksum")
+	ErrBadVersion  = errors.New("packet: unsupported IP version")
+)
+
+// LayerType identifies the highest layer successfully decoded.
+type LayerType int
+
+// Layer types in ascending stack order.
+const (
+	LayerNone LayerType = iota
+	LayerEthernet
+	LayerARP
+	LayerIPv4
+	LayerTCP
+	LayerUDP
+	LayerICMP
+)
+
+func (t LayerType) String() string {
+	switch t {
+	case LayerEthernet:
+		return "ethernet"
+	case LayerARP:
+		return "arp"
+	case LayerIPv4:
+		return "ipv4"
+	case LayerTCP:
+		return "tcp"
+	case LayerUDP:
+		return "udp"
+	case LayerICMP:
+		return "icmp"
+	}
+	return "none"
+}
+
+// Ethernet is the L2 header, including the VLAN id if an 802.1Q tag was
+// present (VLAN == flow.VLANNone means untagged).
+type Ethernet struct {
+	Dst     netaddr.MAC
+	Src     netaddr.MAC
+	EthType uint16
+	VLAN    uint16
+}
+
+// IPv4 is the L3 header. Options are not supported (IHL is always 5), which
+// matches what enterprise TCP/UDP traffic overwhelmingly carries.
+type IPv4 struct {
+	TOS      uint8
+	ID       uint16
+	Flags    uint8 // 3 bits: reserved, DF, MF
+	FragOff  uint16
+	TTL      uint8
+	Protocol netaddr.Proto
+	Src      netaddr.IP
+	Dst      netaddr.IP
+}
+
+// TCP flag bits.
+const (
+	TCPFin = 1 << iota
+	TCPSyn
+	TCPRst
+	TCPPsh
+	TCPAck
+	TCPUrg
+)
+
+// TCP is the L4 TCP header (no options; DataOffset always 5).
+type TCP struct {
+	SrcPort netaddr.Port
+	DstPort netaddr.Port
+	Seq     uint32
+	Ack     uint32
+	Flags   uint8
+	Window  uint16
+}
+
+// UDP is the L4 UDP header.
+type UDP struct {
+	SrcPort netaddr.Port
+	DstPort netaddr.Port
+}
+
+// ICMP is the ICMP header (echo-style: type, code, id, seq).
+type ICMP struct {
+	Type uint8
+	Code uint8
+	ID   uint16
+	Seq  uint16
+}
+
+// Packet is a decoded frame: the layer stack plus the transport payload.
+type Packet struct {
+	Eth     Ethernet
+	IP      IPv4
+	TCP     TCP
+	UDP     UDP
+	ICMP    ICMP
+	Payload []byte
+	// Top is the highest layer that was decoded.
+	Top LayerType
+}
+
+// Ten projects the decoded packet onto the OpenFlow 10-tuple. The ingress
+// port is not a packet property; the caller (the switch) supplies it.
+func (p *Packet) Ten(inPort uint16) flow.Ten {
+	t := flow.Ten{
+		InPort:  inPort,
+		MACSrc:  p.Eth.Src,
+		MACDst:  p.Eth.Dst,
+		EthType: p.Eth.EthType,
+		VLAN:    p.Eth.VLAN,
+	}
+	if p.Top >= LayerIPv4 {
+		t.SrcIP = p.IP.Src
+		t.DstIP = p.IP.Dst
+		t.Proto = p.IP.Protocol
+	}
+	switch p.Top {
+	case LayerTCP:
+		t.SrcPort = p.TCP.SrcPort
+		t.DstPort = p.TCP.DstPort
+	case LayerUDP:
+		t.SrcPort = p.UDP.SrcPort
+		t.DstPort = p.UDP.DstPort
+	case LayerICMP:
+		// OpenFlow 1.0 maps ICMP type/code onto the port fields.
+		t.SrcPort = netaddr.Port(p.ICMP.Type)
+		t.DstPort = netaddr.Port(p.ICMP.Code)
+	}
+	return t
+}
+
+// Five projects the decoded packet onto the ident++ 5-tuple.
+func (p *Packet) Five() flow.Five { return p.Ten(0).Five() }
+
+func (p *Packet) String() string {
+	switch p.Top {
+	case LayerTCP:
+		return fmt.Sprintf("tcp %s:%d > %s:%d flags=%#x len=%d",
+			p.IP.Src, p.TCP.SrcPort, p.IP.Dst, p.TCP.DstPort, p.TCP.Flags, len(p.Payload))
+	case LayerUDP:
+		return fmt.Sprintf("udp %s:%d > %s:%d len=%d",
+			p.IP.Src, p.UDP.SrcPort, p.IP.Dst, p.UDP.DstPort, len(p.Payload))
+	case LayerICMP:
+		return fmt.Sprintf("icmp %s > %s type=%d code=%d",
+			p.IP.Src, p.IP.Dst, p.ICMP.Type, p.ICMP.Code)
+	case LayerIPv4:
+		return fmt.Sprintf("ip %s > %s proto=%d", p.IP.Src, p.IP.Dst, p.IP.Protocol)
+	}
+	return fmt.Sprintf("eth %s > %s type=%#04x", p.Eth.Src, p.Eth.Dst, p.Eth.EthType)
+}
+
+const (
+	ethHeaderLen  = 14
+	vlanTagLen    = 4
+	ipv4HeaderLen = 20
+	tcpHeaderLen  = 20
+	udpHeaderLen  = 8
+	icmpHeaderLen = 8
+)
+
+// Decode parses a frame. Checksums are verified; a frame with a corrupt
+// IPv4, TCP, UDP or ICMP checksum returns ErrBadChecksum with the layers
+// below it intact, letting callers count and drop it as hardware would.
+func Decode(frame []byte) (*Packet, error) {
+	p := &Packet{}
+	return p, p.DecodeInto(frame)
+}
+
+// DecodeInto parses frame into p, reusing p's storage. The payload slice
+// aliases frame.
+func (p *Packet) DecodeInto(frame []byte) error {
+	*p = Packet{}
+	if len(frame) < ethHeaderLen {
+		return ErrTruncated
+	}
+	p.Eth.Dst = netaddr.MACFromBytes(frame[0:6])
+	p.Eth.Src = netaddr.MACFromBytes(frame[6:12])
+	p.Eth.EthType = binary.BigEndian.Uint16(frame[12:14])
+	p.Eth.VLAN = flow.VLANNone
+	rest := frame[ethHeaderLen:]
+	if p.Eth.EthType == flow.EthTypeVLAN {
+		if len(rest) < vlanTagLen {
+			return ErrTruncated
+		}
+		tci := binary.BigEndian.Uint16(rest[0:2])
+		p.Eth.VLAN = tci & 0x0fff
+		p.Eth.EthType = binary.BigEndian.Uint16(rest[2:4])
+		rest = rest[vlanTagLen:]
+	}
+	p.Top = LayerEthernet
+	switch p.Eth.EthType {
+	case flow.EthTypeIPv4:
+		return p.decodeIPv4(rest)
+	case flow.EthTypeARP:
+		p.Top = LayerARP
+		p.Payload = rest
+		return nil
+	default:
+		p.Payload = rest
+		return nil
+	}
+}
+
+func (p *Packet) decodeIPv4(b []byte) error {
+	if len(b) < ipv4HeaderLen {
+		return ErrTruncated
+	}
+	vihl := b[0]
+	if vihl>>4 != 4 {
+		return ErrBadVersion
+	}
+	ihl := int(vihl&0x0f) * 4
+	if ihl < ipv4HeaderLen || len(b) < ihl {
+		return ErrTruncated
+	}
+	totalLen := int(binary.BigEndian.Uint16(b[2:4]))
+	if totalLen < ihl || totalLen > len(b) {
+		return ErrTruncated
+	}
+	if internetChecksum(b[:ihl]) != 0 {
+		return ErrBadChecksum
+	}
+	p.IP.TOS = b[1]
+	p.IP.ID = binary.BigEndian.Uint16(b[4:6])
+	ff := binary.BigEndian.Uint16(b[6:8])
+	p.IP.Flags = uint8(ff >> 13)
+	p.IP.FragOff = ff & 0x1fff
+	p.IP.TTL = b[8]
+	p.IP.Protocol = netaddr.Proto(b[9])
+	p.IP.Src = netaddr.IP(binary.BigEndian.Uint32(b[12:16]))
+	p.IP.Dst = netaddr.IP(binary.BigEndian.Uint32(b[16:20]))
+	p.Top = LayerIPv4
+	seg := b[ihl:totalLen]
+	switch p.IP.Protocol {
+	case netaddr.ProtoTCP:
+		return p.decodeTCP(seg)
+	case netaddr.ProtoUDP:
+		return p.decodeUDP(seg)
+	case netaddr.ProtoICMP:
+		return p.decodeICMP(seg)
+	default:
+		p.Payload = seg
+		return nil
+	}
+}
+
+func (p *Packet) decodeTCP(b []byte) error {
+	if len(b) < tcpHeaderLen {
+		return ErrTruncated
+	}
+	off := int(b[12]>>4) * 4
+	if off < tcpHeaderLen || len(b) < off {
+		return ErrTruncated
+	}
+	if transportChecksum(p.IP.Src, p.IP.Dst, netaddr.ProtoTCP, b) != 0 {
+		return ErrBadChecksum
+	}
+	p.TCP.SrcPort = netaddr.Port(binary.BigEndian.Uint16(b[0:2]))
+	p.TCP.DstPort = netaddr.Port(binary.BigEndian.Uint16(b[2:4]))
+	p.TCP.Seq = binary.BigEndian.Uint32(b[4:8])
+	p.TCP.Ack = binary.BigEndian.Uint32(b[8:12])
+	p.TCP.Flags = b[13]
+	p.TCP.Window = binary.BigEndian.Uint16(b[14:16])
+	p.Payload = b[off:]
+	p.Top = LayerTCP
+	return nil
+}
+
+func (p *Packet) decodeUDP(b []byte) error {
+	if len(b) < udpHeaderLen {
+		return ErrTruncated
+	}
+	ulen := int(binary.BigEndian.Uint16(b[4:6]))
+	if ulen < udpHeaderLen || ulen > len(b) {
+		return ErrTruncated
+	}
+	if transportChecksum(p.IP.Src, p.IP.Dst, netaddr.ProtoUDP, b[:ulen]) != 0 {
+		return ErrBadChecksum
+	}
+	p.UDP.SrcPort = netaddr.Port(binary.BigEndian.Uint16(b[0:2]))
+	p.UDP.DstPort = netaddr.Port(binary.BigEndian.Uint16(b[2:4]))
+	p.Payload = b[udpHeaderLen:ulen]
+	p.Top = LayerUDP
+	return nil
+}
+
+func (p *Packet) decodeICMP(b []byte) error {
+	if len(b) < icmpHeaderLen {
+		return ErrTruncated
+	}
+	if internetChecksum(b) != 0 {
+		return ErrBadChecksum
+	}
+	p.ICMP.Type = b[0]
+	p.ICMP.Code = b[1]
+	p.ICMP.ID = binary.BigEndian.Uint16(b[4:6])
+	p.ICMP.Seq = binary.BigEndian.Uint16(b[6:8])
+	p.Payload = b[icmpHeaderLen:]
+	p.Top = LayerICMP
+	return nil
+}
+
+// internetChecksum computes the RFC 1071 one's-complement sum; over a
+// buffer with a correct embedded checksum it returns 0.
+func internetChecksum(b []byte) uint16 {
+	var sum uint32
+	for len(b) >= 2 {
+		sum += uint32(binary.BigEndian.Uint16(b))
+		b = b[2:]
+	}
+	if len(b) == 1 {
+		sum += uint32(b[0]) << 8
+	}
+	for sum>>16 != 0 {
+		sum = sum&0xffff + sum>>16
+	}
+	return ^uint16(sum)
+}
+
+// transportChecksum computes the TCP/UDP checksum including the IPv4
+// pseudo-header; returns 0 when the embedded checksum is correct.
+func transportChecksum(src, dst netaddr.IP, proto netaddr.Proto, seg []byte) uint16 {
+	var ph [12]byte
+	binary.BigEndian.PutUint32(ph[0:4], uint32(src))
+	binary.BigEndian.PutUint32(ph[4:8], uint32(dst))
+	ph[9] = byte(proto)
+	binary.BigEndian.PutUint16(ph[10:12], uint16(len(seg)))
+	var sum uint32
+	add := func(b []byte) {
+		for len(b) >= 2 {
+			sum += uint32(binary.BigEndian.Uint16(b))
+			b = b[2:]
+		}
+		if len(b) == 1 {
+			sum += uint32(b[0]) << 8
+		}
+	}
+	add(ph[:])
+	add(seg)
+	for sum>>16 != 0 {
+		sum = sum&0xffff + sum>>16
+	}
+	return ^uint16(sum)
+}

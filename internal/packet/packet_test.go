@@ -1,0 +1,271 @@
+package packet
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"identxx/internal/flow"
+	"identxx/internal/netaddr"
+)
+
+var (
+	macA = netaddr.MustParseMAC("02:00:00:00:00:0a")
+	macB = netaddr.MustParseMAC("02:00:00:00:00:0b")
+	ipA  = netaddr.MustParseIP("10.0.0.1")
+	ipB  = netaddr.MustParseIP("10.0.0.2")
+)
+
+func TestTCPRoundTrip(t *testing.T) {
+	payload := []byte("GET / HTTP/1.0\r\n\r\n")
+	frame := Builder{}.
+		Eth(macA, macB, flow.EthTypeIPv4).
+		IPv4(ipA, ipB, netaddr.ProtoTCP).
+		TCPSegment(43210, 80, 1000, 2000, TCPSyn|TCPAck, payload).
+		Bytes()
+	p, err := Decode(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Top != LayerTCP {
+		t.Fatalf("top layer = %v", p.Top)
+	}
+	if p.Eth.Src != macA || p.Eth.Dst != macB {
+		t.Error("MAC mismatch")
+	}
+	if p.IP.Src != ipA || p.IP.Dst != ipB || p.IP.Protocol != netaddr.ProtoTCP {
+		t.Error("IP mismatch")
+	}
+	if p.TCP.SrcPort != 43210 || p.TCP.DstPort != 80 {
+		t.Error("port mismatch")
+	}
+	if p.TCP.Seq != 1000 || p.TCP.Ack != 2000 {
+		t.Error("seq/ack mismatch")
+	}
+	if p.TCP.Flags != TCPSyn|TCPAck {
+		t.Error("flags mismatch")
+	}
+	if !bytes.Equal(p.Payload, payload) {
+		t.Errorf("payload mismatch: %q", p.Payload)
+	}
+}
+
+func TestUDPRoundTrip(t *testing.T) {
+	payload := []byte("dns query")
+	frame := Builder{}.
+		Eth(macA, macB, flow.EthTypeIPv4).
+		IPv4(ipA, ipB, netaddr.ProtoUDP).
+		UDPDatagram(5353, 53, payload).
+		Bytes()
+	p, err := Decode(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Top != LayerUDP || p.UDP.SrcPort != 5353 || p.UDP.DstPort != 53 {
+		t.Fatalf("UDP decode wrong: %+v", p.UDP)
+	}
+	if !bytes.Equal(p.Payload, payload) {
+		t.Errorf("payload mismatch: %q", p.Payload)
+	}
+}
+
+func TestICMPRoundTrip(t *testing.T) {
+	frame := Builder{}.
+		Eth(macA, macB, flow.EthTypeIPv4).
+		IPv4(ipA, ipB, netaddr.ProtoICMP).
+		ICMPEcho(8, 0, 77, 3, []byte("ping")).
+		Bytes()
+	p, err := Decode(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Top != LayerICMP || p.ICMP.Type != 8 || p.ICMP.ID != 77 || p.ICMP.Seq != 3 {
+		t.Fatalf("ICMP decode wrong: %+v", p.ICMP)
+	}
+	// OpenFlow 1.0 maps ICMP type/code into the port fields of the tuple.
+	ten := p.Ten(1)
+	if ten.SrcPort != 8 || ten.DstPort != 0 {
+		t.Errorf("ICMP tuple ports = %d,%d", ten.SrcPort, ten.DstPort)
+	}
+}
+
+func TestVLANRoundTrip(t *testing.T) {
+	frame := Builder{}.
+		Eth(macA, macB, flow.EthTypeIPv4).
+		VLAN(42).
+		IPv4(ipA, ipB, netaddr.ProtoTCP).
+		TCPSegment(1, 2, 0, 0, TCPSyn, nil).
+		Bytes()
+	p, err := Decode(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Eth.VLAN != 42 {
+		t.Errorf("VLAN = %d, want 42", p.Eth.VLAN)
+	}
+	if p.Eth.EthType != flow.EthTypeIPv4 {
+		t.Errorf("inner ethtype = %#x", p.Eth.EthType)
+	}
+	if p.Top != LayerTCP {
+		t.Errorf("top = %v", p.Top)
+	}
+}
+
+func TestUntaggedVLANIsNone(t *testing.T) {
+	frame := TCPFrame(macA, macB, flow.Five{SrcIP: ipA, DstIP: ipB, Proto: netaddr.ProtoTCP, SrcPort: 1, DstPort: 2}, TCPSyn, nil)
+	p, err := Decode(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Eth.VLAN != flow.VLANNone {
+		t.Errorf("untagged frame VLAN = %d", p.Eth.VLAN)
+	}
+}
+
+func TestTenProjection(t *testing.T) {
+	f := flow.Five{SrcIP: ipA, DstIP: ipB, Proto: netaddr.ProtoTCP, SrcPort: 1234, DstPort: 80}
+	p, err := Decode(TCPFrame(macA, macB, f, TCPSyn, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ten := p.Ten(7)
+	if ten.InPort != 7 {
+		t.Error("ingress port not propagated")
+	}
+	if ten.Five() != f {
+		t.Errorf("five projection = %v, want %v", ten.Five(), f)
+	}
+	if p.Five() != f {
+		t.Errorf("packet five = %v", p.Five())
+	}
+}
+
+func TestDecodeTruncated(t *testing.T) {
+	full := TCPFrame(macA, macB, flow.Five{SrcIP: ipA, DstIP: ipB, Proto: netaddr.ProtoTCP, SrcPort: 1, DstPort: 2}, TCPSyn, []byte("x"))
+	for cut := 0; cut < len(full); cut += 3 {
+		if _, err := Decode(full[:cut]); err == nil {
+			t.Errorf("Decode of %d-byte truncation should fail", cut)
+		}
+	}
+}
+
+func TestDecodeCorruptChecksums(t *testing.T) {
+	frame := TCPFrame(macA, macB, flow.Five{SrcIP: ipA, DstIP: ipB, Proto: netaddr.ProtoTCP, SrcPort: 9, DstPort: 10}, TCPAck, []byte("data"))
+	// Corrupt the IP header checksum region.
+	bad := append([]byte(nil), frame...)
+	bad[14+10] ^= 0xff
+	if _, err := Decode(bad); err != ErrBadChecksum {
+		t.Errorf("IP corruption: err = %v, want ErrBadChecksum", err)
+	}
+	// Corrupt the TCP payload; transport checksum must catch it.
+	bad2 := append([]byte(nil), frame...)
+	bad2[len(bad2)-1] ^= 0xff
+	if _, err := Decode(bad2); err != ErrBadChecksum {
+		t.Errorf("TCP corruption: err = %v, want ErrBadChecksum", err)
+	}
+}
+
+func TestDecodeBadVersion(t *testing.T) {
+	frame := TCPFrame(macA, macB, flow.Five{SrcIP: ipA, DstIP: ipB, Proto: netaddr.ProtoTCP, SrcPort: 1, DstPort: 2}, 0, nil)
+	frame[14] = 0x65 // version 6
+	if _, err := Decode(frame); err != ErrBadVersion {
+		t.Errorf("err = %v, want ErrBadVersion", err)
+	}
+}
+
+func TestNonIPFrame(t *testing.T) {
+	frame := Builder{}.Eth(macA, macB, flow.EthTypeARP).Payload([]byte{1, 2, 3}).Bytes()
+	p, err := Decode(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Top != LayerARP {
+		t.Errorf("top = %v, want arp", p.Top)
+	}
+	if !bytes.Equal(p.Payload, []byte{1, 2, 3}) {
+		t.Error("ARP payload mismatch")
+	}
+}
+
+func TestInternetChecksumKnownVector(t *testing.T) {
+	// RFC 1071 worked example.
+	data := []byte{0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7}
+	sum := internetChecksum(data)
+	if sum != ^uint16(0xddf2) {
+		t.Errorf("checksum = %#04x, want %#04x", sum, ^uint16(0xddf2))
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(sip, dip uint32, sp, dp uint16, seq, ack uint32, flags uint8, payload []byte) bool {
+		if len(payload) > 1200 {
+			payload = payload[:1200]
+		}
+		frame := Builder{}.
+			Eth(macA, macB, flow.EthTypeIPv4).
+			IPv4(netaddr.IP(sip), netaddr.IP(dip), netaddr.ProtoTCP).
+			TCPSegment(netaddr.Port(sp), netaddr.Port(dp), seq, ack, flags, payload).
+			Bytes()
+		p, err := Decode(frame)
+		if err != nil {
+			return false
+		}
+		return p.IP.Src == netaddr.IP(sip) && p.IP.Dst == netaddr.IP(dip) &&
+			p.TCP.SrcPort == netaddr.Port(sp) && p.TCP.DstPort == netaddr.Port(dp) &&
+			p.TCP.Seq == seq && p.TCP.Ack == ack && p.TCP.Flags == flags &&
+			bytes.Equal(p.Payload, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeIntoReuse(t *testing.T) {
+	var p Packet
+	f1 := flow.Five{SrcIP: ipA, DstIP: ipB, Proto: netaddr.ProtoTCP, SrcPort: 1, DstPort: 2}
+	f2 := flow.Five{SrcIP: ipB, DstIP: ipA, Proto: netaddr.ProtoUDP, SrcPort: 3, DstPort: 4}
+	if err := p.DecodeInto(TCPFrame(macA, macB, f1, TCPSyn, nil)); err != nil {
+		t.Fatal(err)
+	}
+	if p.Five() != f1 {
+		t.Fatalf("first decode: %v", p.Five())
+	}
+	if err := p.DecodeInto(UDPFrame(macB, macA, f2, nil)); err != nil {
+		t.Fatal(err)
+	}
+	if p.Five() != f2 {
+		t.Fatalf("reused decode: %v", p.Five())
+	}
+	if p.Top != LayerUDP {
+		t.Error("stale layer info after reuse")
+	}
+}
+
+func TestPacketString(t *testing.T) {
+	f := flow.Five{SrcIP: ipA, DstIP: ipB, Proto: netaddr.ProtoTCP, SrcPort: 1, DstPort: 2}
+	p, _ := Decode(TCPFrame(macA, macB, f, TCPSyn, nil))
+	if p.String() == "" {
+		t.Error("empty String()")
+	}
+}
+
+func BenchmarkEncodeTCP(b *testing.B) {
+	f := flow.Five{SrcIP: ipA, DstIP: ipB, Proto: netaddr.ProtoTCP, SrcPort: 1234, DstPort: 80}
+	payload := bytes.Repeat([]byte("x"), 512)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = TCPFrame(macA, macB, f, TCPAck, payload)
+	}
+}
+
+func BenchmarkDecodeTCP(b *testing.B) {
+	f := flow.Five{SrcIP: ipA, DstIP: ipB, Proto: netaddr.ProtoTCP, SrcPort: 1234, DstPort: 80}
+	frame := TCPFrame(macA, macB, f, TCPAck, bytes.Repeat([]byte("x"), 512))
+	var p Packet
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := p.DecodeInto(frame); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

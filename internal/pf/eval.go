@@ -1,0 +1,412 @@
+package pf
+
+import (
+	"fmt"
+	"sync"
+
+	"identxx/internal/flow"
+	"identxx/internal/netaddr"
+	"identxx/internal/wire"
+)
+
+// maxAllowedDepth bounds recursion through the `allowed` function: a
+// malicious `requirements` value whose rules call allowed() on themselves
+// must not hang the controller.
+const maxAllowedDepth = 4
+
+// Policy is a compiled PF+=2 ruleset: resolved tables, dictionaries,
+// macros, the ordered rule list, and the function registry. A Policy is
+// safe for concurrent Evaluate calls.
+//
+// Because controller configuration is the concatenation of several files
+// (§3.4), Compile merges definitions across files: tables union their
+// elements, dict entries and macros are overridden by later files.
+type Policy struct {
+	Tables map[string]*netaddr.IPSet
+	Dicts  map[string]map[string]string
+	Macros map[string]string
+	Rules  []*Rule
+
+	// Default is the verdict when no rule matches. Vanilla PF defaults to
+	// pass; the paper's configurations always open with "block all".
+	Default Action
+
+	funcs *FuncRegistry
+
+	// ruleCache memoizes ParseRules results for `allowed` arguments, which
+	// repeat across flows from the same application.
+	ruleCache sync.Map // string -> allowedEntry
+}
+
+type allowedEntry struct {
+	rules []*Rule
+	err   error
+}
+
+// Compile resolves the definitions of one or more parsed files (in order)
+// into an executable policy.
+func Compile(files ...*File) (*Policy, error) {
+	p := &Policy{
+		Tables:  make(map[string]*netaddr.IPSet),
+		Dicts:   make(map[string]map[string]string),
+		Macros:  make(map[string]string),
+		Default: Pass,
+		funcs:   DefaultFuncs(),
+	}
+	// Definitions first, so rules may reference tables defined later in the
+	// concatenation (the paper's 99-local-footer constrains rules in 50-).
+	var tableDefs []*TableDef
+	for _, f := range files {
+		for _, s := range f.Stmts {
+			switch st := s.(type) {
+			case *TableDef:
+				tableDefs = append(tableDefs, st)
+			case *DictDef:
+				d := p.Dicts[st.Name]
+				if d == nil {
+					d = make(map[string]string)
+					p.Dicts[st.Name] = d
+				}
+				for k, v := range st.Pairs {
+					d[k] = v
+				}
+			case *MacroDef:
+				p.Macros[st.Name] = st.Value
+			case *Rule:
+				p.Rules = append(p.Rules, st)
+			}
+		}
+	}
+	if err := p.resolveTables(tableDefs); err != nil {
+		return nil, err
+	}
+	// Validate rule references eagerly: a typo'd table name should fail at
+	// load time, not silently never-match at enforcement time.
+	for _, r := range p.Rules {
+		for _, a := range []AddrExpr{r.From, r.To} {
+			if err := p.checkAddr(a, r.Pos); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return p, nil
+}
+
+// MustCompile parses and compiles src, panicking on error; for tests and
+// example setup.
+func MustCompile(name, src string) *Policy {
+	f, err := Parse(name, src)
+	if err != nil {
+		panic(err)
+	}
+	p, err := Compile(f)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func (p *Policy) checkAddr(a AddrExpr, pos Pos) error {
+	switch a.Kind {
+	case AddrTable:
+		if _, ok := p.Tables[a.Table]; !ok {
+			return fmt.Errorf("%s: undefined table <%s>", pos, a.Table)
+		}
+	case AddrList:
+		for _, e := range a.List {
+			if err := p.checkAddr(e, pos); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// resolveTables flattens nested table references with cycle detection.
+func (p *Policy) resolveTables(defs []*TableDef) error {
+	merged := make(map[string][]TableElem)
+	for _, d := range defs {
+		merged[d.Name] = append(merged[d.Name], d.Elems...)
+	}
+	const (
+		unvisited = 0
+		visiting  = 1
+		done      = 2
+	)
+	state := make(map[string]int)
+	var resolve func(name string) (*netaddr.IPSet, error)
+	resolve = func(name string) (*netaddr.IPSet, error) {
+		if s, ok := p.Tables[name]; ok {
+			return s, nil
+		}
+		elems, ok := merged[name]
+		if !ok {
+			return nil, fmt.Errorf("pf: undefined table <%s>", name)
+		}
+		switch state[name] {
+		case visiting:
+			return nil, fmt.Errorf("pf: table <%s> is defined in terms of itself", name)
+		}
+		state[name] = visiting
+		set := netaddr.NewIPSet()
+		for _, e := range elems {
+			if e.Ref != "" {
+				sub, err := resolve(e.Ref)
+				if err != nil {
+					return nil, err
+				}
+				set.AddSet(sub)
+				continue
+			}
+			set.Add(e.Prefix)
+		}
+		state[name] = done
+		p.Tables[name] = set
+		return set, nil
+	}
+	for name := range merged {
+		if _, err := resolve(name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Register installs (or replaces) a named predicate function, the paper's
+// "functions are user-definable and new functions can be added" (§3.3).
+func (p *Policy) Register(name string, fn Func) { p.funcs.Register(name, fn) }
+
+// Input is what a policy decision is made from: the flow's 5-tuple and the
+// ident++ responses from its two ends (either may be nil when an end did
+// not answer, e.g. hosts outside the ident++ deployment, §4 "Incremental
+// Benefit").
+type Input struct {
+	Flow flow.Five
+	Src  *wire.Response
+	Dst  *wire.Response
+}
+
+// Decision is the outcome of evaluating a policy over an input.
+type Decision struct {
+	Action Action
+	// Rule is the rule that decided the action; nil when no rule matched
+	// and the default applied.
+	Rule *Rule
+	// Matched reports whether any rule matched.
+	Matched bool
+	// KeepState is set when the deciding rule carries `keep state`; the
+	// controller then also admits the reverse flow.
+	KeepState bool
+	// Diags collects evaluation problems (unknown function, missing macro,
+	// malformed embedded rules). A rule with a failing predicate does not
+	// match; diagnostics surface why.
+	Diags []string
+}
+
+// Evaluate runs the ruleset over in with PF's last-match-wins semantics:
+// every rule is consulted in order, the final matching rule decides, and a
+// matching `quick` rule short-circuits immediately (§3.3).
+func (p *Policy) Evaluate(in Input) Decision {
+	c := &evalCtx{p: p, in: in}
+	d := Decision{Action: p.Default}
+	for _, r := range p.Rules {
+		if !c.ruleMatches(r) {
+			continue
+		}
+		d.Action = r.Action
+		d.Rule = r
+		d.Matched = true
+		d.KeepState = r.KeepState
+		if r.Quick {
+			break
+		}
+	}
+	d.Diags = c.diags
+	return d
+}
+
+type evalCtx struct {
+	p     *Policy
+	in    Input
+	depth int
+	diags []string
+}
+
+func (c *evalCtx) diagf(format string, args ...any) {
+	c.diags = append(c.diags, fmt.Sprintf(format, args...))
+}
+
+func (c *evalCtx) ruleMatches(r *Rule) bool {
+	if !c.addrMatches(r.From, c.in.Flow.SrcIP) {
+		return false
+	}
+	if !r.FromPort.Matches(c.in.Flow.SrcPort) {
+		return false
+	}
+	if !c.addrMatches(r.To, c.in.Flow.DstIP) {
+		return false
+	}
+	if !r.ToPort.Matches(c.in.Flow.DstPort) {
+		return false
+	}
+	for _, w := range r.Withs {
+		ok, err := c.callFunc(w)
+		if err != nil {
+			c.diagf("%s: %s: %v", r.Pos, w, err)
+			return false
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func (c *evalCtx) addrMatches(a AddrExpr, ip netaddr.IP) bool {
+	var base bool
+	switch a.Kind {
+	case AddrAny:
+		base = true
+	case AddrPrefix:
+		base = a.Prefix.Contains(ip)
+	case AddrTable:
+		t, ok := c.p.Tables[a.Table]
+		if !ok {
+			c.diagf("undefined table <%s>", a.Table)
+			return false
+		}
+		base = t.Contains(ip)
+	case AddrList:
+		for _, e := range a.List {
+			if c.addrMatches(e, ip) {
+				base = true
+				break
+			}
+		}
+	}
+	if a.Neg {
+		return !base
+	}
+	return base
+}
+
+// Value is a resolved function argument. Present distinguishes a genuinely
+// empty value from a missing key: comparisons against missing information
+// are false, never errors — an end-host that stays silent must not be able
+// to satisfy (or crash) a predicate.
+type Value struct {
+	S       string
+	Present bool
+	// Arg preserves the syntactic form, letting set-valued functions like
+	// member re-resolve macros by name.
+	Arg Arg
+}
+
+func (c *evalCtx) callFunc(fc FuncCall) (bool, error) {
+	fn, ok := c.p.funcs.Lookup(fc.Name)
+	if !ok {
+		return false, fmt.Errorf("unknown function %q", fc.Name)
+	}
+	vals := make([]Value, len(fc.Args))
+	for i, a := range fc.Args {
+		vals[i] = c.resolveArg(a)
+	}
+	return fn(&Ctx{c: c}, vals)
+}
+
+func (c *evalCtx) resolveArg(a Arg) Value {
+	switch a.Kind {
+	case ArgLiteral:
+		return Value{S: a.Text, Present: true, Arg: a}
+	case ArgMacro:
+		v, ok := c.p.Macros[a.Text]
+		if !ok {
+			c.diagf("undefined macro $%s", a.Text)
+			return Value{Arg: a}
+		}
+		return Value{S: v, Present: true, Arg: a}
+	case ArgDict, ArgDictConcat:
+		return c.resolveDict(a)
+	}
+	return Value{Arg: a}
+}
+
+func (c *evalCtx) resolveDict(a Arg) Value {
+	var resp *wire.Response
+	switch a.Text {
+	case "src":
+		resp = c.in.Src
+	case "dst":
+		resp = c.in.Dst
+	default:
+		d, ok := c.p.Dicts[a.Text]
+		if !ok {
+			c.diagf("undefined dict <%s>", a.Text)
+			return Value{Arg: a}
+		}
+		v, ok := d[a.Key]
+		return Value{S: v, Present: ok, Arg: a}
+	}
+	if resp == nil {
+		return Value{Arg: a}
+	}
+	if a.Kind == ArgDictConcat {
+		v, ok := resp.Concat(a.Key)
+		return Value{S: v, Present: ok, Arg: a}
+	}
+	v, ok := resp.Latest(a.Key)
+	return Value{S: v, Present: ok, Arg: a}
+}
+
+// Ctx is the interface the predicate functions see. It exposes controlled
+// access to the evaluation state: macro expansion for set arguments and
+// recursive rule evaluation for `allowed`.
+type Ctx struct {
+	c *evalCtx
+}
+
+// Flow returns the flow under decision.
+func (x *Ctx) Flow() flow.Five { return x.c.in.Flow }
+
+// LookupMacro returns a macro body by name.
+func (x *Ctx) LookupMacro(name string) (string, bool) {
+	v, ok := x.c.p.Macros[name]
+	return v, ok
+}
+
+// EvalEmbedded parses src as a rule-only PF+=2 fragment and evaluates it
+// against the current flow and responses, implementing `allowed` (§3.3).
+// The embedded rules run with this policy's tables, dicts, macros and
+// functions visible. Parse results are memoized.
+func (x *Ctx) EvalEmbedded(origin, src string) (Decision, error) {
+	if x.c.depth >= maxAllowedDepth {
+		return Decision{}, fmt.Errorf("allowed() recursion deeper than %d", maxAllowedDepth)
+	}
+	var entry allowedEntry
+	if cached, ok := x.c.p.ruleCache.Load(src); ok {
+		entry = cached.(allowedEntry)
+	} else {
+		rules, err := ParseRules(origin, src)
+		entry = allowedEntry{rules: rules, err: err}
+		x.c.p.ruleCache.Store(src, entry)
+	}
+	if entry.err != nil {
+		return Decision{}, entry.err
+	}
+	sub := &evalCtx{p: x.c.p, in: x.c.in, depth: x.c.depth + 1}
+	d := Decision{Action: Block} // embedded rule sets are default-deny
+	for _, r := range entry.rules {
+		if !sub.ruleMatches(r) {
+			continue
+		}
+		d.Action = r.Action
+		d.Rule = r
+		d.Matched = true
+		d.KeepState = r.KeepState
+		if r.Quick {
+			break
+		}
+	}
+	x.c.diags = append(x.c.diags, sub.diags...)
+	return d, nil
+}

@@ -1,0 +1,232 @@
+package pf
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+
+	"identxx/internal/sig"
+)
+
+// Func is a boolean predicate callable from a `with` clause. Returning an
+// error marks the rule as non-matching and records a diagnostic; returning
+// (false, nil) is an ordinary predicate failure.
+type Func func(ctx *Ctx, args []Value) (bool, error)
+
+// FuncRegistry maps function names to implementations. It is safe for
+// concurrent use so operators can register functions while the controller
+// is evaluating flows.
+type FuncRegistry struct {
+	mu    sync.RWMutex
+	funcs map[string]Func
+}
+
+// Register installs or replaces a function.
+func (r *FuncRegistry) Register(name string, fn Func) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.funcs[name] = fn
+}
+
+// Lookup returns a function by name.
+func (r *FuncRegistry) Lookup(name string) (Func, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	fn, ok := r.funcs[name]
+	return fn, ok
+}
+
+// DefaultFuncs returns a registry with the paper's predefined functions
+// (§3.3: eq, gt, lt, gte, lte, member, allowed, verify) plus `includes`,
+// which Figure 8 uses for patch-level checks.
+func DefaultFuncs() *FuncRegistry {
+	r := &FuncRegistry{funcs: make(map[string]Func)}
+	r.Register("eq", fnEq)
+	r.Register("gt", fnCompare(func(c int) bool { return c > 0 }))
+	r.Register("lt", fnCompare(func(c int) bool { return c < 0 }))
+	r.Register("gte", fnCompare(func(c int) bool { return c >= 0 }))
+	r.Register("lte", fnCompare(func(c int) bool { return c <= 0 }))
+	r.Register("member", fnMember)
+	r.Register("allowed", fnAllowed)
+	r.Register("verify", fnVerify)
+	r.Register("includes", fnIncludes)
+	return r
+}
+
+func need(args []Value, n int, name string) error {
+	if len(args) != n {
+		return fmt.Errorf("%s expects %d arguments, got %d", name, n, len(args))
+	}
+	return nil
+}
+
+func allPresent(args []Value) bool {
+	for _, a := range args {
+		if !a.Present {
+			return false
+		}
+	}
+	return true
+}
+
+// fnEq returns true when both arguments are present and equal. Values that
+// both parse as numbers compare numerically, so eq(@src[version], 210)
+// holds whether the daemon sent "210" or "210.0".
+func fnEq(_ *Ctx, args []Value) (bool, error) {
+	if err := need(args, 2, "eq"); err != nil {
+		return false, err
+	}
+	if !allPresent(args) {
+		return false, nil
+	}
+	if an, aok := parseNum(args[0].S); aok {
+		if bn, bok := parseNum(args[1].S); bok {
+			return an == bn, nil
+		}
+	}
+	return args[0].S == args[1].S, nil
+}
+
+// fnCompare builds gt/lt/gte/lte. Numeric when both sides are numeric,
+// lexicographic otherwise (so version strings like "2.1.9" still order
+// sensibly enough for threshold rules; exact semantics documented).
+func fnCompare(accept func(cmp int) bool) Func {
+	return func(_ *Ctx, args []Value) (bool, error) {
+		if len(args) != 2 {
+			return false, fmt.Errorf("comparison expects 2 arguments, got %d", len(args))
+		}
+		if !allPresent(args) {
+			return false, nil
+		}
+		if an, aok := parseNum(args[0].S); aok {
+			if bn, bok := parseNum(args[1].S); bok {
+				switch {
+				case an < bn:
+					return accept(-1), nil
+				case an > bn:
+					return accept(1), nil
+				default:
+					return accept(0), nil
+				}
+			}
+		}
+		return accept(strings.Compare(args[0].S, args[1].S)), nil
+	}
+}
+
+func parseNum(s string) (float64, bool) {
+	f, err := strconv.ParseFloat(s, 64)
+	return f, err == nil
+}
+
+// splitSet tokenizes a set-valued string: an optional brace wrapper around
+// whitespace- or comma-separated elements ("{ http ssh }", "users,staff",
+// "research").
+func splitSet(s string) []string {
+	s = strings.TrimSpace(s)
+	s = strings.TrimPrefix(s, "{")
+	s = strings.TrimSuffix(s, "}")
+	return strings.FieldsFunc(s, func(r rune) bool {
+		return r == ' ' || r == '\t' || r == ',' || r == '\n'
+	})
+}
+
+// fnMember tests whether any value of the first argument is in the set
+// named by the second (§3.3: "member tests if first argument is in list
+// named by second argument"). The first argument may itself be multi-valued
+// (a user in several groups). The second argument names a set: a macro
+// (member(@src[name], $allowed)), a braces list, a bare name that resolves
+// to a macro, or a literal singleton (member(@src[groupID], users)).
+func fnMember(ctx *Ctx, args []Value) (bool, error) {
+	if err := need(args, 2, "member"); err != nil {
+		return false, err
+	}
+	if !allPresent(args) {
+		return false, nil
+	}
+	setText := args[1].S
+	if args[1].Arg.Kind == ArgLiteral {
+		if body, ok := ctx.LookupMacro(setText); ok {
+			setText = body
+		}
+	}
+	set := splitSet(setText)
+	if len(set) == 0 {
+		return false, nil
+	}
+	for _, v := range splitSet(args[0].S) {
+		for _, m := range set {
+			if v == m {
+				return true, nil
+			}
+		}
+	}
+	return false, nil
+}
+
+// fnIncludes tests whether the first argument, viewed as a token list,
+// contains the second — Figure 8's includes(@dst[os-patch], MS08-067)
+// where os-patch carries every installed patch id.
+func fnIncludes(_ *Ctx, args []Value) (bool, error) {
+	if err := need(args, 2, "includes"); err != nil {
+		return false, err
+	}
+	if !allPresent(args) {
+		return false, nil
+	}
+	needle := strings.TrimSpace(args[1].S)
+	for _, tok := range splitSet(args[0].S) {
+		if tok == needle {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// fnAllowed evaluates the rules supplied in its argument against the
+// current flow and returns whether they pass it (§3.3: "allowed tests if
+// flow is allowed by rule specified in argument"). This is the hook that
+// lets an administrator's rule defer to user- or third-party-provided
+// rules; combined with verify it gives authenticated delegation.
+func fnAllowed(ctx *Ctx, args []Value) (bool, error) {
+	if err := need(args, 1, "allowed"); err != nil {
+		return false, err
+	}
+	if !args[0].Present {
+		return false, nil
+	}
+	src := strings.TrimSpace(args[0].S)
+	if src == "" {
+		return false, nil
+	}
+	d, err := ctx.EvalEmbedded("allowed("+args[0].Arg.String()+")", src)
+	if err != nil {
+		return false, err
+	}
+	return d.Action == Pass, nil
+}
+
+// fnVerify checks that the first argument is a correct signature, under the
+// public key in the second argument, over the remaining arguments (§3.3).
+// Any missing argument fails closed.
+func fnVerify(_ *Ctx, args []Value) (bool, error) {
+	if len(args) < 3 {
+		return false, fmt.Errorf("verify expects at least 3 arguments, got %d", len(args))
+	}
+	if !allPresent(args) {
+		return false, nil
+	}
+	pub, err := sig.ParsePublicKey(args[1].S)
+	if err != nil {
+		return false, err
+	}
+	data := make([]string, 0, len(args)-2)
+	for _, a := range args[2:] {
+		data = append(data, a.S)
+	}
+	if err := sig.Verify(pub, args[0].S, data...); err != nil {
+		return false, nil // a bad signature is a predicate failure, not a rule error
+	}
+	return true, nil
+}

@@ -1,0 +1,33 @@
+package pf
+
+import "sort"
+
+// ReferencedKeys returns the @src/@dst dictionary keys the policy's rules
+// mention, sorted and deduplicated. The ident++ controller sends them as
+// the query's key hints (§3.2: "a list of keys that the controller is
+// interested in"). Keys used only inside embedded `allowed` rules are not
+// statically known and are not included; hints are advisory and daemons
+// may answer with more.
+func (p *Policy) ReferencedKeys() []string {
+	seen := make(map[string]bool)
+	var walk func(rules []*Rule)
+	walk = func(rules []*Rule) {
+		for _, r := range rules {
+			for _, w := range r.Withs {
+				for _, a := range w.Args {
+					if (a.Kind == ArgDict || a.Kind == ArgDictConcat) &&
+						(a.Text == "src" || a.Text == "dst") {
+						seen[a.Key] = true
+					}
+				}
+			}
+		}
+	}
+	walk(p.Rules)
+	out := make([]string, 0, len(seen))
+	for k := range seen {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

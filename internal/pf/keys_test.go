@@ -1,0 +1,41 @@
+package pf
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestReferencedKeys(t *testing.T) {
+	p := MustCompile("t", `
+block all
+pass from any to any with eq(@src[name], skype) with lt(@src[version], 200)
+pass from any to any with includes(@dst[os-patch], MS08-067) with eq(@dst[name], Server)
+pass from any to any with eq(*@src[netpath], "a,b")
+pass from any to any with member(@src[groupID], users)
+`)
+	got := p.ReferencedKeys()
+	want := []string{"groupID", "name", "netpath", "os-patch", "version"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("keys = %v, want %v", got, want)
+	}
+}
+
+func TestReferencedKeysIgnoresNonResponseDicts(t *testing.T) {
+	p := MustCompile("t", `
+dict <pubkeys> { research : abc }
+block all
+pass from any to any with verify(@src[req-sig], @pubkeys[research], @src[exe-hash])
+`)
+	got := p.ReferencedKeys()
+	want := []string{"exe-hash", "req-sig"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("keys = %v, want %v", got, want)
+	}
+}
+
+func TestReferencedKeysEmpty(t *testing.T) {
+	p := MustCompile("t", `block all`)
+	if got := p.ReferencedKeys(); len(got) != 0 {
+		t.Errorf("keys = %v, want none", got)
+	}
+}

@@ -1,0 +1,81 @@
+package pf
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// ControlExt is the extension of controller configuration files (§3.4:
+// "The controller's configuration files reside in a well known location and
+// have the .control extension").
+const ControlExt = ".control"
+
+// LoadControlDir reads every *.control file in dir in alphabetical order,
+// parses them, and compiles the concatenation into one policy — exactly the
+// §3.4 semantics ("the files are read in alphabetical order and their
+// contents are concatenated"), which is what makes the 00-local-header /
+// 50-skype / 99-local-footer layering of Figure 2 work.
+func LoadControlDir(dir string) (*Policy, error) {
+	return loadControlFS(os.DirFS(dir), ".")
+}
+
+// LoadControlFS is LoadControlDir over an fs.FS, for tests and embedded
+// configuration.
+func LoadControlFS(fsys fs.FS, dir string) (*Policy, error) {
+	return loadControlFS(fsys, dir)
+}
+
+func loadControlFS(fsys fs.FS, dir string) (*Policy, error) {
+	entries, err := fs.ReadDir(fsys, dir)
+	if err != nil {
+		return nil, fmt.Errorf("pf: reading control dir: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ControlExt) {
+			continue
+		}
+		names = append(names, e.Name())
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("pf: no %s files in %s", ControlExt, dir)
+	}
+	sort.Strings(names)
+	var files []*File
+	for _, name := range names {
+		b, err := fs.ReadFile(fsys, filepath.Join(dir, name))
+		if err != nil {
+			return nil, fmt.Errorf("pf: reading %s: %w", name, err)
+		}
+		f, err := Parse(name, string(b))
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return Compile(files...)
+}
+
+// LoadSources parses and compiles named sources in the order given; the
+// controller uses it when configuration arrives from memory rather than a
+// directory (tests, the bench harness, examples).
+func LoadSources(sources map[string]string) (*Policy, error) {
+	names := make([]string, 0, len(sources))
+	for n := range sources {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var files []*File
+	for _, n := range names {
+		f, err := Parse(n, sources[n])
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return Compile(files...)
+}

@@ -1,0 +1,186 @@
+// Package sig implements the authenticated-delegation primitive the paper's
+// `verify` PF+=2 function needs (§3.3, Figures 5 and 7): a user or a trusted
+// third party signs an application's (exe-hash, app-name, requirements)
+// tuple, the ident++ daemon ships the signature as the `req-sig` key, and
+// the controller verifies it against a public key from a `dict <pubkeys>`.
+//
+// The paper does not pin a signature scheme (its examples show truncated
+// base64-ish blobs); we use Ed25519 from the standard library. What policy
+// correctness depends on — existential unforgeability and a stable canonical
+// encoding of the signed tuple — is provided here.
+package sig
+
+import (
+	"crypto/ed25519"
+	"crypto/rand"
+	"encoding/base64"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Errors returned by verification and keyring operations.
+var (
+	ErrBadSignature  = errors.New("sig: signature verification failed")
+	ErrBadKey        = errors.New("sig: malformed key")
+	ErrUnknownSigner = errors.New("sig: unknown signer")
+)
+
+// PublicKey is an encodable Ed25519 public key.
+type PublicKey struct {
+	k ed25519.PublicKey
+}
+
+// PrivateKey is an Ed25519 private key with its public half.
+type PrivateKey struct {
+	k ed25519.PrivateKey
+}
+
+// GenerateKey creates a fresh key pair using crypto/rand.
+func GenerateKey() (PublicKey, PrivateKey, error) {
+	pub, priv, err := ed25519.GenerateKey(rand.Reader)
+	if err != nil {
+		return PublicKey{}, PrivateKey{}, err
+	}
+	return PublicKey{pub}, PrivateKey{priv}, nil
+}
+
+// MustGenerateKey is GenerateKey that panics on error (crypto/rand failure
+// is unrecoverable); for tests and example setup code.
+func MustGenerateKey() (PublicKey, PrivateKey) {
+	pub, priv, err := GenerateKey()
+	if err != nil {
+		panic(err)
+	}
+	return pub, priv
+}
+
+// Public returns the public half of the key.
+func (p PrivateKey) Public() PublicKey {
+	return PublicKey{p.k.Public().(ed25519.PublicKey)}
+}
+
+// String encodes the public key in the form policy files carry
+// (unpadded base64, as the paper's `sk3ajf...fa932` literals suggest).
+func (p PublicKey) String() string {
+	return base64.RawStdEncoding.EncodeToString(p.k)
+}
+
+// IsZero reports whether the key is unset.
+func (p PublicKey) IsZero() bool { return len(p.k) == 0 }
+
+// ParsePublicKey decodes the String form.
+func ParsePublicKey(s string) (PublicKey, error) {
+	b, err := base64.RawStdEncoding.DecodeString(s)
+	if err != nil || len(b) != ed25519.PublicKeySize {
+		return PublicKey{}, fmt.Errorf("%w: %q", ErrBadKey, s)
+	}
+	return PublicKey{ed25519.PublicKey(b)}, nil
+}
+
+// canonical produces an injective byte encoding of the signed values:
+// a count followed by length-prefixed items. Injectivity matters — without
+// length prefixes, ("ab","c") and ("a","bc") would sign identically and a
+// malicious daemon could shift bytes between the app-name and requirements
+// fields of Figure 5's verify call.
+func canonical(values []string) []byte {
+	n := 4
+	for _, v := range values {
+		n += 4 + len(v)
+	}
+	out := make([]byte, 0, n)
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(values)))
+	out = append(out, hdr[:]...)
+	for _, v := range values {
+		binary.BigEndian.PutUint32(hdr[:], uint32(len(v)))
+		out = append(out, hdr[:]...)
+		out = append(out, v...)
+	}
+	return out
+}
+
+// Sign signs the canonical encoding of values and returns the unpadded
+// base64 signature that goes into a `req-sig` key-value pair.
+func Sign(priv PrivateKey, values ...string) string {
+	sig := ed25519.Sign(priv.k, canonical(values))
+	return base64.RawStdEncoding.EncodeToString(sig)
+}
+
+// Verify checks a base64 signature over the canonical encoding of values.
+func Verify(pub PublicKey, sigB64 string, values ...string) error {
+	if pub.IsZero() {
+		return ErrBadKey
+	}
+	sig, err := base64.RawStdEncoding.DecodeString(sigB64)
+	if err != nil || len(sig) != ed25519.SignatureSize {
+		return fmt.Errorf("%w: undecodable signature", ErrBadSignature)
+	}
+	if !ed25519.Verify(pub.k, canonical(values), sig) {
+		return ErrBadSignature
+	}
+	return nil
+}
+
+// Keyring maps signer names (the keys of a PF+=2 `dict <pubkeys>`, e.g.
+// "research", "Secur", "admin") to public keys. It is safe for concurrent
+// use: the controller reads it on every flow-setup while an administrator
+// may rotate keys.
+type Keyring struct {
+	mu   sync.RWMutex
+	keys map[string]PublicKey
+}
+
+// NewKeyring builds an empty keyring.
+func NewKeyring() *Keyring {
+	return &Keyring{keys: make(map[string]PublicKey)}
+}
+
+// Add registers (or replaces) a signer's key.
+func (r *Keyring) Add(name string, pub PublicKey) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.keys[name] = pub
+}
+
+// Remove deletes a signer — the revocation path the paper's delegation
+// story requires (§1: "revoke the delegation if needed").
+func (r *Keyring) Remove(name string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.keys, name)
+}
+
+// Lookup returns the key for a signer.
+func (r *Keyring) Lookup(name string) (PublicKey, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	k, ok := r.keys[name]
+	if !ok {
+		return PublicKey{}, fmt.Errorf("%w: %q", ErrUnknownSigner, name)
+	}
+	return k, nil
+}
+
+// Names returns the registered signer names, sorted.
+func (r *Keyring) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.keys))
+	for n := range r.keys {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// VerifyAs verifies a signature attributed to a named signer.
+func (r *Keyring) VerifyAs(name, sigB64 string, values ...string) error {
+	pub, err := r.Lookup(name)
+	if err != nil {
+		return err
+	}
+	return Verify(pub, sigB64, values...)
+}

@@ -1,0 +1,183 @@
+package sig
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSignVerify(t *testing.T) {
+	pub, priv := MustGenerateKey()
+	s := Sign(priv, "exehash123", "skype", "pass all")
+	if err := Verify(pub, s, "exehash123", "skype", "pass all"); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+}
+
+func TestVerifyRejectsTamper(t *testing.T) {
+	pub, priv := MustGenerateKey()
+	s := Sign(priv, "exehash123", "skype", "pass all")
+	cases := [][]string{
+		{"exehash999", "skype", "pass all"},     // changed hash
+		{"exehash123", "skype", "pass none"},    // changed rules
+		{"exehash123", "skype"},                 // dropped field
+		{"exehash123", "skype", "pass all", ""}, // extra field
+	}
+	for i, vals := range cases {
+		if err := Verify(pub, s, vals...); !errors.Is(err, ErrBadSignature) {
+			t.Errorf("case %d: err = %v, want ErrBadSignature", i, err)
+		}
+	}
+}
+
+func TestVerifyRejectsWrongKey(t *testing.T) {
+	_, priv := MustGenerateKey()
+	otherPub, _ := MustGenerateKey()
+	s := Sign(priv, "data")
+	if err := Verify(otherPub, s, "data"); !errors.Is(err, ErrBadSignature) {
+		t.Errorf("err = %v, want ErrBadSignature", err)
+	}
+}
+
+func TestVerifyRejectsGarbageSignature(t *testing.T) {
+	pub, _ := MustGenerateKey()
+	for _, bad := range []string{"", "not base64 !!!", "QUJD"} {
+		if err := Verify(pub, bad, "data"); !errors.Is(err, ErrBadSignature) {
+			t.Errorf("sig %q: err = %v, want ErrBadSignature", bad, err)
+		}
+	}
+}
+
+func TestVerifyZeroKey(t *testing.T) {
+	_, priv := MustGenerateKey()
+	s := Sign(priv, "x")
+	if err := Verify(PublicKey{}, s, "x"); !errors.Is(err, ErrBadKey) {
+		t.Errorf("err = %v, want ErrBadKey", err)
+	}
+}
+
+func TestCanonicalInjective(t *testing.T) {
+	// The classic splice attack: moving bytes across field boundaries must
+	// change the canonical encoding.
+	a := canonical([]string{"ab", "c"})
+	b := canonical([]string{"a", "bc"})
+	if string(a) == string(b) {
+		t.Fatal("canonical encoding is not injective across field boundaries")
+	}
+	if string(canonical([]string{"abc"})) == string(canonical([]string{"abc", ""})) {
+		t.Fatal("canonical encoding ignores empty trailing fields")
+	}
+}
+
+func TestCanonicalInjectiveProperty(t *testing.T) {
+	f := func(a1, a2, b1, b2 string) bool {
+		same := a1 == b1 && a2 == b2
+		enc1 := string(canonical([]string{a1, a2}))
+		enc2 := string(canonical([]string{b1, b2}))
+		return (enc1 == enc2) == same
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPublicKeyRoundTrip(t *testing.T) {
+	pub, _ := MustGenerateKey()
+	s := pub.String()
+	if strings.ContainsAny(s, "=\n ") {
+		t.Errorf("key encoding should be unpadded single-line: %q", s)
+	}
+	back, err := ParsePublicKey(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.String() != s {
+		t.Error("round trip changed the key")
+	}
+}
+
+func TestParsePublicKeyErrors(t *testing.T) {
+	for _, bad := range []string{"", "%%%", "QUJD"} {
+		if _, err := ParsePublicKey(bad); !errors.Is(err, ErrBadKey) {
+			t.Errorf("ParsePublicKey(%q) err = %v, want ErrBadKey", bad, err)
+		}
+	}
+}
+
+func TestKeyring(t *testing.T) {
+	r := NewKeyring()
+	pubR, privR := MustGenerateKey()
+	pubS, _ := MustGenerateKey()
+	r.Add("research", pubR)
+	r.Add("Secur", pubS)
+
+	if got := r.Names(); len(got) != 2 || got[0] != "Secur" || got[1] != "research" {
+		t.Errorf("Names = %v", got)
+	}
+
+	s := Sign(privR, "hash", "app", "rules")
+	if err := r.VerifyAs("research", s, "hash", "app", "rules"); err != nil {
+		t.Errorf("VerifyAs research: %v", err)
+	}
+	// The same signature must not verify under another registered name.
+	if err := r.VerifyAs("Secur", s, "hash", "app", "rules"); !errors.Is(err, ErrBadSignature) {
+		t.Errorf("VerifyAs Secur err = %v, want ErrBadSignature", err)
+	}
+	if err := r.VerifyAs("nobody", s, "hash"); !errors.Is(err, ErrUnknownSigner) {
+		t.Errorf("unknown signer err = %v", err)
+	}
+
+	// Revocation: after Remove, delegation stops validating.
+	r.Remove("research")
+	if err := r.VerifyAs("research", s, "hash", "app", "rules"); !errors.Is(err, ErrUnknownSigner) {
+		t.Errorf("revoked signer err = %v, want ErrUnknownSigner", err)
+	}
+}
+
+func TestKeyringConcurrent(t *testing.T) {
+	r := NewKeyring()
+	pub, priv := MustGenerateKey()
+	r.Add("u", pub)
+	s := Sign(priv, "v")
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 500; i++ {
+			r.Add("u", pub)
+			r.Lookup("u")
+		}
+	}()
+	for i := 0; i < 500; i++ {
+		if err := r.VerifyAs("u", s, "v"); err != nil {
+			t.Fatalf("concurrent verify: %v", err)
+		}
+	}
+	<-done
+}
+
+func TestSignDeterministic(t *testing.T) {
+	_, priv := MustGenerateKey()
+	if Sign(priv, "a", "b") != Sign(priv, "a", "b") {
+		t.Error("Ed25519 signing should be deterministic")
+	}
+}
+
+func BenchmarkSign(b *testing.B) {
+	_, priv := MustGenerateKey()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = Sign(priv, "exehash", "appname", "block all\npass all with eq(@src[name], app)")
+	}
+}
+
+func BenchmarkVerify(b *testing.B) {
+	pub, priv := MustGenerateKey()
+	s := Sign(priv, "exehash", "appname", "block all\npass all with eq(@src[name], app)")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := Verify(pub, s, "exehash", "appname", "block all\npass all with eq(@src[name], app)"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

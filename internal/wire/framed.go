@@ -1,0 +1,116 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"identxx/internal/netaddr"
+)
+
+// Framed message types.
+const (
+	FrameQuery    byte = 'Q'
+	FrameResponse byte = 'R'
+)
+
+// frameHeaderLen is: 1 type byte, 4+4 IP addresses, 4 payload length.
+const frameHeaderLen = 13
+
+// Frame is one length-delimited ident++ message on a stream transport.
+// Real TCP sockets cannot spoof the flow's destination IP the way §3.2
+// assumes, so the envelope carries the two flow addresses explicitly; the
+// payload is the unchanged §3.2 text format.
+type Frame struct {
+	Type    byte
+	SrcIP   netaddr.IP
+	DstIP   netaddr.IP
+	Payload []byte
+}
+
+// WriteFrame writes one frame to w.
+func WriteFrame(w io.Writer, f Frame) error {
+	if len(f.Payload) > MaxMessageSize {
+		return fmt.Errorf("wire: frame payload %d exceeds limit", len(f.Payload))
+	}
+	var hdr [frameHeaderLen]byte
+	hdr[0] = f.Type
+	binary.BigEndian.PutUint32(hdr[1:5], uint32(f.SrcIP))
+	binary.BigEndian.PutUint32(hdr[5:9], uint32(f.DstIP))
+	binary.BigEndian.PutUint32(hdr[9:13], uint32(len(f.Payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(f.Payload)
+	return err
+}
+
+// ReadFrame reads one frame from r, rejecting oversized payloads before
+// allocating for them.
+func ReadFrame(r io.Reader) (Frame, error) {
+	var hdr [frameHeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return Frame{}, err
+	}
+	f := Frame{
+		Type:  hdr[0],
+		SrcIP: netaddr.IP(binary.BigEndian.Uint32(hdr[1:5])),
+		DstIP: netaddr.IP(binary.BigEndian.Uint32(hdr[5:9])),
+	}
+	if f.Type != FrameQuery && f.Type != FrameResponse {
+		return Frame{}, fmt.Errorf("wire: unknown frame type %#02x", f.Type)
+	}
+	n := binary.BigEndian.Uint32(hdr[9:13])
+	if n > MaxMessageSize {
+		return Frame{}, fmt.Errorf("wire: frame payload %d exceeds limit", n)
+	}
+	f.Payload = make([]byte, n)
+	if _, err := io.ReadFull(r, f.Payload); err != nil {
+		return Frame{}, err
+	}
+	return f, nil
+}
+
+// WriteQuery frames and writes a query.
+func WriteQuery(w io.Writer, q Query) error {
+	return WriteFrame(w, Frame{
+		Type:    FrameQuery,
+		SrcIP:   q.Flow.SrcIP,
+		DstIP:   q.Flow.DstIP,
+		Payload: EncodeQuery(q),
+	})
+}
+
+// ReadQuery reads and decodes a framed query.
+func ReadQuery(r io.Reader) (Query, error) {
+	f, err := ReadFrame(r)
+	if err != nil {
+		return Query{}, err
+	}
+	if f.Type != FrameQuery {
+		return Query{}, fmt.Errorf("wire: expected query frame, got %#02x", f.Type)
+	}
+	return DecodeQuery(f.Payload, f.SrcIP, f.DstIP)
+}
+
+// WriteResponse frames and writes a response.
+func WriteResponse(w io.Writer, resp *Response) error {
+	return WriteFrame(w, Frame{
+		Type:    FrameResponse,
+		SrcIP:   resp.Flow.SrcIP,
+		DstIP:   resp.Flow.DstIP,
+		Payload: EncodeResponse(resp),
+	})
+}
+
+// ReadResponse reads and decodes a framed response.
+func ReadResponse(r io.Reader) (*Response, error) {
+	f, err := ReadFrame(r)
+	if err != nil {
+		return nil, err
+	}
+	if f.Type != FrameResponse {
+		return nil, fmt.Errorf("wire: expected response frame, got %#02x", f.Type)
+	}
+	return DecodeResponse(f.Payload, f.SrcIP, f.DstIP)
+}

@@ -1,0 +1,330 @@
+// Package wire implements the ident++ query and response formats of §3.2 of
+// the paper, the section semantics of §2/§3.4 (intercepting controllers
+// append an empty-line-delimited section), and the @src/@dst dictionary view
+// PF+=2 indexes (§3.3): plain lookup returns the latest value, `*`-lookup
+// returns the concatenation across sections.
+//
+// A query payload is:
+//
+//	<PROTO> <SRC PORT> <DST PORT>
+//	<key 0>
+//	<key 1>
+//	...
+//
+// and a response payload is:
+//
+//	<PROTO> <SRC PORT> <DST PORT>
+//	<key 0>: <value 0>
+//	...
+//	<newline>
+//	<key n>: <value n>
+//	...
+//
+// The flow's IP addresses are not in the payload: the paper has the
+// controller spoof the flow's destination IP as the query's source IP so the
+// daemon recovers both addresses from the IP header (§3.2). The in-simulator
+// transport does exactly that; for real TCP sockets (which cannot spoof)
+// the Framed codec carries the two addresses in a fixed binary envelope.
+package wire
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"identxx/internal/flow"
+	"identxx/internal/netaddr"
+)
+
+// Well-known keys (§2, §3.3 and the paper's figures). The list is open:
+// "ident++ does not limit the types of key-value pairs possible".
+const (
+	KeyUserID       = "userID"
+	KeyGroupID      = "groupID"
+	KeyName         = "name"     // application name as set in daemon config
+	KeyAppName      = "app-name" // alias used by verify() calls in Figures 5 and 7
+	KeyExeHash      = "exe-hash"
+	KeyVersion      = "version"
+	KeyVendor       = "vendor"
+	KeyType         = "type"
+	KeyRequirements = "requirements"
+	KeyReqSig       = "req-sig"
+	KeyRuleMaker    = "rule-maker"
+	KeyOSPatch      = "os-patch"
+	KeyPID          = "pid"
+	KeyHost         = "host"
+	KeyError        = "error"
+)
+
+// MaxMessageSize bounds any single ident++ message. A daemon is reachable
+// from the whole network; unbounded reads would be a trivial memory DoS.
+const MaxMessageSize = 64 * 1024
+
+// Query asks the ident++ daemon at one end of Flow for information. Keys
+// are hints: "The list of keys in the query packet only provide a hint for
+// what the controller needs. The response may contain additional unsolicited
+// key-value pairs." (§3.2)
+type Query struct {
+	Flow flow.Five
+	Keys []string
+}
+
+// KV is one key-value pair in a response section. Keys may repeat within
+// and across sections.
+type KV struct {
+	Key   string
+	Value string
+}
+
+// Section is a run of key-value pairs from one source (user, application,
+// local administrator, or an augmenting controller on the path). Sections
+// are separated by empty lines on the wire; Source is local bookkeeping and
+// never serialized.
+type Section struct {
+	Source string
+	Pairs  []KV
+}
+
+// Get returns the last value for key within the section.
+func (s *Section) Get(key string) (string, bool) {
+	for i := len(s.Pairs) - 1; i >= 0; i-- {
+		if s.Pairs[i].Key == key {
+			return s.Pairs[i].Value, true
+		}
+	}
+	return "", false
+}
+
+// Add appends a pair to the section.
+func (s *Section) Add(key, value string) {
+	s.Pairs = append(s.Pairs, KV{key, value})
+}
+
+// Response is an ident++ response: the flow it answers for and one or more
+// sections of key-value pairs.
+type Response struct {
+	Flow     flow.Five
+	Sections []Section
+}
+
+// NewResponse builds a response with one initial (possibly empty) section.
+func NewResponse(f flow.Five) *Response {
+	return &Response{Flow: f, Sections: []Section{{}}}
+}
+
+// Add appends a pair to the final section.
+func (r *Response) Add(key, value string) {
+	if len(r.Sections) == 0 {
+		r.Sections = append(r.Sections, Section{})
+	}
+	r.Sections[len(r.Sections)-1].Add(key, value)
+}
+
+// Augment starts a new section, modelling an intercepting controller that
+// "adds an empty line to delineate the information it has added from that
+// supplied by upstream firewalls" (§2). It returns the new section for
+// population.
+func (r *Response) Augment(source string) *Section {
+	r.Sections = append(r.Sections, Section{Source: source})
+	return &r.Sections[len(r.Sections)-1]
+}
+
+// Latest returns the most recent value for key: sections are scanned from
+// last to first. "indexing the dictionaries will give the latest value
+// added to the response. The latest value is the most trusted (though not
+// necessarily the most trustworthy)" (§3.3).
+func (r *Response) Latest(key string) (string, bool) {
+	for i := len(r.Sections) - 1; i >= 0; i-- {
+		if v, ok := r.Sections[i].Get(key); ok {
+			return v, true
+		}
+	}
+	return "", false
+}
+
+// ConcatSeparator joins values in Concat. A comma cannot appear in a single
+// endorsement token by convention, so equality checks over the joined chain
+// are unambiguous.
+const ConcatSeparator = ","
+
+// Concat returns every value recorded for key in section order, joined with
+// ConcatSeparator. This backs the `*@src[key]` accessor: "returns a
+// concatenation of the values in all sections of the response packet" used
+// to check endorsement chains (§3.3).
+func (r *Response) Concat(key string) (string, bool) {
+	var vals []string
+	for _, s := range r.Sections {
+		for _, p := range s.Pairs {
+			if p.Key == key {
+				vals = append(vals, p.Value)
+			}
+		}
+	}
+	if len(vals) == 0 {
+		return "", false
+	}
+	return strings.Join(vals, ConcatSeparator), true
+}
+
+// Keys returns the distinct keys present anywhere in the response, in first-
+// appearance order.
+func (r *Response) Keys() []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, s := range r.Sections {
+		for _, p := range s.Pairs {
+			if !seen[p.Key] {
+				seen[p.Key] = true
+				out = append(out, p.Key)
+			}
+		}
+	}
+	return out
+}
+
+// Clone deep-copies the response so an intercepting controller can augment
+// without aliasing the cached original.
+func (r *Response) Clone() *Response {
+	c := &Response{Flow: r.Flow, Sections: make([]Section, len(r.Sections))}
+	for i, s := range r.Sections {
+		c.Sections[i] = Section{Source: s.Source, Pairs: append([]KV(nil), s.Pairs...)}
+	}
+	return c
+}
+
+// sanitizeValue strips bytes that would corrupt the line-oriented format.
+// Values are single logical lines; daemon config files join continuation
+// lines before the value ever reaches the wire.
+func sanitizeValue(v string) string {
+	if !strings.ContainsAny(v, "\r\n") {
+		return v
+	}
+	v = strings.ReplaceAll(v, "\r\n", " ")
+	v = strings.ReplaceAll(v, "\n", " ")
+	return strings.ReplaceAll(v, "\r", " ")
+}
+
+// EncodeQuery renders the §3.2 query payload.
+func EncodeQuery(q Query) []byte {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d %d %d\n", q.Flow.Proto, q.Flow.SrcPort, q.Flow.DstPort)
+	for _, k := range q.Keys {
+		b.WriteString(strings.TrimSpace(k))
+		b.WriteByte('\n')
+	}
+	return []byte(b.String())
+}
+
+// DecodeQuery parses a query payload. The flow's IP addresses come from the
+// transport (the IP header in the simulator, the framed envelope over TCP).
+func DecodeQuery(payload []byte, srcIP, dstIP netaddr.IP) (Query, error) {
+	lines := strings.Split(string(payload), "\n")
+	if len(lines) == 0 || strings.TrimSpace(lines[0]) == "" {
+		return Query{}, fmt.Errorf("wire: empty query")
+	}
+	f, err := parseTupleLine(lines[0])
+	if err != nil {
+		return Query{}, err
+	}
+	f.SrcIP, f.DstIP = srcIP, dstIP
+	q := Query{Flow: f}
+	for _, l := range lines[1:] {
+		l = strings.TrimSpace(l)
+		if l != "" {
+			q.Keys = append(q.Keys, l)
+		}
+	}
+	return q, nil
+}
+
+// EncodeResponse renders the §3.2 response payload with empty lines between
+// sections. Leading/trailing empty sections are preserved structurally by
+// emitting their separators, except that a single empty section encodes as a
+// bare tuple line (a daemon with nothing to say).
+func EncodeResponse(r *Response) []byte {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d %d %d\n", r.Flow.Proto, r.Flow.SrcPort, r.Flow.DstPort)
+	for i, s := range r.Sections {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		for _, p := range s.Pairs {
+			b.WriteString(strings.TrimSpace(p.Key))
+			b.WriteString(": ")
+			b.WriteString(sanitizeValue(p.Value))
+			b.WriteByte('\n')
+		}
+	}
+	return []byte(b.String())
+}
+
+// DecodeResponse parses a response payload. IP addresses come from the
+// transport, as with DecodeQuery.
+func DecodeResponse(payload []byte, srcIP, dstIP netaddr.IP) (*Response, error) {
+	if len(payload) > MaxMessageSize {
+		return nil, fmt.Errorf("wire: response exceeds %d bytes", MaxMessageSize)
+	}
+	lines := strings.Split(string(payload), "\n")
+	if len(lines) == 0 || strings.TrimSpace(lines[0]) == "" {
+		return nil, fmt.Errorf("wire: empty response")
+	}
+	f, err := parseTupleLine(lines[0])
+	if err != nil {
+		return nil, err
+	}
+	f.SrcIP, f.DstIP = srcIP, dstIP
+	r := &Response{Flow: f, Sections: []Section{{}}}
+	cur := &r.Sections[0]
+	for _, l := range lines[1:] {
+		trimmed := strings.TrimRight(l, "\r")
+		if strings.TrimSpace(trimmed) == "" {
+			// Empty line: new section. Collapse a run of empty lines at the
+			// very end of the payload (trailing newline artifacts).
+			if cur == &r.Sections[len(r.Sections)-1] && len(cur.Pairs) == 0 && len(r.Sections) > 1 {
+				continue
+			}
+			r.Sections = append(r.Sections, Section{})
+			cur = &r.Sections[len(r.Sections)-1]
+			continue
+		}
+		colon := strings.Index(trimmed, ":")
+		if colon < 0 {
+			return nil, fmt.Errorf("wire: malformed pair %q", trimmed)
+		}
+		key := strings.TrimSpace(trimmed[:colon])
+		val := strings.TrimSpace(trimmed[colon+1:])
+		if key == "" {
+			return nil, fmt.Errorf("wire: empty key in %q", trimmed)
+		}
+		cur.Add(key, val)
+	}
+	// Drop a trailing empty section created by a final newline.
+	if n := len(r.Sections); n > 1 && len(r.Sections[n-1].Pairs) == 0 {
+		r.Sections = r.Sections[:n-1]
+	}
+	return r, nil
+}
+
+func parseTupleLine(line string) (flow.Five, error) {
+	var f flow.Five
+	fields := strings.Fields(line)
+	if len(fields) != 3 {
+		return f, fmt.Errorf("wire: malformed tuple line %q", line)
+	}
+	proto, err := strconv.ParseUint(fields[0], 10, 8)
+	if err != nil {
+		return f, fmt.Errorf("wire: bad protocol in %q", line)
+	}
+	sp, err := strconv.ParseUint(fields[1], 10, 16)
+	if err != nil {
+		return f, fmt.Errorf("wire: bad src port in %q", line)
+	}
+	dp, err := strconv.ParseUint(fields[2], 10, 16)
+	if err != nil {
+		return f, fmt.Errorf("wire: bad dst port in %q", line)
+	}
+	f.Proto = netaddr.Proto(proto)
+	f.SrcPort = netaddr.Port(sp)
+	f.DstPort = netaddr.Port(dp)
+	return f, nil
+}

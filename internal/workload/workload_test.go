@@ -1,0 +1,142 @@
+package workload
+
+import (
+	"testing"
+
+	"identxx/internal/flow"
+	"identxx/internal/hostinfo"
+	"identxx/internal/netaddr"
+	"identxx/internal/netsim"
+)
+
+func TestBuildTreeShape(t *testing.T) {
+	n := netsim.New()
+	tree := BuildTree(n, 3, 4)
+	if len(tree.Edges) != 3 {
+		t.Errorf("edges = %d", len(tree.Edges))
+	}
+	if len(tree.Stations) != 12 {
+		t.Errorf("stations = %d", len(tree.Stations))
+	}
+	if len(tree.Servers) != 1 {
+		t.Errorf("servers = %d", len(tree.Servers))
+	}
+	if len(tree.AllSwitches()) != 4 {
+		t.Errorf("switches = %d", len(tree.AllSwitches()))
+	}
+	// Paths exist between any station and the server.
+	for _, st := range tree.Stations {
+		if _, err := n.Path(st.Host.IP(), tree.Servers[0].Host.IP()); err != nil {
+			t.Fatalf("no path from %s: %v", st.Host.Name, err)
+		}
+	}
+}
+
+func TestPopulateServersListen(t *testing.T) {
+	n := netsim.New()
+	tree := BuildTree(n, 1, 1)
+	srv := tree.Servers[0]
+	for _, app := range []App{HTTPD, SMTPD, SSHD} {
+		probe := flow.Five{
+			SrcIP: tree.Stations[0].Host.IP(), DstIP: srv.Host.IP(),
+			Proto: netaddr.ProtoTCP, SrcPort: 40000, DstPort: app.DstPort,
+		}
+		proc, ok := srv.Host.Info.OwnerOf(probe, hostinfo.RoleDestination)
+		if !ok {
+			t.Errorf("no listener for %s", app.Name)
+			continue
+		}
+		if proc.Exe.Name != app.Name {
+			t.Errorf("port %d owned by %s, want %s", app.DstPort, proc.Exe.Name, app.Name)
+		}
+		// Server daemons run as system users (privileged ports, §5.4).
+		if proc.User.UID >= 1000 {
+			t.Errorf("%s runs as uid %d", app.Name, proc.User.UID)
+		}
+	}
+}
+
+func TestStationStartFlowRegistersOwnership(t *testing.T) {
+	n := netsim.New()
+	tree := BuildTree(n, 1, 2)
+	st := tree.Stations[0]
+	if err := st.StartFlow("firefox", tree.Servers[0].Host.IP(), 80); err != nil {
+		t.Fatal(err)
+	}
+	// The OS now attributes a flow to firefox.
+	found := false
+	for name, p := range st.Proc {
+		if name == "firefox" && p != nil {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no firefox process")
+	}
+	if err := st.StartFlow("nonexistent", tree.Servers[0].Host.IP(), 80); err == nil {
+		t.Error("unknown app should error")
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	seq := func() []string {
+		n := netsim.New()
+		tree := BuildTree(n, 2, 3)
+		g := NewGenerator(tree, 42)
+		var out []string
+		for i := 0; i < 50; i++ {
+			in := g.Next()
+			out = append(out, in.Src.Host.Name+"/"+in.App.Name+"/"+in.Dst.String())
+		}
+		return out
+	}
+	a, b := seq(), seq()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("divergence at %d: %s vs %s", i, a[i], b[i])
+		}
+	}
+}
+
+func TestGeneratorSkypeTargetsPeers(t *testing.T) {
+	n := netsim.New()
+	tree := BuildTree(n, 2, 2)
+	g := NewGenerator(tree, 7, Skype)
+	for i := 0; i < 20; i++ {
+		in := g.Next()
+		if in.Dst == tree.Servers[0].Host.IP() {
+			t.Fatal("skype intent targeted the server")
+		}
+		if in.Src.Host.IP() == in.Dst {
+			t.Fatal("skype intent targeted itself")
+		}
+	}
+}
+
+func TestGeneratorOpenSkypeInstallsListener(t *testing.T) {
+	n := netsim.New()
+	tree := BuildTree(n, 1, 2)
+	g := NewGenerator(tree, 7, Skype)
+	in := g.Next()
+	if err := g.Open(in); err != nil {
+		t.Fatal(err)
+	}
+	dst, _ := tree.Net.HostByIP(in.Dst)
+	probe := flow.Five{DstIP: in.Dst, Proto: netaddr.ProtoTCP, DstPort: in.Port}
+	if _, ok := dst.Info.OwnerOf(probe, hostinfo.RoleDestination); !ok {
+		t.Error("skype listener not installed at destination")
+	}
+	// Idempotent.
+	if err := g.Open(in); err != nil {
+		t.Errorf("second open failed: %v", err)
+	}
+}
+
+func TestAppExeHashesDiffer(t *testing.T) {
+	if Skype.Exe().Hash() == OldSkype.Exe().Hash() {
+		t.Error("skype 210 and 150 should have different hashes")
+	}
+	if Skype.Exe().Hash() != Skype.Exe().Hash() {
+		t.Error("hash not deterministic")
+	}
+}
