@@ -1,0 +1,52 @@
+GO ?= go
+
+# The CI gate: everything a fresh clone must pass.
+.PHONY: ci
+ci: fmt-check vet build race bench-smoke
+
+.PHONY: fmt-check
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
+
+.PHONY: vet
+vet:
+	$(GO) vet ./...
+
+.PHONY: build
+build:
+	$(GO) build ./...
+
+.PHONY: test
+test:
+	$(GO) test ./...
+
+# The concurrency suite (internal/core stress tests included) under the
+# race detector.
+.PHONY: race
+race:
+	$(GO) test -race ./...
+
+# One iteration of every benchmark as a smoke check: catches benchmarks
+# that no longer compile or crash without paying for a measurement run.
+.PHONY: bench-smoke
+bench-smoke:
+	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
+
+# Full measurement run of the paper's E/M benchmark suite.
+.PHONY: bench
+bench:
+	$(GO) test -run=NONE -bench=. -benchmem .
+
+# Sharded fast-path throughput across shard counts (compare shards=1 to
+# shards=16 on a multi-core host).
+.PHONY: bench-m7
+bench-m7:
+	$(GO) test -run=NONE -bench=BenchmarkM7 -benchtime=2s .
+
+# Short bursts of every fuzz target; regression seeds live in testdata/.
+FUZZTIME ?= 30s
+.PHONY: fuzz
+fuzz:
+	$(GO) test -fuzz=FuzzParseFive -fuzztime=$(FUZZTIME) ./internal/flow/
+	$(GO) test -fuzz=FuzzDecodeQuery -fuzztime=$(FUZZTIME) ./internal/wire/
+	$(GO) test -fuzz=FuzzDecodeResponse -fuzztime=$(FUZZTIME) ./internal/wire/

@@ -13,9 +13,11 @@ package identxx_bench
 import (
 	"context"
 	"io"
+	"sync/atomic"
 	"testing"
 	"time"
 
+	"identxx/internal/core"
 	"identxx/internal/daemon"
 	"identxx/internal/experiments"
 	"identxx/internal/flow"
@@ -239,6 +241,102 @@ func BenchmarkM6_SigCost(b *testing.B) {
 				if d := policy.Evaluate(in); d.Action != pf.Pass {
 					b.Fatalf("wrong decision: %+v", d.Diags)
 				}
+			}
+		})
+	}
+}
+
+// m7Transport serves one canned response per host with zero latency, so
+// the benchmark measures the controller, not the daemons.
+type m7Transport struct {
+	responses map[netaddr.IP]map[string]string
+}
+
+func (t *m7Transport) Query(host netaddr.IP, q wire.Query) (*wire.Response, time.Duration, error) {
+	kv, ok := t.responses[host]
+	if !ok {
+		return nil, 0, core.ErrNoDaemon
+	}
+	r := wire.NewResponse(q.Flow)
+	for k, v := range kv {
+		r.Add(k, v)
+	}
+	return r, 0, nil
+}
+
+// m7Topo returns a fixed one-hop path.
+type m7Topo struct{ hops []core.Hop }
+
+func (t *m7Topo) Path(src, dst netaddr.IP) ([]core.Hop, error) { return t.hops, nil }
+
+// m7Datapath is a sink: the benchmark target is the controller's decision
+// pipeline, so the switch side costs one atomic add and nothing else.
+type m7Datapath struct {
+	id   uint64
+	mods atomic.Int64
+}
+
+func (d *m7Datapath) DatapathID() uint64                  { return d.id }
+func (d *m7Datapath) Apply(openflow.FlowMod) error        { d.mods.Add(1); return nil }
+func (d *m7Datapath) PacketOut(port uint16, frame []byte) {}
+func (d *m7Datapath) ReleaseBuffer(id uint32)             {}
+
+// BenchmarkM7_ShardedHandleEvent measures packet-in throughput on the
+// sharded fast path under b.RunParallel, across shard counts. Every
+// goroutine cycles its own working set of flows with the response cache
+// warm, so an iteration is the full Figure 1 pipeline minus daemon RTTs:
+// snapshot load, shard claim, cache hit, PF+=2 evaluation, audit, and a
+// one-hop install. shards=1 approximates the old single-lock controller;
+// the spread to shards=16 is what the sharding buys on a multi-core host.
+func BenchmarkM7_ShardedHandleEvent(b *testing.B) {
+	srcIP := netaddr.MustParseIP("10.0.0.1")
+	dstIP := netaddr.MustParseIP("10.0.0.2")
+	for _, shards := range []int{1, 4, 16} {
+		b.Run("shards="+itoa(shards), func(b *testing.B) {
+			tr := &m7Transport{responses: map[netaddr.IP]map[string]string{
+				srcIP: {"name": "skype", "version": "210"},
+				dstIP: {"name": "skype"},
+			}}
+			dp := &m7Datapath{id: 1}
+			ctl := core.New(core.Config{
+				Name:             "m7",
+				Policy:           pf.MustCompile("m7", "block all\npass from any to any with eq(@src[name], skype) with eq(@dst[name], skype)"),
+				Transport:        tr,
+				Topology:         &m7Topo{hops: []core.Hop{{Datapath: 1, OutPort: 2}}},
+				InstallEntries:   true,
+				ResponseCacheTTL: time.Hour,
+				Shards:           shards,
+			})
+			ctl.AddDatapath(dp)
+			var gid atomic.Uint32
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				// Distinct per-goroutine flows: parallelism without
+				// duplicate-suppression collisions.
+				g := gid.Add(1)
+				const working = 128
+				i := 0
+				for pb.Next() {
+					ev := openflow.PacketIn{
+						SwitchID: 1,
+						BufferID: openflow.BufferNone,
+						InPort:   1,
+						Tuple: flow.Ten{
+							EthType: flow.EthTypeIPv4,
+							SrcIP:   srcIP, DstIP: dstIP,
+							Proto:   netaddr.ProtoTCP,
+							SrcPort: netaddr.Port(g),
+							DstPort: netaddr.Port(1 + i%working),
+						},
+					}
+					ctl.HandleEvent(ev)
+					i++
+				}
+			})
+			b.StopTimer()
+			if ctl.Counters.Get("flows_allowed") == 0 {
+				b.Fatal("no flows decided")
 			}
 		})
 	}

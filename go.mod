@@ -1,0 +1,3 @@
+module identxx
+
+go 1.24

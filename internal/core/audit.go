@@ -2,8 +2,10 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"identxx/internal/flow"
@@ -24,6 +26,9 @@ type AuditEntry struct {
 	KeepState bool
 	Diags     []string
 	Setup     metrics.SetupBreakdown
+
+	// seq totally orders entries across stripes; assigned by Record.
+	seq int64
 }
 
 func (e AuditEntry) String() string {
@@ -36,55 +41,95 @@ func (e AuditEntry) String() string {
 	return b.String()
 }
 
-// AuditLog is a bounded ring buffer of decisions.
-type AuditLog struct {
+// auditStripe is one independently locked ring buffer.
+type auditStripe struct {
 	mu      sync.Mutex
 	entries []AuditEntry
 	next    int
 	full    bool
-	total   int64
 }
+
+func (s *auditStripe) record(e AuditEntry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.entries[s.next] = e
+	s.next++
+	if s.next == len(s.entries) {
+		s.next = 0
+		s.full = true
+	}
+}
+
+func (s *auditStripe) retained() []AuditEntry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.full {
+		out := make([]AuditEntry, s.next)
+		copy(out, s.entries[:s.next])
+		return out
+	}
+	out := make([]AuditEntry, 0, len(s.entries))
+	out = append(out, s.entries[s.next:]...)
+	out = append(out, s.entries[:s.next]...)
+	return out
+}
+
+// AuditLog is a bounded ring buffer of decisions. Internally it is striped
+// across independently locked rings so Record — which runs on every flow
+// decision — never serializes concurrent decisions behind one lock; a
+// global sequence number restores total order on read and doubles as the
+// total-recorded count.
+type AuditLog struct {
+	stripes []auditStripe
+	seq     atomic.Int64
+}
+
+// auditStripes is fixed: enough to keep concurrent deciders apart without
+// fragmenting small logs.
+const auditStripes = 8
 
 // NewAuditLog creates a log holding up to capEntries (default 4096).
 func NewAuditLog(capEntries int) *AuditLog {
 	if capEntries <= 0 {
 		capEntries = 4096
 	}
-	return &AuditLog{entries: make([]AuditEntry, capEntries)}
+	n := auditStripes
+	if capEntries < n {
+		n = 1
+	}
+	per, rem := capEntries/n, capEntries%n
+	l := &AuditLog{stripes: make([]auditStripe, n)}
+	for i := range l.stripes {
+		size := per
+		if i < rem {
+			size++ // distribute the remainder so capacity is exact
+		}
+		l.stripes[i].entries = make([]AuditEntry, size)
+	}
+	return l
 }
 
-// Record appends an entry.
+// Record appends an entry. Stripes are picked round-robin off the global
+// sequence number, so retained capacity stays ~capEntries even when one
+// flow dominates the traffic (hash striping would pin such a workload to
+// one ring and quietly shrink retention 8x).
 func (l *AuditLog) Record(e AuditEntry) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	l.entries[l.next] = e
-	l.next++
-	l.total++
-	if l.next == len(l.entries) {
-		l.next = 0
-		l.full = true
-	}
+	e.seq = l.seq.Add(1)
+	l.stripes[e.seq%int64(len(l.stripes))].record(e)
 }
 
 // Total returns the number of entries ever recorded.
 func (l *AuditLog) Total() int64 {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return l.total
+	return l.seq.Load()
 }
 
 // Entries returns the retained entries, oldest first.
 func (l *AuditLog) Entries() []AuditEntry {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if !l.full {
-		out := make([]AuditEntry, l.next)
-		copy(out, l.entries[:l.next])
-		return out
+	var out []AuditEntry
+	for i := range l.stripes {
+		out = append(out, l.stripes[i].retained()...)
 	}
-	out := make([]AuditEntry, 0, len(l.entries))
-	out = append(out, l.entries[l.next:]...)
-	out = append(out, l.entries[:l.next]...)
+	sort.Slice(out, func(i, j int) bool { return out[i].seq < out[j].seq })
 	return out
 }
 

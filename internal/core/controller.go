@@ -6,12 +6,23 @@
 // as flow entries along the path (Figure 1). It also implements the
 // interception roles of §3.4: answering queries on behalf of hosts and
 // augmenting responses that transit its network.
+//
+// Concurrency model: the packet-in fast path takes zero global locks.
+// Read-mostly configuration (policy, query keys, datapaths, answer-on-
+// behalf table, augmenter) lives in an immutable snapshot behind an
+// atomic.Pointer; mutators copy-on-write and swap. Per-flow state (the
+// response cache and the pending set) is sharded by the flow's maphash
+// (see shard.go), so packet-ins for different flows contend only when
+// they hash to the same shard. Duplicate packet-ins for an in-flight flow
+// park on the shard's waiter list and are resolved by the first verdict
+// instead of being dropped and re-punted.
 package core
 
 import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"identxx/internal/flow"
@@ -81,11 +92,43 @@ type Config struct {
 	// disables the cache.
 	ResponseCacheTTL time.Duration
 
+	// Shards sets the number of flow-state shards, rounded up to a power
+	// of two. Zero picks a hardware-sized default (≥ GOMAXPROCS).
+	Shards int
+
 	// AuditCap bounds the audit ring buffer (default 4096).
 	AuditCap int
 
 	// Clock for cache expiry; defaults to time.Now.
 	Clock func() time.Time
+}
+
+// ctlState is the immutable configuration snapshot the fast path reads.
+// Mutators never modify a published snapshot: they clone, edit the clone,
+// and atomically swap it in under writeMu.
+type ctlState struct {
+	epoch     uint64 // bumped by SetPolicy; pins cache entries to a policy
+	policy    *pf.Policy
+	queryKeys []string
+	datapaths map[uint64]openflow.Datapath
+	answers   map[netaddr.IP][]wire.KV // answer-on-behalf data (§3.4, §4)
+	augment   func(q wire.Query, resp *wire.Response)
+}
+
+// clone copies the snapshot's maps so the edit never aliases a published
+// state. Slice values (answers) are replaced wholesale by mutators, never
+// appended to in place, so sharing them here is safe.
+func (st *ctlState) clone() *ctlState {
+	c := *st
+	c.datapaths = make(map[uint64]openflow.Datapath, len(st.datapaths)+1)
+	for k, v := range st.datapaths {
+		c.datapaths[k] = v
+	}
+	c.answers = make(map[netaddr.IP][]wire.KV, len(st.answers)+1)
+	for k, v := range st.answers {
+		c.answers[k] = v
+	}
+	return &c
 }
 
 // Controller is an ident++-enabled OpenFlow controller.
@@ -100,24 +143,14 @@ type Controller struct {
 	cacheTTL  time.Duration
 	clock     func() time.Time
 
-	mu        sync.RWMutex
-	policy    *pf.Policy
-	queryKeys []string
-	datapaths map[uint64]openflow.Datapath
-	answers   map[netaddr.IP][]wire.KV // answer-on-behalf data (§3.4, §4)
-	augment   func(q wire.Query, resp *wire.Response)
-	respCache map[flow.Five]cacheEntry
-	pending   map[flow.Five]bool
+	state   atomic.Pointer[ctlState] // read-mostly snapshot; fast path loads once
+	writeMu sync.Mutex               // serializes snapshot writers only
+	flows   *shardTable              // sharded per-flow state (shard.go)
 
 	// Counters and latency recorder are exported for the harness.
 	Counters *metrics.Counter
 	Setup    *metrics.SetupRecorder
 	Audit    *AuditLog
-}
-
-type cacheEntry struct {
-	src, dst *wire.Response
-	expires  time.Time
 }
 
 // New creates a controller. Config.Policy, Transport and Topology are
@@ -144,6 +177,10 @@ func New(cfg Config) *Controller {
 	if keys == nil {
 		keys = cfg.Policy.ReferencedKeys()
 	}
+	shards := cfg.Shards
+	if shards <= 0 {
+		shards = defaultShards()
+	}
 	c := &Controller{
 		name:      cfg.Name,
 		transport: cfg.Transport,
@@ -154,45 +191,75 @@ func New(cfg Config) *Controller {
 		install:   cfg.InstallEntries,
 		cacheTTL:  cfg.ResponseCacheTTL,
 		clock:     clock,
-		policy:    cfg.Policy,
-		queryKeys: keys,
-		datapaths: make(map[uint64]openflow.Datapath),
-		answers:   make(map[netaddr.IP][]wire.KV),
-		respCache: make(map[flow.Five]cacheEntry),
-		pending:   make(map[flow.Five]bool),
+		flows:     newShardTable(shards),
 		Counters:  metrics.NewCounter(),
 		Setup:     metrics.NewSetupRecorder(),
 		Audit:     NewAuditLog(cfg.AuditCap),
 	}
+	c.state.Store(&ctlState{
+		policy:    cfg.Policy,
+		queryKeys: keys,
+		datapaths: make(map[uint64]openflow.Datapath),
+		answers:   make(map[netaddr.IP][]wire.KV),
+	})
 	return c
 }
 
 // Name returns the controller's name (used in augmentation sections).
 func (c *Controller) Name() string { return c.name }
 
+// Shards returns the shard count of the flow-state table.
+func (c *Controller) Shards() int { return len(c.flows.shards) }
+
+// CachedFlows counts live response-cache entries across all shards.
+func (c *Controller) CachedFlows() int {
+	st := c.state.Load()
+	return c.flows.cachedFlows(c.clock(), st.epoch)
+}
+
+// mutate applies edit to a private clone of the current snapshot and
+// publishes the result. Concurrent readers see either the old or the new
+// snapshot, never a partial edit.
+func (c *Controller) mutate(edit func(st *ctlState)) *ctlState {
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	st := c.state.Load().clone()
+	edit(st)
+	c.state.Store(st)
+	return st
+}
+
 // AddDatapath registers a switch the controller programs.
 func (c *Controller) AddDatapath(dp openflow.Datapath) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.datapaths[dp.DatapathID()] = dp
+	c.mutate(func(st *ctlState) {
+		st.datapaths[dp.DatapathID()] = dp
+	})
 }
 
 // SetPolicy atomically replaces the policy and flushes every cached verdict
 // from the switches — the revocation path: a delegation withdrawn in the
-// policy takes effect for the next packet of every flow.
+// policy takes effect for the next packet of every flow. The snapshot swap
+// bumps the policy epoch, so response-cache entries written by decisions
+// racing this call are stale-on-arrival; the shard caches are then dropped
+// and the per-switch table flushes issued concurrently, so revocation
+// latency is the slowest single switch, not their sum behind one lock.
 func (c *Controller) SetPolicy(p *pf.Policy) {
-	c.mu.Lock()
-	c.policy = p
-	c.queryKeys = p.ReferencedKeys()
-	c.respCache = make(map[flow.Five]cacheEntry)
-	dps := make([]openflow.Datapath, 0, len(c.datapaths))
-	for _, dp := range c.datapaths {
-		dps = append(dps, dp)
+	st := c.mutate(func(st *ctlState) {
+		st.epoch++
+		st.policy = p
+		st.queryKeys = p.ReferencedKeys()
+	})
+
+	c.flows.flushAll()
+	var wg sync.WaitGroup
+	for _, dp := range st.datapaths {
+		wg.Add(1)
+		go func(dp openflow.Datapath) {
+			defer wg.Done()
+			dp.Apply(openflow.FlowMod{Delete: true, Match: flow.MatchAll(), BufferID: openflow.BufferNone})
+		}(dp)
 	}
-	c.mu.Unlock()
-	for _, dp := range dps {
-		dp.Apply(openflow.FlowMod{Delete: true, Match: flow.MatchAll(), BufferID: openflow.BufferNone})
-	}
+	wg.Wait()
 	c.Counters.Add("policy_reloads", 1)
 }
 
@@ -200,17 +267,22 @@ func (c *Controller) SetPolicy(p *pf.Policy) {
 // host without a daemon (§3.4 "the controller spoofs the IP address of the
 // end-host, sends a response itself"; §4 incremental deployment).
 func (c *Controller) AnswerForHost(ip netaddr.IP, pairs ...wire.KV) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.answers[ip] = append(c.answers[ip], pairs...)
+	c.mutate(func(st *ctlState) {
+		// Replace, don't append in place: the old slice may be shared with
+		// published snapshots still being read.
+		merged := make([]wire.KV, 0, len(st.answers[ip])+len(pairs))
+		merged = append(merged, st.answers[ip]...)
+		merged = append(merged, pairs...)
+		st.answers[ip] = merged
+	})
 }
 
 // SetAugmenter installs the response-augmentation hook used when this
 // controller intercepts ident++ responses transiting its network (§3.4).
 func (c *Controller) SetAugmenter(f func(q wire.Query, resp *wire.Response)) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.augment = f
+	c.mutate(func(st *ctlState) {
+		st.augment = f
+	})
 }
 
 // HandlePacketIn implements openflow.Controller for in-process switches.
@@ -228,12 +300,13 @@ func (c *Controller) PacketInFromRemote(sw *openflow.RemoteSwitch, ev openflow.P
 	c.HandleEvent(ev)
 }
 
-// HandleEvent is the Figure 1 pipeline. It is safe for concurrent calls.
+// HandleEvent is the Figure 1 pipeline. It is safe for concurrent calls and
+// takes no global locks: configuration comes from one atomic snapshot load
+// and per-flow state from the flow's shard.
 func (c *Controller) HandleEvent(ev openflow.PacketIn) {
 	c.Counters.Add("packet_ins", 1)
-	c.mu.RLock()
-	dp := c.datapaths[ev.SwitchID]
-	c.mu.RUnlock()
+	st := c.state.Load()
+	dp := st.datapaths[ev.SwitchID]
 	if dp == nil {
 		c.Counters.Add("unknown_datapath", 1)
 		return
@@ -246,22 +319,31 @@ func (c *Controller) HandleEvent(ev openflow.PacketIn) {
 		return
 	}
 	five := ev.Tuple.Five()
+	sh := c.flows.shardFor(five)
 
-	// Collapse duplicate packet-ins for a flow whose verdict is being
-	// computed: the first packet's install resolves them.
-	c.mu.Lock()
-	if c.pending[five] {
-		c.mu.Unlock()
-		dp.ReleaseBuffer(ev.BufferID)
+	// Duplicate packet-ins for a flow whose verdict is being computed park
+	// on the shard's waiter list; the first packet's verdict resolves them.
+	// A full waiter list (slow verdict at line rate) degrades to the
+	// release-now path so one flow cannot pin unbounded switch buffers.
+	first, parkedOK := sh.begin(five, dp, ev.BufferID)
+	if !first {
 		c.Counters.Add("duplicate_packet_ins", 1)
+		if !parkedOK {
+			dp.ReleaseBuffer(ev.BufferID)
+			c.Counters.Add("waiters_overflowed", 1)
+		}
 		return
 	}
-	c.pending[five] = true
-	c.mu.Unlock()
 	defer func() {
-		c.mu.Lock()
-		delete(c.pending, five)
-		c.mu.Unlock()
+		// Resolve after the verdict's entries are installed: released
+		// buffers then hit the fresh table entry instead of re-punting.
+		waiters := sh.resolve(five)
+		for _, w := range waiters {
+			w.dp.ReleaseBuffer(w.bufferID)
+		}
+		if len(waiters) > 0 {
+			c.Counters.Add("waiters_resolved", int64(len(waiters)))
+		}
 	}()
 
 	var bd metrics.SetupBreakdown
@@ -270,14 +352,11 @@ func (c *Controller) HandleEvent(ev openflow.PacketIn) {
 		bd.Install = c.latency.InstallLatency(ev.SwitchID)
 	}
 
-	src, dst, qsrc, qdst := c.gatherResponses(five)
+	src, dst, qsrc, qdst := c.gatherResponses(st, sh, five)
 	bd.QuerySrc, bd.QueryDst = qsrc, qdst
 
 	evalStart := time.Now()
-	c.mu.RLock()
-	policy := c.policy
-	c.mu.RUnlock()
-	d := policy.Evaluate(pf.Input{Flow: five, Src: src, Dst: dst})
+	d := st.policy.Evaluate(pf.Input{Flow: five, Src: src, Dst: dst})
 	bd.Eval = time.Since(evalStart)
 
 	c.Setup.Observe(bd)
@@ -294,7 +373,7 @@ func (c *Controller) HandleEvent(ev openflow.PacketIn) {
 
 	if d.Action == pf.Pass {
 		c.Counters.Add("flows_allowed", 1)
-		c.installPath(dp, ev, five, d.KeepState)
+		c.installPath(st, dp, ev, five, d.KeepState)
 	} else {
 		c.Counters.Add("flows_denied", 1)
 		c.installDrop(dp, ev, five)
@@ -305,68 +384,111 @@ func (c *Controller) HandleEvent(ev openflow.PacketIn) {
 }
 
 // gatherResponses queries both ends concurrently (§2 step 3) with the
-// response cache in front.
-func (c *Controller) gatherResponses(five flow.Five) (src, dst *wire.Response, qsrc, qdst time.Duration) {
+// flow's shard of the response cache in front.
+func (c *Controller) gatherResponses(st *ctlState, sh *shard, five flow.Five) (src, dst *wire.Response, qsrc, qdst time.Duration) {
 	now := c.clock()
 	if c.cacheTTL > 0 {
-		c.mu.RLock()
-		if e, ok := c.respCache[five]; ok && now.Before(e.expires) {
-			c.mu.RUnlock()
+		if e, ok := sh.lookup(five, now, st.epoch); ok {
 			c.Counters.Add("response_cache_hits", 1)
 			return e.src, e.dst, 0, 0
 		}
-		c.mu.RUnlock()
 	}
-	c.mu.RLock()
-	keys := c.queryKeys
-	c.mu.RUnlock()
-	q := wire.Query{Flow: five, Keys: keys}
+	q := wire.Query{Flow: five, Keys: st.queryKeys}
 
 	var wg sync.WaitGroup
 	wg.Add(2)
 	go func() {
 		defer wg.Done()
-		src, qsrc = c.queryOne(five.SrcIP, q)
+		src, qsrc = c.queryOne(st, five.SrcIP, q)
 	}()
 	go func() {
 		defer wg.Done()
-		dst, qdst = c.queryOne(five.DstIP, q)
+		dst, qdst = c.queryOne(st, five.DstIP, q)
 	}()
 	wg.Wait()
 
 	if c.cacheTTL > 0 {
-		c.mu.Lock()
-		c.respCache[five] = cacheEntry{src: src, dst: dst, expires: now.Add(c.cacheTTL)}
-		c.mu.Unlock()
+		sh.store(five, cacheEntry{src: src, dst: dst, expires: now.Add(c.cacheTTL), epoch: st.epoch}, now, c.cacheTTL)
 	}
 	return src, dst, qsrc, qdst
 }
 
-func (c *Controller) queryOne(host netaddr.IP, q wire.Query) (*wire.Response, time.Duration) {
+func (c *Controller) queryOne(st *ctlState, host netaddr.IP, q wire.Query) (*wire.Response, time.Duration) {
 	resp, rtt, err := c.transport.Query(host, q)
 	if err == nil {
 		return resp, rtt
 	}
 	c.Counters.Add("query_errors", 1)
 	// Answer on behalf of daemon-less hosts from local configuration.
-	c.mu.RLock()
-	pairs := c.answers[host]
-	name := c.name
-	c.mu.RUnlock()
+	pairs := st.answers[host]
 	if len(pairs) == 0 {
 		return nil, rtt
 	}
 	c.Counters.Add("answered_on_behalf", 1)
 	r := &wire.Response{Flow: q.Flow}
-	sec := r.Augment("controller:" + name)
+	sec := r.Augment("controller:" + c.name)
 	sec.Pairs = append(sec.Pairs, pairs...)
 	return r, rtt
 }
 
+// applyMods issues one flow-mod per datapath, concurrently when the path
+// crosses more than one switch, so install latency along a path is the
+// slowest single switch rather than the sum of all of them.
+func (c *Controller) applyMods(dps []openflow.Datapath, mods []openflow.FlowMod) {
+	if len(dps) == 1 {
+		if err := dps[0].Apply(mods[0]); err != nil {
+			c.Counters.Add("install_errors", 1)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for i := range dps {
+		wg.Add(1)
+		go func(dp openflow.Datapath, mod openflow.FlowMod) {
+			defer wg.Done()
+			if err := dp.Apply(mod); err != nil {
+				c.Counters.Add("install_errors", 1)
+			}
+		}(dps[i], mods[i])
+	}
+	wg.Wait()
+}
+
+// pathMods builds the per-hop flow-mods for one direction of a flow.
+// hasIngress distinguishes "no ingress on this path" (reverse direction)
+// from a legitimate ingress datapath ID of 0.
+func (c *Controller) pathMods(st *ctlState, hops []Hop, five flow.Five, cookie uint64, hasIngress bool, ingress uint64, bufferID uint32) (dps []openflow.Datapath, mods []openflow.FlowMod) {
+	for _, h := range hops {
+		dp := st.datapaths[h.Datapath]
+		if dp == nil {
+			continue
+		}
+		mod := openflow.FlowMod{
+			Match:       flow.FiveMatch(five),
+			Priority:    100,
+			Actions:     openflow.Output(h.OutPort),
+			Cookie:      cookie,
+			IdleTimeout: c.idle,
+			HardTimeout: c.hard,
+			BufferID:    openflow.BufferNone,
+		}
+		if hasIngress && h.Datapath == ingress {
+			mod.BufferID = bufferID
+			mod.NotifyRemoved = true
+		}
+		dps = append(dps, dp)
+		mods = append(mods, mod)
+	}
+	return dps, mods
+}
+
 // installPath caches a pass verdict as exact-granularity entries along the
 // whole path, releasing the buffered first packet at the ingress switch
-// (Figure 1 steps 4-5), plus the reverse path under `keep state`.
-func (c *Controller) installPath(ingress openflow.Datapath, ev openflow.PacketIn, five flow.Five, keepState bool) {
+// (Figure 1 steps 4-5), plus the reverse path under `keep state`. Entries
+// along a path are installed concurrently, one goroutine per switch; the
+// forward direction completes before the reverse is issued so the buffered
+// packet is released against a fully programmed forward path.
+func (c *Controller) installPath(st *ctlState, ingress openflow.Datapath, ev openflow.PacketIn, five flow.Five, keepState bool) {
 	if !c.install {
 		// Ablation mode: forward this one packet, cache nothing.
 		hops, err := c.topo.Path(five.SrcIP, five.DstIP)
@@ -388,30 +510,8 @@ func (c *Controller) installPath(ingress openflow.Datapath, ev openflow.PacketIn
 		return
 	}
 	cookie := five.Hash() | 1 // non-zero so delete-by-cookie can target it
-	for _, h := range hops {
-		c.mu.RLock()
-		dp := c.datapaths[h.Datapath]
-		c.mu.RUnlock()
-		if dp == nil {
-			continue
-		}
-		mod := openflow.FlowMod{
-			Match:       flow.FiveMatch(five),
-			Priority:    100,
-			Actions:     openflow.Output(h.OutPort),
-			Cookie:      cookie,
-			IdleTimeout: c.idle,
-			HardTimeout: c.hard,
-			BufferID:    openflow.BufferNone,
-		}
-		if h.Datapath == ev.SwitchID {
-			mod.BufferID = ev.BufferID
-			mod.NotifyRemoved = true
-		}
-		if err := dp.Apply(mod); err != nil {
-			c.Counters.Add("install_errors", 1)
-		}
-	}
+	dps, mods := c.pathMods(st, hops, five, cookie, true, ev.SwitchID, ev.BufferID)
+	c.applyMods(dps, mods)
 	c.Counters.Add("entries_installed", int64(len(hops)))
 	if keepState {
 		rev := five.Reverse()
@@ -420,26 +520,10 @@ func (c *Controller) installPath(ingress openflow.Datapath, ev openflow.PacketIn
 			c.Counters.Add("path_errors", 1)
 			return
 		}
-		for _, h := range rhops {
-			c.mu.RLock()
-			dp := c.datapaths[h.Datapath]
-			c.mu.RUnlock()
-			if dp == nil {
-				continue
-			}
-			mod := openflow.FlowMod{
-				Match:       flow.FiveMatch(rev),
-				Priority:    100,
-				Actions:     openflow.Output(h.OutPort),
-				Cookie:      cookie,
-				IdleTimeout: c.idle,
-				HardTimeout: c.hard,
-				BufferID:    openflow.BufferNone,
-			}
-			if err := dp.Apply(mod); err != nil {
-				c.Counters.Add("install_errors", 1)
-			}
-		}
+		// No ingress buffer on the reverse path: the reply's first packet
+		// has not arrived yet.
+		rdps, rmods := c.pathMods(st, rhops, rev, cookie, false, 0, openflow.BufferNone)
+		c.applyMods(rdps, rmods)
 		c.Counters.Add("entries_installed", int64(len(rhops)))
 	}
 }
@@ -475,21 +559,21 @@ func (c *Controller) installDrop(dp openflow.Datapath, ev openflow.PacketIn, fiv
 }
 
 // RevokeFlow deletes the cached entries for a flow everywhere, forcing the
-// next packet back to the controller — per-flow revocation.
+// next packet back to the controller — per-flow revocation. Deletes are
+// issued concurrently per switch, as with installs.
 func (c *Controller) RevokeFlow(five flow.Five) {
 	cookie := five.Hash() | 1
-	c.mu.RLock()
-	dps := make([]openflow.Datapath, 0, len(c.datapaths))
-	for _, dp := range c.datapaths {
-		dps = append(dps, dp)
+	st := c.state.Load()
+	var wg sync.WaitGroup
+	for _, dp := range st.datapaths {
+		wg.Add(1)
+		go func(dp openflow.Datapath) {
+			defer wg.Done()
+			dp.Apply(openflow.FlowMod{Delete: true, Cookie: cookie, Match: flow.MatchAll(), BufferID: openflow.BufferNone})
+		}(dp)
 	}
-	c.mu.RUnlock()
-	for _, dp := range dps {
-		dp.Apply(openflow.FlowMod{Delete: true, Cookie: cookie, Match: flow.MatchAll(), BufferID: openflow.BufferNone})
-	}
-	c.mu.Lock()
-	delete(c.respCache, five)
-	c.mu.Unlock()
+	wg.Wait()
+	c.flows.shardFor(five).drop(five)
 	c.Counters.Add("flows_revoked", 1)
 }
 

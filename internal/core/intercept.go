@@ -21,16 +21,14 @@ type Interceptor interface {
 // InterceptQuery implements Interceptor using the controller's
 // answer-on-behalf table.
 func (c *Controller) InterceptQuery(host netaddr.IP, q wire.Query) (*wire.Response, bool) {
-	c.mu.RLock()
-	pairs := c.answers[host]
-	name := c.name
-	c.mu.RUnlock()
+	st := c.state.Load()
+	pairs := st.answers[host]
 	if len(pairs) == 0 {
 		return nil, false
 	}
 	c.Counters.Add("queries_intercepted", 1)
 	r := &wire.Response{Flow: q.Flow}
-	sec := r.Augment("controller:" + name)
+	sec := r.Augment("controller:" + c.name)
 	sec.Pairs = append(sec.Pairs, pairs...)
 	return r, true
 }
@@ -39,9 +37,7 @@ func (c *Controller) InterceptQuery(host netaddr.IP, q wire.Query) (*wire.Respon
 // by the configured augmenter, the "empty line followed by the key-value
 // pairs it wishes to add" of §3.4.
 func (c *Controller) AugmentResponse(q wire.Query, resp *wire.Response) {
-	c.mu.RLock()
-	aug := c.augment
-	c.mu.RUnlock()
+	aug := c.state.Load().augment
 	if aug == nil || resp == nil {
 		return
 	}

@@ -1,0 +1,191 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"time"
+
+	"identxx/internal/flow"
+	"identxx/internal/openflow"
+	"identxx/internal/wire"
+)
+
+// The controller's per-flow state (verdict/response cache, in-flight
+// pending set, parked duplicate packet-ins) is split across N power-of-two
+// shards keyed by flow.Five.ShardIndex, so concurrent packet-ins for
+// different flows never contend on one lock. Each shard owns its own
+// mutex, maps, and expiry sweep; nothing in a shard is touched without
+// that shard's lock.
+
+// cacheEntry caches the responses gathered for one flow. epoch pins the
+// entry to the policy snapshot it was computed under: SetPolicy bumps the
+// controller epoch, so entries cached by in-flight decisions racing a
+// policy swap can never satisfy a lookup under the new policy, even if
+// they land after the flush.
+type cacheEntry struct {
+	src, dst *wire.Response
+	expires  time.Time
+	epoch    uint64
+}
+
+// parked is a duplicate packet-in waiting for the first packet's verdict.
+// Releasing its buffer after the verdict's entries are installed lets the
+// switch forward (or drop) it from its own table instead of re-punting.
+type parked struct {
+	dp       openflow.Datapath
+	bufferID uint32
+}
+
+// shard is one lock domain of the flow-decision fast path.
+type shard struct {
+	mu        sync.Mutex
+	respCache map[flow.Five]cacheEntry
+	pending   map[flow.Five][]parked
+	lastSweep time.Time
+}
+
+// shardTable is the full sharded state. Size is fixed at construction, so
+// lookups need no lock at all: shard selection is pure hashing.
+type shardTable struct {
+	shards []shard
+	mask   uint64
+}
+
+func newShardTable(n int) *shardTable {
+	n = ceilPow2(n)
+	t := &shardTable{shards: make([]shard, n), mask: uint64(n - 1)}
+	for i := range t.shards {
+		t.shards[i].respCache = make(map[flow.Five]cacheEntry)
+		t.shards[i].pending = make(map[flow.Five][]parked)
+	}
+	return t
+}
+
+func (t *shardTable) shardFor(five flow.Five) *shard {
+	return &t.shards[five.Hash()&t.mask]
+}
+
+// maxParked bounds the waiter list per in-flight flow. Parked events hold
+// switch buffer slots until the verdict, so a slow daemon must not let one
+// flow pin unbounded buffers: past the cap, duplicates fall back to the
+// old drop-and-re-punt behavior (buffer released immediately).
+const maxParked = 64
+
+// begin claims the flow for the calling decision. The first caller for a
+// flow gets first=true and owns resolving it; later callers' events are
+// parked on the waiter list (parked=true) and resolved by the owner's
+// verdict, unless the list is full (parked=false: caller releases now).
+func (s *shard) begin(five flow.Five, dp openflow.Datapath, bufferID uint32) (first, parkedOK bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if waiters, inFlight := s.pending[five]; inFlight {
+		if len(waiters) >= maxParked {
+			return false, false
+		}
+		s.pending[five] = append(waiters, parked{dp: dp, bufferID: bufferID})
+		return false, true
+	}
+	s.pending[five] = nil // in flight, no waiters yet
+	return true, false
+}
+
+// resolve ends the flow's in-flight window and returns the parked
+// duplicates for the owner to release now that the verdict is installed.
+func (s *shard) resolve(five flow.Five) []parked {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	waiters := s.pending[five]
+	delete(s.pending, five)
+	return waiters
+}
+
+// lookup returns the cached responses for five if present, unexpired, and
+// from the current policy epoch.
+func (s *shard) lookup(five flow.Five, now time.Time, epoch uint64) (cacheEntry, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.respCache[five]
+	if !ok || e.epoch != epoch || !now.Before(e.expires) {
+		return cacheEntry{}, false
+	}
+	return e, true
+}
+
+// store caches the responses for five and opportunistically sweeps the
+// shard: at most once per TTL it walks its own map and drops expired
+// entries, so expiry cost is bounded, per shard, and off every other
+// shard's lock.
+func (s *shard) store(five flow.Five, e cacheEntry, now time.Time, ttl time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.lastSweep.IsZero() {
+		s.lastSweep = now
+	} else if now.Sub(s.lastSweep) >= ttl {
+		for f, old := range s.respCache {
+			if !now.Before(old.expires) {
+				delete(s.respCache, f)
+			}
+		}
+		s.lastSweep = now
+	}
+	s.respCache[five] = e
+}
+
+// drop removes one flow's cached responses (per-flow revocation).
+func (s *shard) drop(five flow.Five) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.respCache, five)
+}
+
+// flushAll clears every shard's cache. Sequential on purpose: dropping a
+// map pointer under a briefly held lock costs nanoseconds per shard, far
+// less than goroutine spawn would — and correctness never depended on the
+// flush anyway (the epoch bump already invalidated every entry).
+func (t *shardTable) flushAll() {
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.Lock()
+		s.respCache = make(map[flow.Five]cacheEntry)
+		s.lastSweep = time.Time{}
+		s.mu.Unlock()
+	}
+}
+
+// cachedFlows counts live (unexpired, current-epoch) entries across all
+// shards; a diagnostics helper for tests and operators.
+func (t *shardTable) cachedFlows(now time.Time, epoch uint64) int {
+	n := 0
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.Lock()
+		for _, e := range s.respCache {
+			if e.epoch == epoch && now.Before(e.expires) {
+				n++
+			}
+		}
+		s.mu.Unlock()
+	}
+	return n
+}
+
+func ceilPow2(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// defaultShards sizes the table to the hardware: the next power of two at
+// or above GOMAXPROCS, clamped to [1, 256].
+func defaultShards() int {
+	n := ceilPow2(runtime.GOMAXPROCS(0))
+	if n > 256 {
+		n = 256
+	}
+	return n
+}

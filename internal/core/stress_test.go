@@ -1,0 +1,200 @@
+package core
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"identxx/internal/flow"
+	"identxx/internal/netaddr"
+	"identxx/internal/pf"
+	"identxx/internal/wire"
+)
+
+// TestStressConcurrentPipeline hammers HandleEvent from many goroutines
+// while every mutator — SetPolicy, AnswerForHost, AddDatapath, RevokeFlow,
+// SetAugmenter — runs concurrently, plus readers of the exported metrics.
+// It is the race-detector workout for the sharded fast path and the
+// copy-on-write snapshot; correctness is asserted by conservation laws
+// over the counters, which must hold no matter how the schedules
+// interleave.
+func TestStressConcurrentPipeline(t *testing.T) {
+	tr := &fakeTransport{responses: map[netaddr.IP]map[string]string{
+		hostA: {"name": "skype"},
+		hostB: {"name": "skype"},
+	}}
+	topo := &fakeTopo{hops: []Hop{{Datapath: 1, OutPort: 2}, {Datapath: 2, OutPort: 3}}}
+	dp1 := &fakeDatapath{id: 1}
+	dp2 := &fakeDatapath{id: 2}
+	c := New(Config{
+		Name:             "stress",
+		Policy:           pf.MustCompile("p", `pass from any to any`),
+		Transport:        tr,
+		Topology:         topo,
+		InstallEntries:   true,
+		ResponseCacheTTL: time.Minute,
+		Shards:           8,
+	})
+	c.AddDatapath(dp1)
+	c.AddDatapath(dp2)
+
+	const (
+		workers       = 8
+		eventsPerW    = 400
+		distinctFlows = 64
+	)
+	policies := []*pf.Policy{
+		pf.MustCompile("allow", `pass from any to any`),
+		pf.MustCompile("deny", `block all`),
+		pf.MustCompile("cond", "block all\npass from any to any with eq(@src[name], skype)"),
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	// Mutators: policy swaps (the revocation path), registry growth,
+	// answer-on-behalf updates, per-flow revocation, augmenter swaps.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		i := 0
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			c.SetPolicy(policies[i%len(policies)])
+			c.AnswerForHost(hostB, wire.KV{Key: "type", Value: "printer"})
+			c.AddDatapath(&fakeDatapath{id: uint64(100 + i%7)})
+			c.RevokeFlow(flow.Five{SrcIP: hostA, DstIP: hostB, Proto: netaddr.ProtoTCP,
+				SrcPort: netaddr.Port(i % distinctFlows), DstPort: 80})
+			c.SetAugmenter(func(q wire.Query, resp *wire.Response) {})
+			i++
+		}
+	}()
+
+	// Readers: exported surfaces a harness would poll mid-run.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_ = c.Counters.Snapshot()
+			_ = c.Setup.Total.Summary()
+			_ = c.Audit.Entries()
+			_ = c.CachedFlows()
+			c.InterceptQuery(hostB, wire.Query{})
+		}
+	}()
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < eventsPerW; i++ {
+				n := (w*eventsPerW + i) % distinctFlows
+				five := flow.Five{SrcIP: hostA, DstIP: hostB, Proto: netaddr.ProtoTCP,
+					SrcPort: netaddr.Port(1000 + n), DstPort: 80}
+				c.HandleEvent(sampleEvent(five, 1+uint64(n%2)))
+			}
+		}(w)
+	}
+
+	// Wait for the event workers, then stop the background churn.
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	go func() {
+		// Workers are the first to finish; the churn goroutines only exit
+		// via stop, so close it once all events are in.
+		for c.Counters.Get("packet_ins") < workers*eventsPerW {
+			time.Sleep(time.Millisecond)
+		}
+		close(stop)
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("stress run wedged")
+	}
+
+	// Conservation: every packet-in was either decided or parked behind a
+	// decision; nothing is lost or double-counted.
+	snap := c.Counters.Snapshot()
+	decided := snap["flows_allowed"] + snap["flows_denied"]
+	if decided+snap["duplicate_packet_ins"] != workers*eventsPerW {
+		t.Errorf("decided=%d duplicates=%d, want sum %d; counters: %s",
+			decided, snap["duplicate_packet_ins"], workers*eventsPerW, c.Counters)
+	}
+	if c.Audit.Total() != decided {
+		t.Errorf("audit total = %d, want %d (one entry per decision)", c.Audit.Total(), decided)
+	}
+	// Every parked duplicate must have been resolved by a verdict (or
+	// counted as an overflow release when the waiter list was full).
+	if snap["waiters_resolved"]+snap["waiters_overflowed"] != snap["duplicate_packet_ins"] {
+		t.Errorf("waiters_resolved = %d + overflowed = %d != duplicate_packet_ins = %d; parked events leaked",
+			snap["waiters_resolved"], snap["waiters_overflowed"], snap["duplicate_packet_ins"])
+	}
+	// Quiescent: no flow still marked in flight.
+	for i := range c.flows.shards {
+		sh := &c.flows.shards[i]
+		sh.mu.Lock()
+		n := len(sh.pending)
+		sh.mu.Unlock()
+		if n != 0 {
+			t.Errorf("shard %d still has %d pending flows after quiescence", i, n)
+		}
+	}
+}
+
+// TestPolicySwapInvalidatesInFlightCacheWrite pins down the race the
+// cache-entry epoch exists for: a decision that started under the old
+// policy is still gathering responses when SetPolicy flushes the shards;
+// its cache write lands *after* the flush. Without epoch pinning that
+// stale entry would serve cache hits under the new policy for a full TTL.
+func TestPolicySwapInvalidatesInFlightCacheWrite(t *testing.T) {
+	block := make(chan struct{})
+	slow := &slowTransport{unblock: block}
+	topo := &fakeTopo{hops: []Hop{{Datapath: 1, OutPort: 2}}}
+	dp := &fakeDatapath{id: 1}
+	c := New(Config{
+		Name:             "swap",
+		Policy:           pf.MustCompile("p1", `pass from any to any`),
+		Transport:        slow,
+		Topology:         topo,
+		InstallEntries:   true,
+		ResponseCacheTTL: time.Hour,
+		Shards:           4,
+	})
+	c.AddDatapath(dp)
+	five := flow.Five{SrcIP: hostA, DstIP: hostB, Proto: netaddr.ProtoTCP, SrcPort: 9, DstPort: 443}
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c.HandleEvent(sampleEvent(five, 1)) // parks in the slow transport
+	}()
+	slow.waitUntilQuerying()
+
+	// The swap completes while the first decision is mid-query.
+	c.SetPolicy(pf.MustCompile("p2", `pass from any to any`))
+
+	close(block) // first decision finishes and writes the cache — stale epoch
+	wg.Wait()
+
+	if n := c.CachedFlows(); n != 0 {
+		t.Fatalf("CachedFlows = %d after policy swap, want 0 (stale-epoch write must not count)", n)
+	}
+	c.HandleEvent(sampleEvent(five, 1))
+	if hits := c.Counters.Get("response_cache_hits"); hits != 0 {
+		t.Fatalf("cache hits = %d, want 0: decision under new policy used responses gathered for the old one", hits)
+	}
+}

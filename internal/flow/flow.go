@@ -92,6 +92,16 @@ func (f Five) Hash() uint64 {
 	return h.Sum64()
 }
 
+// ShardIndex maps the flow onto one of shards buckets using the same
+// per-process maphash as Hash. shards must be a power of two; both
+// directions of a flow generally land in different shards (sharding is a
+// concurrency device, not a semantic grouping). Concurrent flow-state
+// tables (the controller's verdict cache, pending sets) key their shards
+// with this so a flow's state always lives in exactly one shard.
+func (f Five) ShardIndex(shards int) int {
+	return int(f.Hash() & uint64(shards-1))
+}
+
 func be32(b []byte, v uint32) {
 	b[0], b[1], b[2], b[3] = byte(v>>24), byte(v>>16), byte(v>>8), byte(v)
 }

@@ -1,0 +1,55 @@
+package flow
+
+import (
+	"testing"
+)
+
+// FuzzParseFive checks that every string ParseFive accepts round-trips:
+// the parsed tuple's String form must reparse to the identical tuple and
+// be a fixed point of the formatter, and the tuple must hash and shard
+// without panicking. Malformed inputs must be rejected with an error, not
+// a crash.
+func FuzzParseFive(f *testing.F) {
+	for _, seed := range []string{
+		"tcp 10.0.0.1:234 > 10.0.0.2:80",
+		"udp 192.168.1.1:53 > 8.8.8.8:53",
+		"icmp 0.0.0.0:0 > 255.255.255.255:65535",
+		"17 1.2.3.4:1 > 5.6.7.8:2",
+		"TCP 10.0.0.1:00234 > 10.0.0.2:080", // non-canonical but valid
+		"tcp 10.0.0.1:234>10.0.0.2:80",      // malformed: no spaces
+		"tcp 10.0.0.1 > 10.0.0.2",           // malformed: no ports
+		"tcp 10.0.0.256:1 > 10.0.0.2:2",     // malformed: octet overflow
+		"",
+		"tcp",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		five, err := ParseFive(s)
+		if err != nil {
+			return
+		}
+		canon := five.String()
+		again, err := ParseFive(canon)
+		if err != nil {
+			t.Fatalf("String() of parsed %q is unparseable: %q: %v", s, canon, err)
+		}
+		if again != five {
+			t.Fatalf("round trip changed tuple: %q -> %+v -> %q -> %+v", s, five, canon, again)
+		}
+		if again.String() != canon {
+			t.Fatalf("String not a fixed point: %q vs %q", again.String(), canon)
+		}
+		if rev := five.Reverse().Reverse(); rev != five {
+			t.Fatalf("Reverse not an involution: %+v", rev)
+		}
+		if five.Hash() != five.Hash() {
+			t.Fatal("Hash not deterministic")
+		}
+		for _, n := range []int{1, 2, 8, 256} {
+			if idx := five.ShardIndex(n); idx < 0 || idx >= n {
+				t.Fatalf("ShardIndex(%d) = %d out of range", n, idx)
+			}
+		}
+	})
+}

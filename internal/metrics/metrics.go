@@ -2,21 +2,54 @@
 // experiment harness reports: flow-setup latency breakdowns (the standard
 // evaluation metric of the Ethane/NOX lineage the paper builds on),
 // decision counts, and cache statistics.
+//
+// Everything here sits on the controller's packet-in hot path, so nothing
+// takes a global lock: counters are atomics behind a sync.Map, and
+// histograms are striped across per-stripe mutexes with stripe selection
+// from a per-P cursor (sync.Pool), so concurrent writers rarely touch the
+// same stripe.
 package metrics
 
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
-// Histogram records duration samples and reports quantiles. It keeps all
-// samples up to a cap, then switches to uniform reservoir sampling, so
-// quantiles stay meaningful on long runs without unbounded memory.
-type Histogram struct {
+// stripeCursor hands each P (roughly, each OS thread running goroutines) a
+// private round-robin cursor for picking stripes. sync.Pool's fast path is
+// per-P, so Get/Put almost never contend; the cursor's walk spreads a
+// single P's writes across stripes too.
+var stripeCursor = sync.Pool{New: func() any { return new(uint64) }}
+
+func nextStripe(n int) int {
+	c := stripeCursor.Get().(*uint64)
+	*c++
+	i := int(*c & uint64(n-1))
+	stripeCursor.Put(c)
+	return i
+}
+
+// histStripes is the histogram stripe count: enough to keep GOMAXPROCS
+// writers apart, fixed per process, always a power of two.
+var histStripes = func() int {
+	n := 1
+	for n < runtime.GOMAXPROCS(0) {
+		n <<= 1
+	}
+	if n > 64 {
+		n = 64
+	}
+	return n
+}()
+
+// histStripe is one lock domain of a Histogram.
+type histStripe struct {
 	mu      sync.Mutex
 	samples []time.Duration
 	count   int64
@@ -27,86 +60,156 @@ type Histogram struct {
 	rng     uint64
 }
 
+func (s *histStripe) observe(d time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.count++
+	s.sum += d
+	if d > s.max {
+		s.max = d
+	}
+	if d < s.min {
+		s.min = d
+	}
+	if len(s.samples) < s.cap {
+		s.samples = append(s.samples, d)
+		return
+	}
+	// xorshift64* reservoir replacement.
+	s.rng ^= s.rng << 13
+	s.rng ^= s.rng >> 7
+	s.rng ^= s.rng << 17
+	idx := s.rng % uint64(s.count)
+	if idx < uint64(s.cap) {
+		s.samples[idx] = d
+	}
+}
+
+// Histogram records duration samples and reports quantiles. It keeps all
+// samples up to a cap, then switches to uniform reservoir sampling, so
+// quantiles stay meaningful on long runs without unbounded memory. Samples
+// are striped across independently locked reservoirs; readers merge the
+// stripes, writers touch exactly one.
+type Histogram struct {
+	stripes []histStripe
+}
+
 // NewHistogram creates a histogram retaining up to capSamples samples
 // (default 4096 when 0).
 func NewHistogram(capSamples int) *Histogram {
 	if capSamples <= 0 {
 		capSamples = 4096
 	}
-	return &Histogram{cap: capSamples, rng: 0x9e3779b97f4a7c15, min: math.MaxInt64}
+	n := histStripes
+	if capSamples < n {
+		n = 1
+	}
+	per, rem := capSamples/n, capSamples%n
+	h := &Histogram{stripes: make([]histStripe, n)}
+	for i := range h.stripes {
+		sz := per
+		if i < rem {
+			sz++ // distribute the remainder so total capacity is exact
+		}
+		h.stripes[i] = histStripe{cap: sz, rng: 0x9e3779b97f4a7c15 + uint64(i)<<1, min: math.MaxInt64}
+	}
+	return h
 }
 
 // Observe records one sample.
 func (h *Histogram) Observe(d time.Duration) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	h.count++
-	h.sum += d
-	if d > h.max {
-		h.max = d
-	}
-	if d < h.min {
-		h.min = d
-	}
-	if len(h.samples) < h.cap {
-		h.samples = append(h.samples, d)
-		return
-	}
-	// xorshift64* reservoir replacement.
-	h.rng ^= h.rng << 13
-	h.rng ^= h.rng >> 7
-	h.rng ^= h.rng << 17
-	idx := h.rng % uint64(h.count)
-	if idx < uint64(h.cap) {
-		h.samples[idx] = d
-	}
+	h.stripes[nextStripe(len(h.stripes))].observe(d)
 }
 
 // Count returns the number of observations.
 func (h *Histogram) Count() int64 {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.count
+	var n int64
+	for i := range h.stripes {
+		s := &h.stripes[i]
+		s.mu.Lock()
+		n += s.count
+		s.mu.Unlock()
+	}
+	return n
 }
 
 // Mean returns the mean of all observations.
 func (h *Histogram) Mean() time.Duration {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if h.count == 0 {
+	var n int64
+	var sum time.Duration
+	for i := range h.stripes {
+		s := &h.stripes[i]
+		s.mu.Lock()
+		n += s.count
+		sum += s.sum
+		s.mu.Unlock()
+	}
+	if n == 0 {
 		return 0
 	}
-	return h.sum / time.Duration(h.count)
+	return sum / time.Duration(n)
 }
 
 // Max returns the largest observation.
 func (h *Histogram) Max() time.Duration {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if h.count == 0 {
+	var max time.Duration
+	seen := false
+	for i := range h.stripes {
+		s := &h.stripes[i]
+		s.mu.Lock()
+		if s.count > 0 {
+			seen = true
+			if s.max > max {
+				max = s.max
+			}
+		}
+		s.mu.Unlock()
+	}
+	if !seen {
 		return 0
 	}
-	return h.max
+	return max
 }
 
 // Min returns the smallest observation.
 func (h *Histogram) Min() time.Duration {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if h.count == 0 {
+	min := time.Duration(math.MaxInt64)
+	seen := false
+	for i := range h.stripes {
+		s := &h.stripes[i]
+		s.mu.Lock()
+		if s.count > 0 {
+			seen = true
+			if s.min < min {
+				min = s.min
+			}
+		}
+		s.mu.Unlock()
+	}
+	if !seen {
 		return 0
 	}
-	return h.min
+	return min
+}
+
+// retained returns a merged copy of every stripe's samples.
+func (h *Histogram) retained() []time.Duration {
+	var out []time.Duration
+	for i := range h.stripes {
+		s := &h.stripes[i]
+		s.mu.Lock()
+		out = append(out, s.samples...)
+		s.mu.Unlock()
+	}
+	return out
 }
 
 // Quantile returns the q-quantile (0 <= q <= 1) of the retained samples.
 func (h *Histogram) Quantile(q float64) time.Duration {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if len(h.samples) == 0 {
+	sorted := h.retained()
+	if len(sorted) == 0 {
 		return 0
 	}
-	sorted := append([]time.Duration(nil), h.samples...)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
 	idx := int(q * float64(len(sorted)-1))
 	if idx < 0 {
@@ -128,39 +231,46 @@ func (h *Histogram) Summary() string {
 		h.Max().Round(time.Microsecond))
 }
 
-// Counter is a named monotonically increasing counter set.
+// Counter is a named monotonically increasing counter set. Increments are
+// a sync.Map load plus one atomic add — no shared lock, so hot-path
+// counters scale with cores instead of convoying.
 type Counter struct {
-	mu sync.Mutex
-	m  map[string]int64
+	m sync.Map // string -> *atomic.Int64
 }
 
 // NewCounter creates an empty counter set.
 func NewCounter() *Counter {
-	return &Counter{m: make(map[string]int64)}
+	return &Counter{}
+}
+
+func (c *Counter) cell(name string) *atomic.Int64 {
+	if v, ok := c.m.Load(name); ok {
+		return v.(*atomic.Int64)
+	}
+	v, _ := c.m.LoadOrStore(name, new(atomic.Int64))
+	return v.(*atomic.Int64)
 }
 
 // Add increments name by delta.
 func (c *Counter) Add(name string, delta int64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.m[name] += delta
+	c.cell(name).Add(delta)
 }
 
 // Get returns the value of name.
 func (c *Counter) Get(name string) int64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.m[name]
+	if v, ok := c.m.Load(name); ok {
+		return v.(*atomic.Int64).Load()
+	}
+	return 0
 }
 
 // Snapshot returns a copy of all counters.
 func (c *Counter) Snapshot() map[string]int64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	out := make(map[string]int64, len(c.m))
-	for k, v := range c.m {
-		out[k] = v
-	}
+	out := make(map[string]int64)
+	c.m.Range(func(k, v any) bool {
+		out[k.(string)] = v.(*atomic.Int64).Load()
+		return true
+	})
 	return out
 }
 

@@ -51,10 +51,7 @@ func TestHistogramReservoirBounded(t *testing.T) {
 	if h.Count() != 10000 {
 		t.Errorf("count = %d", h.Count())
 	}
-	h.mu.Lock()
-	n := len(h.samples)
-	h.mu.Unlock()
-	if n != 64 {
+	if n := len(h.retained()); n != 64 {
 		t.Errorf("retained samples = %d, want 64", n)
 	}
 	// Quantiles remain in range.

@@ -1,0 +1,99 @@
+package wire
+
+import (
+	"reflect"
+	"testing"
+
+	"identxx/internal/flow"
+	"identxx/internal/netaddr"
+)
+
+var (
+	fuzzSrc = netaddr.MustParseIP("10.0.0.1")
+	fuzzDst = netaddr.MustParseIP("10.0.0.2")
+)
+
+// FuzzDecodeQuery checks the §3.2 query codec: any payload DecodeQuery
+// accepts must re-encode and re-decode to the same query (decode∘encode is
+// the identity on decoded values), and no input may panic the decoder.
+func FuzzDecodeQuery(f *testing.F) {
+	for _, seed := range [][]byte{
+		[]byte("6 234 80\n"),
+		[]byte("6 234 80\nname\nuserID\n"),
+		[]byte("17 53 53\nos-patch\n\nversion\n"),
+		EncodeQuery(Query{Keys: []string{KeyUserID, KeyName, KeyExeHash}}),
+		[]byte("6 234\n"),       // malformed: short tuple line
+		[]byte("x y z\nname\n"), // malformed: non-numeric tuple
+		[]byte(""),
+		[]byte("\n\n\n"),
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		q, err := DecodeQuery(payload, fuzzSrc, fuzzDst)
+		if err != nil {
+			return
+		}
+		if q.Flow.SrcIP != fuzzSrc || q.Flow.DstIP != fuzzDst {
+			t.Fatalf("decoded flow lost transport addresses: %+v", q.Flow)
+		}
+		again, err := DecodeQuery(EncodeQuery(q), fuzzSrc, fuzzDst)
+		if err != nil {
+			t.Fatalf("re-encoded query is undecodable: %v", err)
+		}
+		if again.Flow != q.Flow || !reflect.DeepEqual(again.Keys, q.Keys) {
+			t.Fatalf("query round trip diverged:\n  first:  %+v\n  second: %+v", q, again)
+		}
+	})
+}
+
+// FuzzDecodeResponse checks the response codec the same way, including the
+// §2 section semantics (empty-line-delimited augmentation sections) and
+// the Latest/Concat accessors PF+=2 indexes with.
+func FuzzDecodeResponse(f *testing.F) {
+	multi := NewResponse(flow.Five{})
+	multi.Add(KeyName, "skype")
+	multi.Add(KeyUserID, "alice")
+	sec := multi.Augment("controller:branch")
+	sec.Add("netpath", "branchB")
+	sec.Add(KeyName, "skype-relay")
+	for _, seed := range [][]byte{
+		[]byte("6 234 80\n"),
+		[]byte("6 234 80\nname: skype\nuserID: alice\n"),
+		[]byte("6 234 80\nname: skype\n\nnetpath: branchB\n"),
+		[]byte("17 1 2\n\nname: late\n"), // leading empty section
+		EncodeResponse(multi),
+		[]byte("6 234 80\nno-colon-line\n"), // malformed pair
+		[]byte("6 234 80\n: novalue\n"),     // malformed: empty key
+		[]byte(""),
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		r, err := DecodeResponse(payload, fuzzSrc, fuzzDst)
+		if err != nil {
+			return
+		}
+		again, err := DecodeResponse(EncodeResponse(r), fuzzSrc, fuzzDst)
+		if err != nil {
+			t.Fatalf("re-encoded response is undecodable: %v", err)
+		}
+		if again.Flow != r.Flow || !reflect.DeepEqual(again.Sections, r.Sections) {
+			t.Fatalf("response round trip diverged:\n  first:  %+v\n  second: %+v", r, again)
+		}
+		// The dictionary views must agree on every key however sections
+		// were split, and Clone must be observationally identical.
+		clone := r.Clone()
+		for _, k := range r.Keys() {
+			lv, lok := r.Latest(k)
+			cv, cok := r.Concat(k)
+			if !lok || !cok {
+				t.Fatalf("key %q listed but not readable (latest %v concat %v)", k, lok, cok)
+			}
+			if gv, _ := clone.Latest(k); gv != lv {
+				t.Fatalf("clone diverged on %q: %q vs %q", k, gv, lv)
+			}
+			_ = cv
+		}
+	})
+}

@@ -292,7 +292,10 @@ func DecodeResponse(payload []byte, srcIP, dstIP netaddr.IP) (*Response, error) 
 			return nil, fmt.Errorf("wire: malformed pair %q", trimmed)
 		}
 		key := strings.TrimSpace(trimmed[:colon])
-		val := strings.TrimSpace(trimmed[colon+1:])
+		// Canonicalize on the way in, exactly as EncodeResponse does on the
+		// way out, so decode∘encode is stable: an embedded CR would
+		// otherwise decode verbatim but re-encode as a space.
+		val := sanitizeValue(strings.TrimSpace(trimmed[colon+1:]))
 		if key == "" {
 			return nil, fmt.Errorf("wire: empty key in %q", trimmed)
 		}
