@@ -1,8 +1,10 @@
 GO ?= go
 
-# The CI gate: everything a fresh clone must pass.
+# The CI gate: everything a fresh clone must pass. `test` runs without the
+# race detector on purpose: the allocation-budget guards (alloc_test.go)
+# skip themselves under -race, so both flavors are needed.
 .PHONY: ci
-ci: fmt-check vet build race bench-smoke
+ci: fmt-check vet build test race bench-smoke
 
 .PHONY: fmt-check
 fmt-check:
@@ -11,6 +13,14 @@ fmt-check:
 .PHONY: vet
 vet:
 	$(GO) vet ./...
+
+# Static analysis beyond vet. CI pins the tool versions (see
+# .github/workflows/ci.yml); locally the steps degrade to a notice when a
+# tool is not installed, so `make lint` never needs network access.
+.PHONY: lint
+lint: fmt-check vet
+	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; else echo "staticcheck not installed; skipped (go install honnef.co/go/tools/cmd/staticcheck@v0.6.1)"; fi
+	@if command -v govulncheck >/dev/null 2>&1; then govulncheck ./...; else echo "govulncheck not installed; skipped (go install golang.org/x/vuln/cmd/govulncheck@v1.1.4)"; fi
 
 .PHONY: build
 build:
@@ -42,6 +52,31 @@ bench:
 .PHONY: bench-m7
 bench-m7:
 	$(GO) test -run=NONE -bench=BenchmarkM7 -benchtime=2s .
+
+# Compare the steady-state benchmarks (M7/M8) against a base ref and
+# enforce the allocation budget, exactly as CI's bench-compare job does.
+# Requires a clean-enough tree for `git worktree add` of BASE (default
+# main). benchstat (golang.org/x/perf) enriches the report when installed;
+# the budget gate itself is the in-repo cmd/benchdiff, so no network or
+# extra tools are needed to run the check.
+BASE ?= main
+BENCH_COUNT ?= 3
+BENCH_TIME ?= 20000x
+.PHONY: bench-compare
+bench-compare:
+	@tmp=$$(mktemp -d); \
+	set -e; \
+	git worktree add --detach $$tmp/base $(BASE) >/dev/null; \
+	trap 'git worktree remove --force '"$$tmp"'/base >/dev/null 2>&1; rm -rf '"$$tmp" EXIT; \
+	echo "== base ($(BASE)) =="; \
+	(cd $$tmp/base && $(GO) test -run=NONE -bench='M7_|M8_' -benchmem -count=$(BENCH_COUNT) -benchtime=$(BENCH_TIME) .) | tee $$tmp/base.txt; \
+	echo "== head =="; \
+	$(GO) test -run=NONE -bench='M7_|M8_' -benchmem -count=$(BENCH_COUNT) -benchtime=$(BENCH_TIME) . | tee $$tmp/head.txt; \
+	if command -v benchstat >/dev/null 2>&1; then benchstat $$tmp/base.txt $$tmp/head.txt || true; fi; \
+	$(GO) run ./cmd/benchdiff \
+		-max-allocs 'BenchmarkM7_ShardedHandleEvent=2' \
+		-max-allocs 'BenchmarkM8_AllocProfile=2' \
+		$$tmp/base.txt $$tmp/head.txt
 
 # Short bursts of every fuzz target; regression seeds live in testdata/.
 FUZZTIME ?= 30s

@@ -342,6 +342,103 @@ func BenchmarkM7_ShardedHandleEvent(b *testing.B) {
 	}
 }
 
+// m8NoDaemonTransport fails every query, forcing the controller onto the
+// answer-on-behalf path (§4 incremental deployment) with zero transport
+// allocations, so the benchmark isolates the controller's own cost.
+type m8NoDaemonTransport struct{}
+
+func (m8NoDaemonTransport) Query(host netaddr.IP, q wire.Query) (*wire.Response, time.Duration, error) {
+	return nil, 0, core.ErrNoDaemon
+}
+
+// m8Policy is the M7 policy: a deny-all opener and one pass rule with two
+// dictionary predicates, the paper's canonical shape.
+const m8Policy = "block all\npass from any to any with eq(@src[name], skype) with eq(@dst[name], skype)"
+
+// m8Event builds the canonical single-flow packet-in for the allocation
+// benchmarks and budget guards.
+func m8Event(srcIP, dstIP netaddr.IP) openflow.PacketIn {
+	return openflow.PacketIn{
+		SwitchID: 1,
+		BufferID: openflow.BufferNone,
+		InPort:   1,
+		Tuple: flow.Ten{
+			EthType: flow.EthTypeIPv4,
+			SrcIP:   srcIP, DstIP: dstIP,
+			Proto:   netaddr.ProtoTCP,
+			SrcPort: 40000, DstPort: 80,
+		},
+	}
+}
+
+// BenchmarkM8_AllocProfile measures per-event allocations on the two
+// steady-state decision paths the ≤ 2 allocs/op budget covers (see
+// TestAllocBudget and README "Allocation budget"):
+//
+//   - cache-hit: warm response cache, the M7 fast path.
+//   - miss-local-answer: cache disabled, no daemons anywhere, both ends
+//     answered from the controller's answer-on-behalf table — the full
+//     query fan-out and pooled response-view cycle every event.
+//
+// CI's bench-compare job runs this with -benchmem on base and head and
+// fails on allocs/op regressions.
+func BenchmarkM8_AllocProfile(b *testing.B) {
+	srcIP := netaddr.MustParseIP("10.0.0.1")
+	dstIP := netaddr.MustParseIP("10.0.0.2")
+
+	b.Run("cache-hit", func(b *testing.B) {
+		tr := &m7Transport{responses: map[netaddr.IP]map[string]string{
+			srcIP: {"name": "skype"},
+			dstIP: {"name": "skype"},
+		}}
+		ctl := core.New(core.Config{
+			Name:             "m8",
+			Policy:           pf.MustCompile("m8", m8Policy),
+			Transport:        tr,
+			Topology:         &m7Topo{hops: []core.Hop{{Datapath: 1, OutPort: 2}}},
+			InstallEntries:   true,
+			ResponseCacheTTL: time.Hour,
+		})
+		ctl.AddDatapath(&m7Datapath{id: 1})
+		ev := m8Event(srcIP, dstIP)
+		ctl.HandleEvent(ev) // warm the cache and the pools
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ctl.HandleEvent(ev)
+		}
+	})
+
+	b.Run("miss-local-answer", func(b *testing.B) {
+		ctl := core.New(core.Config{
+			Name:           "m8",
+			Policy:         pf.MustCompile("m8", m8Policy),
+			Transport:      m8NoDaemonTransport{},
+			Topology:       &m7Topo{hops: []core.Hop{{Datapath: 1, OutPort: 2}}},
+			InstallEntries: true,
+			// No response cache: every event runs the full two-ended query
+			// fan-out and builds (and releases) both response views.
+		})
+		ctl.AddDatapath(&m7Datapath{id: 1})
+		ctl.AnswerForHost(srcIP, wire.KV{Key: wire.KeyName, Value: "skype"})
+		ctl.AnswerForHost(dstIP, wire.KV{Key: wire.KeyName, Value: "skype"})
+		ev := m8Event(srcIP, dstIP)
+		ctl.HandleEvent(ev) // warm the pools
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ctl.HandleEvent(ev)
+		}
+		b.StopTimer()
+		if ctl.Counters.Get("flows_allowed") == 0 {
+			b.Fatal("no flows decided")
+		}
+		if ctl.Counters.Get("answered_on_behalf") == 0 {
+			b.Fatal("answer-on-behalf path not exercised")
+		}
+	})
+}
+
 func itoa(n int) string {
 	if n == 0 {
 		return "0"

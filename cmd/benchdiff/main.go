@@ -1,0 +1,207 @@
+// Command benchdiff compares two `go test -bench -benchmem` outputs and
+// enforces the repository's performance budgets (README "Allocation
+// budget"): an allocs/op regression against the base, or an allocs/op
+// value above an absolute budget, fails the run (exit 1); an ns/op
+// regression beyond the slack only warns, because wall-time on shared CI
+// runners is noisy in ways allocation counts are not.
+//
+// Usage:
+//
+//	benchdiff [-ns-warn pct] [-max-allocs regex=N ...] base.txt head.txt
+//
+// With -count > 1 runs in the inputs, the minimum per benchmark is used:
+// minima are noise-robust for both time and allocation measurements.
+//
+// Warnings are emitted in GitHub Actions annotation form (::warning::) so
+// they surface on the PR without failing it.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// result is one benchmark's aggregated measurements.
+type result struct {
+	ns     float64
+	bytes  float64
+	allocs float64
+	seen   bool
+	hasMem bool
+}
+
+// budget is one -max-allocs rule.
+type budget struct {
+	re  *regexp.Regexp
+	max float64
+}
+
+type budgetFlags []budget
+
+func (b *budgetFlags) String() string { return fmt.Sprint(*b) }
+
+func (b *budgetFlags) Set(s string) error {
+	eq := strings.LastIndex(s, "=")
+	if eq < 0 {
+		return fmt.Errorf("want regex=N, got %q", s)
+	}
+	re, err := regexp.Compile(s[:eq])
+	if err != nil {
+		return err
+	}
+	max, err := strconv.ParseFloat(s[eq+1:], 64)
+	if err != nil {
+		return fmt.Errorf("bad budget in %q: %v", s, err)
+	}
+	*b = append(*b, budget{re: re, max: max})
+	return nil
+}
+
+// cpuSuffix strips the trailing -<GOMAXPROCS> go test appends to names.
+var cpuSuffix = regexp.MustCompile(`-\d+$`)
+
+// parseFile reads benchmark lines, keeping the minimum of repeated runs.
+func parseFile(path string) (map[string]*result, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := make(map[string]*result)
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := cpuSuffix.ReplaceAllString(fields[0], "")
+		r := out[name]
+		if r == nil {
+			r = &result{}
+			out[name] = r
+		}
+		// fields: name iters v1 unit1 v2 unit2 ... ; units name the value
+		// before them.
+		for i := 3; i < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i-1], 64)
+			if err != nil {
+				continue
+			}
+			keep := func(cur float64) float64 {
+				if !r.seen {
+					return v
+				}
+				return min(cur, v)
+			}
+			switch fields[i] {
+			case "ns/op":
+				r.ns = keep(r.ns)
+			case "B/op":
+				r.bytes = keep(r.bytes)
+				r.hasMem = true
+			case "allocs/op":
+				r.allocs = keep(r.allocs)
+				r.hasMem = true
+			}
+		}
+		r.seen = true
+	}
+	return out, sc.Err()
+}
+
+func main() {
+	var budgets budgetFlags
+	nsWarn := flag.Float64("ns-warn", 10, "warn when head ns/op exceeds base by more than this percentage")
+	flag.Var(&budgets, "max-allocs", "regex=N absolute allocs/op budget for matching benchmarks (repeatable)")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [flags] base.txt head.txt")
+		os.Exit(2)
+	}
+	base, err := parseFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	head, err := parseFile(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	if len(head) == 0 {
+		fmt.Fprintln(os.Stderr, "benchdiff: no benchmark results in head file")
+		os.Exit(2)
+	}
+
+	names := make([]string, 0, len(head))
+	for n := range head {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	failed := false
+	// A benchmark that exists on base but vanished from head silently
+	// escapes both the regression check and any budget — surface it.
+	baseOnly := make([]string, 0)
+	for n := range base {
+		if _, ok := head[n]; !ok {
+			baseOnly = append(baseOnly, n)
+		}
+	}
+	sort.Strings(baseOnly)
+	for _, n := range baseOnly {
+		fmt.Printf("::warning::%s present in base but missing from head (renamed or deleted?)\n", n)
+	}
+	budgetMatched := make([]bool, len(budgets))
+	for _, name := range names {
+		h := head[name]
+		b, inBase := base[name]
+		switch {
+		case inBase && b.hasMem && h.hasMem:
+			fmt.Printf("%-60s allocs %5.0f -> %-5.0f ns %9.1f -> %-9.1f\n",
+				name, b.allocs, h.allocs, b.ns, h.ns)
+		case h.hasMem:
+			fmt.Printf("%-60s allocs %5s -> %-5.0f ns %9s -> %-9.1f (new)\n",
+				name, "-", h.allocs, "-", h.ns)
+		default:
+			fmt.Printf("%-60s ns %9.1f\n", name, h.ns)
+		}
+
+		if inBase && b.hasMem && h.hasMem && h.allocs > b.allocs {
+			fmt.Printf("FAIL: %s allocs/op regressed %.0f -> %.0f\n", name, b.allocs, h.allocs)
+			failed = true
+		}
+		for i, bd := range budgets {
+			if !bd.re.MatchString(name) {
+				continue
+			}
+			budgetMatched[i] = true
+			if h.hasMem && h.allocs > bd.max {
+				fmt.Printf("FAIL: %s allocs/op %.0f exceeds budget %.0f\n", name, h.allocs, bd.max)
+				failed = true
+			}
+		}
+		if inBase && b.ns > 0 && h.ns > b.ns*(1+*nsWarn/100) {
+			fmt.Printf("::warning::%s ns/op regressed %.1f -> %.1f (>%g%% slack; timing-only, not failing)\n",
+				name, b.ns, h.ns, *nsWarn)
+		}
+	}
+	// A budget rule that matched nothing is a gate checking air — the
+	// benchmark was renamed or the regex typo'd. Fail loudly rather than
+	// letting the contract silently lapse.
+	for i, bd := range budgets {
+		if !budgetMatched[i] {
+			fmt.Printf("FAIL: -max-allocs rule %q matched no benchmark in head output\n", bd.re)
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -20,7 +20,6 @@ package core
 
 import (
 	"errors"
-	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -134,6 +133,7 @@ func (st *ctlState) clone() *ctlState {
 // Controller is an ident++-enabled OpenFlow controller.
 type Controller struct {
 	name      string
+	sourceTag string // "controller:<name>", the §3.4 augmentation source, built once
 	transport QueryTransport
 	topo      Topology
 	latency   LatencyModel
@@ -151,6 +151,17 @@ type Controller struct {
 	Counters *metrics.Counter
 	Setup    *metrics.SetupRecorder
 	Audit    *AuditLog
+
+	// hot caches the counter cells the decision path bumps on every event,
+	// so the fast path pays one atomic add per counter instead of a map
+	// lookup plus the add.
+	hot struct {
+		packetIns, cacheHits, dupPacketIns  *atomic.Int64
+		waitersResolved, waitersForwarded   *atomic.Int64
+		flowsAllowed, flowsDenied, installs *atomic.Int64
+		evalDiags                           *atomic.Int64
+		queryErrors, answeredOnBehalf       *atomic.Int64
+	}
 }
 
 // New creates a controller. Config.Policy, Transport and Topology are
@@ -183,6 +194,7 @@ func New(cfg Config) *Controller {
 	}
 	c := &Controller{
 		name:      cfg.Name,
+		sourceTag: "controller:" + cfg.Name,
 		transport: cfg.Transport,
 		topo:      cfg.Topology,
 		latency:   cfg.Latency,
@@ -196,6 +208,17 @@ func New(cfg Config) *Controller {
 		Setup:     metrics.NewSetupRecorder(),
 		Audit:     NewAuditLog(cfg.AuditCap),
 	}
+	c.hot.packetIns = c.Counters.Cell("packet_ins")
+	c.hot.cacheHits = c.Counters.Cell("response_cache_hits")
+	c.hot.dupPacketIns = c.Counters.Cell("duplicate_packet_ins")
+	c.hot.waitersResolved = c.Counters.Cell("waiters_resolved")
+	c.hot.waitersForwarded = c.Counters.Cell("waiters_forwarded")
+	c.hot.flowsAllowed = c.Counters.Cell("flows_allowed")
+	c.hot.flowsDenied = c.Counters.Cell("flows_denied")
+	c.hot.installs = c.Counters.Cell("entries_installed")
+	c.hot.evalDiags = c.Counters.Cell("eval_diags")
+	c.hot.queryErrors = c.Counters.Cell("query_errors")
+	c.hot.answeredOnBehalf = c.Counters.Cell("answered_on_behalf")
 	c.state.Store(&ctlState{
 		policy:    cfg.Policy,
 		queryKeys: keys,
@@ -301,10 +324,12 @@ func (c *Controller) PacketInFromRemote(sw *openflow.RemoteSwitch, ev openflow.P
 }
 
 // HandleEvent is the Figure 1 pipeline. It is safe for concurrent calls and
-// takes no global locks: configuration comes from one atomic snapshot load
-// and per-flow state from the flow's shard.
+// takes no global locks: configuration comes from one atomic snapshot load,
+// per-flow state from the flow's shard, and the decision's working set from
+// a pooled scratch — the steady-state path allocates nothing (see
+// decisionScratch and the M8 allocation budget).
 func (c *Controller) HandleEvent(ev openflow.PacketIn) {
-	c.Counters.Add("packet_ins", 1)
+	c.hot.packetIns.Add(1)
 	st := c.state.Load()
 	dp := st.datapaths[ev.SwitchID]
 	if dp == nil {
@@ -325,41 +350,49 @@ func (c *Controller) HandleEvent(ev openflow.PacketIn) {
 	// on the shard's waiter list; the first packet's verdict resolves them.
 	// A full waiter list (slow verdict at line rate) degrades to the
 	// release-now path so one flow cannot pin unbounded switch buffers.
-	first, parkedOK := sh.begin(five, dp, ev.BufferID)
+	first, parkedOK := sh.begin(five, dp, ev)
 	if !first {
-		c.Counters.Add("duplicate_packet_ins", 1)
+		c.hot.dupPacketIns.Add(1)
 		if !parkedOK {
 			dp.ReleaseBuffer(ev.BufferID)
 			c.Counters.Add("waiters_overflowed", 1)
 		}
 		return
 	}
+
+	s := acquireScratch()
+	pass := false
 	defer func() {
 		// Resolve after the verdict's entries are installed: released
-		// buffers then hit the fresh table entry instead of re-punting.
-		waiters := sh.resolve(five)
-		for _, w := range waiters {
-			w.dp.ReleaseBuffer(w.bufferID)
+		// buffers then hit the fresh table entry instead of re-punting. On
+		// ablation runs there is no table entry, so passed waiters are
+		// packet-out'd along the path instead of silently dropped.
+		if waiters := sh.resolve(five); len(waiters) > 0 {
+			c.resolveWaiters(waiters, pass, s.hops)
+			c.hot.waitersResolved.Add(int64(len(waiters)))
 		}
-		if len(waiters) > 0 {
-			c.Counters.Add("waiters_resolved", int64(len(waiters)))
-		}
+		// The decision is fully published (audit, metrics, installs); the
+		// scratch — including controller-built response views nothing else
+		// took ownership of — can go back to its pools.
+		s.gather.releaseBuilt()
+		s.release()
 	}()
 
-	var bd metrics.SetupBreakdown
+	bd := &s.bd
 	if c.latency != nil {
 		bd.Punt = c.latency.PuntLatency(ev.SwitchID)
 		bd.Install = c.latency.InstallLatency(ev.SwitchID)
 	}
 
-	src, dst, qsrc, qdst := c.gatherResponses(st, sh, five)
-	bd.QuerySrc, bd.QueryDst = qsrc, qdst
+	g := &s.gather
+	c.gatherResponses(st, sh, five, g)
+	bd.QuerySrc, bd.QueryDst = g.qsrc, g.qdst
 
 	evalStart := time.Now()
-	d := st.policy.Evaluate(pf.Input{Flow: five, Src: src, Dst: dst})
+	d := st.policy.Evaluate(pf.Input{Flow: five, Src: g.src, Dst: g.dst})
 	bd.Eval = time.Since(evalStart)
 
-	c.Setup.Observe(bd)
+	c.Setup.Observe(*bd)
 	c.Audit.Record(AuditEntry{
 		Time:      c.clock(),
 		Flow:      five,
@@ -368,67 +401,97 @@ func (c *Controller) HandleEvent(ev openflow.PacketIn) {
 		Matched:   d.Matched,
 		KeepState: d.KeepState,
 		Diags:     d.Diags,
-		Setup:     bd,
+		Setup:     *bd,
 	})
 
 	if d.Action == pf.Pass {
-		c.Counters.Add("flows_allowed", 1)
-		c.installPath(st, dp, ev, five, d.KeepState)
+		pass = true
+		c.hot.flowsAllowed.Add(1)
+		c.installPath(st, dp, ev, five, d.KeepState, s)
 	} else {
-		c.Counters.Add("flows_denied", 1)
+		c.hot.flowsDenied.Add(1)
 		c.installDrop(dp, ev, five)
 	}
 	if len(d.Diags) > 0 {
-		c.Counters.Add("eval_diags", int64(len(d.Diags)))
+		c.hot.evalDiags.Add(int64(len(d.Diags)))
+	}
+}
+
+// resolveWaiters disposes of the parked duplicate packet-ins after the
+// verdict. With entries installed, releasing the buffer forwards (or drops)
+// the packet through the fresh table entry. On ablation runs of a pass
+// verdict there is no entry, so each waiter's frame is packet-out'd along
+// hops — the path installPath already resolved for the owner's packet
+// (empty on deny, install mode, or path error: fall back to release-only).
+// Previously these duplicates were released into a table miss and lost,
+// under-counting delivered packets in the M5 ablation.
+func (c *Controller) resolveWaiters(waiters []parked, pass bool, hops []Hop) {
+	if !pass || c.install {
+		hops = nil
+	}
+	for i := range waiters {
+		w := &waiters[i]
+		w.dp.ReleaseBuffer(w.bufferID)
+		if len(w.frame) == 0 {
+			continue
+		}
+		for _, h := range hops {
+			if h.Datapath == w.switchID {
+				w.dp.PacketOut(h.OutPort, w.frame)
+				c.hot.waitersForwarded.Add(1)
+				break
+			}
+		}
 	}
 }
 
 // gatherResponses queries both ends concurrently (§2 step 3) with the
-// flow's shard of the response cache in front.
-func (c *Controller) gatherResponses(st *ctlState, sh *shard, five flow.Five) (src, dst *wire.Response, qsrc, qdst time.Duration) {
+// flow's shard of the response cache in front, filling g with the
+// responses, per-end RTTs, and ownership flags.
+func (c *Controller) gatherResponses(st *ctlState, sh *shard, five flow.Five, g *gatherState) {
 	now := c.clock()
 	if c.cacheTTL > 0 {
 		if e, ok := sh.lookup(five, now, st.epoch); ok {
-			c.Counters.Add("response_cache_hits", 1)
-			return e.src, e.dst, 0, 0
+			c.hot.cacheHits.Add(1)
+			g.src, g.dst = e.src, e.dst
+			return
 		}
 	}
-	q := wire.Query{Flow: five, Keys: st.queryKeys}
-
-	var wg sync.WaitGroup
-	wg.Add(2)
-	go func() {
-		defer wg.Done()
-		src, qsrc = c.queryOne(st, five.SrcIP, q)
-	}()
-	go func() {
-		defer wg.Done()
-		dst, qdst = c.queryOne(st, five.DstIP, q)
-	}()
-	wg.Wait()
+	g.c, g.st = c, st
+	g.q = wire.Query{Flow: five, Keys: st.queryKeys}
+	g.wg.Add(1)
+	go g.dstFn() // prebound gatherState.runDst; queries five.DstIP
+	g.src, g.qsrc, g.srcBuilt = c.queryOne(st, five.SrcIP, g.q)
+	g.wg.Wait()
 
 	if c.cacheTTL > 0 {
-		sh.store(five, cacheEntry{src: src, dst: dst, expires: now.Add(c.cacheTTL), epoch: st.epoch}, now, c.cacheTTL)
+		sh.store(five, cacheEntry{src: g.src, dst: g.dst, expires: now.Add(c.cacheTTL), epoch: st.epoch}, now, c.cacheTTL)
+		// The cache owns the responses now (decisions across goroutines may
+		// borrow them until eviction); they must never return to the pool.
+		g.srcBuilt, g.dstBuilt = false, false
 	}
-	return src, dst, qsrc, qdst
 }
 
-func (c *Controller) queryOne(st *ctlState, host netaddr.IP, q wire.Query) (*wire.Response, time.Duration) {
+// queryOne resolves one end of the flow: the daemon's answer when it has
+// one, otherwise the controller's answer-on-behalf data (§3.4, §4). built
+// reports that the response is a controller-built view from the pf pool,
+// owned by the caller until released or handed to the cache.
+func (c *Controller) queryOne(st *ctlState, host netaddr.IP, q wire.Query) (resp *wire.Response, rtt time.Duration, built bool) {
 	resp, rtt, err := c.transport.Query(host, q)
 	if err == nil {
-		return resp, rtt
+		return resp, rtt, false
 	}
-	c.Counters.Add("query_errors", 1)
+	c.hot.queryErrors.Add(1)
 	// Answer on behalf of daemon-less hosts from local configuration.
 	pairs := st.answers[host]
 	if len(pairs) == 0 {
-		return nil, rtt
+		return nil, rtt, false
 	}
-	c.Counters.Add("answered_on_behalf", 1)
-	r := &wire.Response{Flow: q.Flow}
-	sec := r.Augment("controller:" + c.name)
+	c.hot.answeredOnBehalf.Add(1)
+	r := pf.AcquireResponse(q.Flow)
+	sec := r.Augment(c.sourceTag)
 	sec.Pairs = append(sec.Pairs, pairs...)
-	return r, rtt
+	return r, rtt, true
 }
 
 // applyMods issues one flow-mod per datapath, concurrently when the path
@@ -454,10 +517,12 @@ func (c *Controller) applyMods(dps []openflow.Datapath, mods []openflow.FlowMod)
 	wg.Wait()
 }
 
-// pathMods builds the per-hop flow-mods for one direction of a flow.
-// hasIngress distinguishes "no ingress on this path" (reverse direction)
-// from a legitimate ingress datapath ID of 0.
-func (c *Controller) pathMods(st *ctlState, hops []Hop, five flow.Five, cookie uint64, hasIngress bool, ingress uint64, bufferID uint32) (dps []openflow.Datapath, mods []openflow.FlowMod) {
+// pathMods builds the per-hop flow-mods for one direction of a flow,
+// appending into the scratch slices passed in (callers hand in length-zero
+// slices whose capacity is recycled across decisions). hasIngress
+// distinguishes "no ingress on this path" (reverse direction) from a
+// legitimate ingress datapath ID of 0.
+func (c *Controller) pathMods(st *ctlState, hops []Hop, five flow.Five, cookie uint64, hasIngress bool, ingress uint64, bufferID uint32, dps []openflow.Datapath, mods []openflow.FlowMod) ([]openflow.Datapath, []openflow.FlowMod) {
 	for _, h := range hops {
 		dp := st.datapaths[h.Datapath]
 		if dp == nil {
@@ -487,12 +552,16 @@ func (c *Controller) pathMods(st *ctlState, hops []Hop, five flow.Five, cookie u
 // (Figure 1 steps 4-5), plus the reverse path under `keep state`. Entries
 // along a path are installed concurrently, one goroutine per switch; the
 // forward direction completes before the reverse is issued so the buffered
-// packet is released against a fully programmed forward path.
-func (c *Controller) installPath(st *ctlState, ingress openflow.Datapath, ev openflow.PacketIn, five flow.Five, keepState bool) {
+// packet is released against a fully programmed forward path. The flow-mod
+// batches are built in the decision's scratch.
+func (c *Controller) installPath(st *ctlState, ingress openflow.Datapath, ev openflow.PacketIn, five flow.Five, keepState bool, s *decisionScratch) {
 	if !c.install {
-		// Ablation mode: forward this one packet, cache nothing.
+		// Ablation mode: forward this one packet, cache nothing. The path
+		// is stashed so the deferred waiter resolution can forward parked
+		// duplicates over it without a second topology lookup.
 		hops, err := c.topo.Path(five.SrcIP, five.DstIP)
 		if err == nil {
+			s.hops = hops
 			for _, h := range hops {
 				if h.Datapath == ev.SwitchID {
 					c.packetOutOrRelease(ingress, ev, h.OutPort)
@@ -510,9 +579,9 @@ func (c *Controller) installPath(st *ctlState, ingress openflow.Datapath, ev ope
 		return
 	}
 	cookie := five.Hash() | 1 // non-zero so delete-by-cookie can target it
-	dps, mods := c.pathMods(st, hops, five, cookie, true, ev.SwitchID, ev.BufferID)
-	c.applyMods(dps, mods)
-	c.Counters.Add("entries_installed", int64(len(hops)))
+	s.dps, s.mods = c.pathMods(st, hops, five, cookie, true, ev.SwitchID, ev.BufferID, s.dps[:0], s.mods[:0])
+	c.applyMods(s.dps, s.mods)
+	c.hot.installs.Add(int64(len(hops)))
 	if keepState {
 		rev := five.Reverse()
 		rhops, err := c.topo.Path(rev.SrcIP, rev.DstIP)
@@ -522,9 +591,9 @@ func (c *Controller) installPath(st *ctlState, ingress openflow.Datapath, ev ope
 		}
 		// No ingress buffer on the reverse path: the reply's first packet
 		// has not arrived yet.
-		rdps, rmods := c.pathMods(st, rhops, rev, cookie, false, 0, openflow.BufferNone)
-		c.applyMods(rdps, rmods)
-		c.Counters.Add("entries_installed", int64(len(rhops)))
+		s.dps, s.mods = c.pathMods(st, rhops, rev, cookie, false, 0, openflow.BufferNone, s.dps[:0], s.mods[:0])
+		c.applyMods(s.dps, s.mods)
+		c.hot.installs.Add(int64(len(rhops)))
 	}
 }
 
@@ -577,9 +646,12 @@ func (c *Controller) RevokeFlow(five flow.Five) {
 	c.Counters.Add("flows_revoked", 1)
 }
 
+// ruleString names the deciding rule for the audit trail. The rendering is
+// memoized on the rule itself (rules are immutable after compile), so audit
+// recording costs a pointer load per decision, not a format.
 func ruleString(r *pf.Rule) string {
 	if r == nil {
 		return "(default)"
 	}
-	return fmt.Sprintf("%s @ %s", r, r.Pos)
+	return r.AuditString()
 }

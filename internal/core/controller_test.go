@@ -47,11 +47,12 @@ func (t *fakeTopo) Path(src, dst netaddr.IP) ([]Hop, error) { return t.hops, t.e
 
 // fakeDatapath records applied mods.
 type fakeDatapath struct {
-	id       uint64
-	mu       sync.Mutex
-	mods     []openflow.FlowMod
-	released []uint32
-	outs     []uint16
+	id        uint64
+	mu        sync.Mutex
+	mods      []openflow.FlowMod
+	released  []uint32
+	outs      []uint16
+	outFrames [][]byte
 }
 
 func (d *fakeDatapath) DatapathID() uint64 { return d.id }
@@ -65,6 +66,7 @@ func (d *fakeDatapath) PacketOut(port uint16, frame []byte) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	d.outs = append(d.outs, port)
+	d.outFrames = append(d.outFrames, frame)
 }
 func (d *fakeDatapath) ReleaseBuffer(id uint32) {
 	d.mu.Lock()

@@ -27,8 +27,11 @@ func (c *Controller) InterceptQuery(host netaddr.IP, q wire.Query) (*wire.Respon
 		return nil, false
 	}
 	c.Counters.Add("queries_intercepted", 1)
+	// Unlike the decision path's answer-on-behalf views, an intercepted
+	// response leaves the controller (ownership passes to the caller and
+	// from there to the querier), so it cannot come from the pf pool.
 	r := &wire.Response{Flow: q.Flow}
-	sec := r.Augment("controller:" + c.name)
+	sec := r.Augment(c.sourceTag)
 	sec.Pairs = append(sec.Pairs, pairs...)
 	return r, true
 }

@@ -31,9 +31,14 @@ type cacheEntry struct {
 // parked is a duplicate packet-in waiting for the first packet's verdict.
 // Releasing its buffer after the verdict's entries are installed lets the
 // switch forward (or drop) it from its own table instead of re-punting.
+// switchID and frame are kept so ablation runs (InstallEntries=false, no
+// table entry to forward through) can packet-out the parked frame along
+// the path instead of silently dropping it with the buffer.
 type parked struct {
 	dp       openflow.Datapath
+	switchID uint64
 	bufferID uint32
+	frame    []byte
 }
 
 // shard is one lock domain of the flow-decision fast path.
@@ -75,14 +80,16 @@ const maxParked = 64
 // flow gets first=true and owns resolving it; later callers' events are
 // parked on the waiter list (parked=true) and resolved by the owner's
 // verdict, unless the list is full (parked=false: caller releases now).
-func (s *shard) begin(five flow.Five, dp openflow.Datapath, bufferID uint32) (first, parkedOK bool) {
+func (s *shard) begin(five flow.Five, dp openflow.Datapath, ev openflow.PacketIn) (first, parkedOK bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if waiters, inFlight := s.pending[five]; inFlight {
 		if len(waiters) >= maxParked {
 			return false, false
 		}
-		s.pending[five] = append(waiters, parked{dp: dp, bufferID: bufferID})
+		s.pending[five] = append(waiters, parked{
+			dp: dp, switchID: ev.SwitchID, bufferID: ev.BufferID, frame: ev.Frame,
+		})
 		return false, true
 	}
 	s.pending[five] = nil // in flight, no waiters yet

@@ -256,6 +256,14 @@ func (c *Counter) Add(name string, delta int64) {
 	c.cell(name).Add(delta)
 }
 
+// Cell returns the addend cell behind name, for callers hot enough that
+// even the lock-free map lookup per Add is measurable. The cell may be
+// retained for the life of the Counter and incremented directly; it is the
+// same cell Add and Get use, so reads stay coherent.
+func (c *Counter) Cell(name string) *atomic.Int64 {
+	return c.cell(name)
+}
+
 // Get returns the value of name.
 func (c *Counter) Get(name string) int64 {
 	if v, ok := c.m.Load(name); ok {

@@ -10,6 +10,7 @@ package openflow
 import (
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"identxx/internal/flow"
@@ -37,8 +38,25 @@ type Action struct {
 // 1.0 drops; an explicit value keeps call sites readable).
 var Drop = []Action{{Type: ActionDrop}}
 
-// Output returns a single-action list forwarding on port.
-func Output(port uint16) []Action { return []Action{{Type: ActionOutput, Port: port}} }
+// outputIntern caches the canonical single-action list per port. The
+// controller builds an Output list for every flow-mod it installs, and the
+// switch retains the slice in its table entry, so the lists cannot come
+// from per-decision scratch; interning makes them shared immutable
+// constants instead of per-install garbage. The table lives in BSS and only
+// the pages for ports actually used are ever faulted in.
+var outputIntern [1 << 16]atomic.Pointer[[]Action]
+
+// Output returns the single-action list forwarding on port. The returned
+// slice is interned and shared: callers must treat it (like Drop) as
+// immutable.
+func Output(port uint16) []Action {
+	if p := outputIntern[port].Load(); p != nil {
+		return *p
+	}
+	a := []Action{{Type: ActionOutput, Port: port}}
+	outputIntern[port].CompareAndSwap(nil, &a)
+	return *outputIntern[port].Load()
+}
 
 // Entry is one cached flow decision.
 type Entry struct {

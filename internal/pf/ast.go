@@ -3,6 +3,7 @@ package pf
 import (
 	"fmt"
 	"strings"
+	"sync/atomic"
 
 	"identxx/internal/netaddr"
 )
@@ -246,9 +247,27 @@ type Rule struct {
 	Withs     []FuncCall
 	KeepState bool
 	Pos       Pos
+
+	// audit memoizes AuditString. Rules are immutable after parsing, so the
+	// rendering never changes; caching it keeps rule naming off the
+	// per-decision allocation budget (every audit entry names its rule).
+	audit atomic.Pointer[string]
 }
 
 func (*Rule) stmt() {}
+
+// AuditString renders the rule with its source position, the form audit
+// entries record ("pass from any to any @ policy:3"). The string is computed
+// once per rule and cached; concurrent callers may race the first render but
+// always observe a complete string.
+func (r *Rule) AuditString() string {
+	if s := r.audit.Load(); s != nil {
+		return *s
+	}
+	s := fmt.Sprintf("%s @ %s", r, r.Pos)
+	r.audit.Store(&s)
+	return s
+}
 
 func (r *Rule) String() string {
 	var b strings.Builder

@@ -180,6 +180,15 @@ func (p *Policy) Register(name string, fn Func) { p.funcs.Register(name, fn) }
 // ident++ responses from its two ends (either may be nil when an end did
 // not answer, e.g. hosts outside the ident++ deployment, §4 "Incremental
 // Benefit").
+//
+// Ownership contract: Evaluate BORROWS Src and Dst for the duration of the
+// call — it reads their sections in place and never copies, mutates, or
+// retains them past return. The caller therefore stays the owner: it may
+// hand the same responses to many Evaluate calls (the controller's response
+// cache does exactly that) or recycle them through AcquireResponse /
+// ReleaseResponse the moment the decision is made. The only thing that
+// outlives Evaluate is the returned Decision, which aliases nothing from
+// the responses.
 type Input struct {
 	Flow flow.Five
 	Src  *wire.Response
@@ -206,10 +215,24 @@ type Decision struct {
 // Evaluate runs the ruleset over in with PF's last-match-wins semantics:
 // every rule is consulted in order, the final matching rule decides, and a
 // matching `quick` rule short-circuits immediately (§3.3).
+//
+// Evaluation is allocation-free in steady state: the evaluation context
+// (including the argument scratch every `with` call resolves into) comes
+// from a pool, and in.Src/in.Dst are borrowed, never copied — see Input for
+// the ownership contract. Only diagnostics (which indicate a broken policy,
+// not a normal decision) allocate.
 func (p *Policy) Evaluate(in Input) Decision {
-	c := &evalCtx{p: p, in: in}
-	d := Decision{Action: p.Default}
-	for _, r := range p.Rules {
+	c := acquireEvalCtx(p, in, 0)
+	d := c.run(p.Rules, Decision{Action: p.Default})
+	d.Diags = c.diags
+	releaseEvalCtx(c)
+	return d
+}
+
+// run applies the last-match-wins scan to rules, starting from the given
+// default decision. Shared by Evaluate and EvalEmbedded.
+func (c *evalCtx) run(rules []*Rule, d Decision) Decision {
+	for _, r := range rules {
 		if !c.ruleMatches(r) {
 			continue
 		}
@@ -221,15 +244,56 @@ func (p *Policy) Evaluate(in Input) Decision {
 			break
 		}
 	}
-	d.Diags = c.diags
 	return d
 }
+
+// evalScratchArgs is the inline capacity for resolved `with` arguments; a
+// call with more arguments falls back to one heap slice. verify() calls
+// with long endorsement chains are the only realistic way past it.
+const evalScratchArgs = 8
 
 type evalCtx struct {
 	p     *Policy
 	in    Input
 	depth int
 	diags []string
+
+	// pub is the *Ctx handed to predicate functions, pointing back at this
+	// context; embedding it here keeps the per-call &Ctx{} off the heap.
+	pub Ctx
+	// valBuf is the argument scratch callFunc resolves into. Arguments are
+	// borrowed by the callee for the duration of the call only (see Func).
+	valBuf [evalScratchArgs]Value
+}
+
+// evalCtxPool recycles evaluation contexts across decisions; evaluation
+// sits on the controller's packet-in fast path, where a per-decision
+// context allocation (plus its Ctx and argument slice) was measurable.
+var evalCtxPool = sync.Pool{New: func() any {
+	c := new(evalCtx)
+	c.pub.c = c
+	return c
+}}
+
+func acquireEvalCtx(p *Policy, in Input, depth int) *evalCtx {
+	c := evalCtxPool.Get().(*evalCtx)
+	c.p = p
+	c.in = in
+	c.depth = depth
+	return c
+}
+
+// releaseEvalCtx returns c to the pool. Ownership of c.diags has passed to
+// the caller's Decision, so the slice is dropped, not truncated; response
+// pointers and resolved values are cleared so the pool never pins a
+// response or its strings past the decision that borrowed them.
+func releaseEvalCtx(c *evalCtx) {
+	c.p = nil
+	c.in = Input{}
+	c.depth = 0
+	c.diags = nil
+	c.valBuf = [evalScratchArgs]Value{}
+	evalCtxPool.Put(c)
 }
 
 func (c *evalCtx) diagf(format string, args ...any) {
@@ -307,11 +371,17 @@ func (c *evalCtx) callFunc(fc FuncCall) (bool, error) {
 	if !ok {
 		return false, fmt.Errorf("unknown function %q", fc.Name)
 	}
-	vals := make([]Value, len(fc.Args))
-	for i, a := range fc.Args {
-		vals[i] = c.resolveArg(a)
+	// Resolve into the context's scratch when it fits. Calls within one rule
+	// run sequentially and a recursing `allowed` gets its own pooled context,
+	// so the scratch is never live twice.
+	vals := c.valBuf[:0]
+	if len(fc.Args) > len(c.valBuf) {
+		vals = make([]Value, 0, len(fc.Args))
 	}
-	return fn(&Ctx{c: c}, vals)
+	for _, a := range fc.Args {
+		vals = append(vals, c.resolveArg(a))
+	}
+	return fn(&c.pub, vals)
 }
 
 func (c *evalCtx) resolveArg(a Arg) Value {
@@ -393,20 +463,9 @@ func (x *Ctx) EvalEmbedded(origin, src string) (Decision, error) {
 	if entry.err != nil {
 		return Decision{}, entry.err
 	}
-	sub := &evalCtx{p: x.c.p, in: x.c.in, depth: x.c.depth + 1}
-	d := Decision{Action: Block} // embedded rule sets are default-deny
-	for _, r := range entry.rules {
-		if !sub.ruleMatches(r) {
-			continue
-		}
-		d.Action = r.Action
-		d.Rule = r
-		d.Matched = true
-		d.KeepState = r.KeepState
-		if r.Quick {
-			break
-		}
-	}
+	sub := acquireEvalCtx(x.c.p, x.c.in, x.c.depth+1)
+	d := sub.run(entry.rules, Decision{Action: Block}) // embedded rule sets are default-deny
 	x.c.diags = append(x.c.diags, sub.diags...)
+	releaseEvalCtx(sub)
 	return d, nil
 }

@@ -12,6 +12,10 @@ import (
 // Func is a boolean predicate callable from a `with` clause. Returning an
 // error marks the rule as non-matching and records a diagnostic; returning
 // (false, nil) is an ordinary predicate failure.
+//
+// args is borrowed scratch owned by the evaluator: it is valid only until
+// the function returns and is overwritten by the next predicate call. A
+// function that needs an argument past its own return must copy it.
 type Func func(ctx *Ctx, args []Value) (bool, error)
 
 // FuncRegistry maps function names to implementations. It is safe for
@@ -116,6 +120,18 @@ func fnCompare(accept func(cmp int) bool) Func {
 }
 
 func parseNum(s string) (float64, bool) {
+	// Cheap reject before ParseFloat: most policy operands are words like
+	// "skype", and ParseFloat allocates an error for every non-numeric
+	// input — pure garbage on the per-decision fast path. Anything numeric
+	// starts with a digit, sign, or point; everything else (including
+	// exotic spellings like "inf", which no daemon emits as a number)
+	// compares as a string.
+	if s == "" {
+		return 0, false
+	}
+	if c := s[0]; (c < '0' || c > '9') && c != '-' && c != '+' && c != '.' {
+		return 0, false
+	}
 	f, err := strconv.ParseFloat(s, 64)
 	return f, err == nil
 }

@@ -1,0 +1,45 @@
+package pf
+
+import (
+	"sync"
+
+	"identxx/internal/flow"
+	"identxx/internal/wire"
+)
+
+// The controller builds short-lived response views on the decision fast
+// path: answer-on-behalf responses for daemon-less hosts (§3.4, §4) exist
+// only to be borrowed by Evaluate as Input.Src/Input.Dst and are dead the
+// moment the verdict lands. Allocating one per decision is pure garbage at
+// line rate, so they are pooled here, next to the evaluator that defines
+// the borrow contract (see Input).
+//
+// Ownership rules:
+//
+//   - AcquireResponse transfers ownership to the caller.
+//   - Evaluate only ever borrows; acquiring caller stays the owner.
+//   - ReleaseResponse ends ownership. The caller must not release a
+//     response something else may still hold — in particular, a response
+//     stored into a cache is owned by the cache from that point on and is
+//     reclaimed by the GC on eviction, never released back to the pool.
+var respPool = sync.Pool{New: func() any { return new(wire.Response) }}
+
+// AcquireResponse returns an empty response for flow f, recycled (with its
+// section/pair capacity intact) when one is available. The caller owns it
+// until it calls ReleaseResponse or hands ownership elsewhere.
+func AcquireResponse(f flow.Five) *wire.Response {
+	r := respPool.Get().(*wire.Response)
+	r.Reset(f)
+	return r
+}
+
+// ReleaseResponse recycles a response obtained from AcquireResponse. It is
+// the caller's assertion that nothing else holds the pointer; releasing a
+// cached or shared response is a use-after-free spelled politely. Releasing
+// nil is a no-op so callers can release unconditionally.
+func ReleaseResponse(r *wire.Response) {
+	if r == nil {
+		return
+	}
+	respPool.Put(r)
+}

@@ -115,9 +115,24 @@ func NewResponse(f flow.Five) *Response {
 // Add appends a pair to the final section.
 func (r *Response) Add(key, value string) {
 	if len(r.Sections) == 0 {
-		r.Sections = append(r.Sections, Section{})
+		r.addSection("")
 	}
 	r.Sections[len(r.Sections)-1].Add(key, value)
+}
+
+// addSection appends an empty section, recycling a slot (and its Pairs
+// backing array) left behind by Reset when one is available, so a pooled
+// response rebuilds its sections without reallocating them.
+func (r *Response) addSection(source string) *Section {
+	if n := len(r.Sections); n < cap(r.Sections) {
+		r.Sections = r.Sections[:n+1]
+		s := &r.Sections[n]
+		s.Source = source
+		s.Pairs = s.Pairs[:0]
+		return s
+	}
+	r.Sections = append(r.Sections, Section{Source: source})
+	return &r.Sections[len(r.Sections)-1]
 }
 
 // Augment starts a new section, modelling an intercepting controller that
@@ -125,8 +140,26 @@ func (r *Response) Add(key, value string) {
 // supplied by upstream firewalls" (§2). It returns the new section for
 // population.
 func (r *Response) Augment(source string) *Section {
-	r.Sections = append(r.Sections, Section{Source: source})
-	return &r.Sections[len(r.Sections)-1]
+	return r.addSection(source)
+}
+
+// Reset clears the response for reuse while keeping the section and pair
+// capacity it has grown, so a recycled response populates without
+// reallocating. Pair values are zeroed first: a pooled response must not
+// pin the strings of the flow it last described.
+func (r *Response) Reset(f flow.Five) {
+	full := r.Sections[:cap(r.Sections)]
+	for i := range full {
+		s := &full[i]
+		s.Source = ""
+		kept := s.Pairs[:cap(s.Pairs)]
+		for j := range kept {
+			kept[j] = KV{}
+		}
+		s.Pairs = s.Pairs[:0]
+	}
+	r.Sections = r.Sections[:0]
+	r.Flow = f
 }
 
 // Latest returns the most recent value for key: sections are scanned from
