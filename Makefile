@@ -4,7 +4,7 @@ GO ?= go
 # race detector on purpose: the allocation-budget guards (alloc_test.go)
 # skip themselves under -race, so both flavors are needed.
 .PHONY: ci
-ci: fmt-check vet build test race bench-smoke
+ci: fmt-check vet build test race race-query bench-smoke
 
 .PHONY: fmt-check
 fmt-check:
@@ -35,6 +35,13 @@ test:
 .PHONY: race
 race:
 	$(GO) test -race ./...
+
+# The query plane is the most concurrency-dense package (pipelined
+# connections, coalesced flights, async completions); run it repeatedly
+# under the race detector so interleavings get more than one roll.
+.PHONY: race-query
+race-query:
+	$(GO) test -race -count=2 ./internal/query/
 
 # One iteration of every benchmark as a smoke check: catches benchmarks
 # that no longer compile or crash without paying for a measurement run.
@@ -69,13 +76,14 @@ bench-compare:
 	git worktree add --detach $$tmp/base $(BASE) >/dev/null; \
 	trap 'git worktree remove --force '"$$tmp"'/base >/dev/null 2>&1; rm -rf '"$$tmp" EXIT; \
 	echo "== base ($(BASE)) =="; \
-	(cd $$tmp/base && $(GO) test -run=NONE -bench='M7_|M8_' -benchmem -count=$(BENCH_COUNT) -benchtime=$(BENCH_TIME) .) | tee $$tmp/base.txt; \
+	(cd $$tmp/base && $(GO) test -run=NONE -bench='M7_|M8_|M9_' -benchmem -count=$(BENCH_COUNT) -benchtime=$(BENCH_TIME) .) | tee $$tmp/base.txt; \
 	echo "== head =="; \
-	$(GO) test -run=NONE -bench='M7_|M8_' -benchmem -count=$(BENCH_COUNT) -benchtime=$(BENCH_TIME) . | tee $$tmp/head.txt; \
+	$(GO) test -run=NONE -bench='M7_|M8_|M9_' -benchmem -count=$(BENCH_COUNT) -benchtime=$(BENCH_TIME) . | tee $$tmp/head.txt; \
 	if command -v benchstat >/dev/null 2>&1; then benchstat $$tmp/base.txt $$tmp/head.txt || true; fi; \
 	$(GO) run ./cmd/benchdiff \
 		-max-allocs 'BenchmarkM7_ShardedHandleEvent=2' \
 		-max-allocs 'BenchmarkM8_AllocProfile=2' \
+		-max-allocs 'BenchmarkM9_QueryPlane/hit=2' \
 		$$tmp/base.txt $$tmp/head.txt
 
 # Short bursts of every fuzz target; regression seeds live in testdata/.

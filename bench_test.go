@@ -13,6 +13,7 @@ package identxx_bench
 import (
 	"context"
 	"io"
+	"net"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -25,6 +26,7 @@ import (
 	"identxx/internal/netaddr"
 	"identxx/internal/openflow"
 	"identxx/internal/pf"
+	"identxx/internal/query"
 	"identxx/internal/wire"
 	"identxx/internal/workload"
 )
@@ -435,6 +437,164 @@ func BenchmarkM8_AllocProfile(b *testing.B) {
 		}
 		if ctl.Counters.Get("answered_on_behalf") == 0 {
 			b.Fatal("answer-on-behalf path not exercised")
+		}
+	})
+}
+
+// m9Host builds one daemon'd end-host serving skype on a loopback socket.
+func m9Host(b *testing.B, name, ip string) (netaddr.IP, string, flow.Five) {
+	b.Helper()
+	hostIP := netaddr.MustParseIP(ip)
+	h := hostinfo.New(name, hostIP, 1)
+	alice := h.AddUser("alice", "users")
+	proc := h.Exec(alice, workload.Skype.Exe())
+	five, err := h.Connect(proc.PID, flow.Five{
+		DstIP: netaddr.MustParseIP("10.4.0.2"), Proto: netaddr.ProtoTCP, DstPort: 5060,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	d := daemon.New(h)
+	srv := daemon.NewServer(d)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { srv.Close() })
+	return hostIP, addr.String(), five
+}
+
+// BenchmarkM9_QueryPlane measures the asynchronous query plane end to end
+// over real loopback sockets (engine → pooled pipelined transport →
+// daemon.Server):
+//
+//   - hit: the controller's steady state with the async transport wired in —
+//     warm response cache, so the query plane is never touched. This variant
+//     carries the same ≤ 2 allocs/op budget as M8 (CI gates it): adopting
+//     the async pipeline must not cost the cache-hit path anything.
+//   - miss: one full wire round trip per op through the pipelined
+//     connection — the per-flow price of a cold cache.
+//   - coalesced: every goroutine asks for the same (host, flow, keys)
+//     concurrently; the engine shares wire exchanges between them
+//     (wire_queries_per_op reported; well under 1 means coalescing works).
+//   - daemon-down: the host's port answers nothing — after the first
+//     refused dial the negative cache absorbs every subsequent miss.
+func BenchmarkM9_QueryPlane(b *testing.B) {
+	b.Run("hit", func(b *testing.B) {
+		srcIP, srcAddr, five := m9Host(b, "pc", "10.4.0.1")
+		dstIP, dstAddr, _ := m9Host(b, "server", "10.4.0.2")
+		pool := query.NewPool(query.PoolConfig{Resolver: query.StaticResolver{
+			srcIP: srcAddr, dstIP: dstAddr,
+		}})
+		b.Cleanup(func() { pool.Close() })
+		eng := query.NewEngine(query.Config{Lower: pool})
+		b.Cleanup(eng.Close)
+		ctl := core.New(core.Config{
+			Name:             "m9",
+			Policy:           pf.MustCompile("m9", "pass all"),
+			Transport:        eng,
+			Topology:         &m7Topo{hops: []core.Hop{{Datapath: 1, OutPort: 2}}},
+			InstallEntries:   true,
+			AsyncQueries:     true,
+			ResponseCacheTTL: time.Hour,
+		})
+		ctl.AddDatapath(&m7Datapath{id: 1})
+		ev := openflow.PacketIn{
+			SwitchID: 1, BufferID: openflow.BufferNone, InPort: 1,
+			Tuple: flow.Ten{
+				EthType: flow.EthTypeIPv4,
+				SrcIP:   five.SrcIP, DstIP: five.DstIP, Proto: five.Proto,
+				SrcPort: five.SrcPort, DstPort: five.DstPort,
+			},
+		}
+		ctl.HandleEvent(ev) // decide once: warm cache and pools
+		deadline := time.Now().Add(5 * time.Second)
+		for ctl.Counters.Get("flows_allowed") == 0 {
+			if time.Now().After(deadline) {
+				b.Fatal("warm-up decision never completed")
+			}
+			time.Sleep(time.Millisecond)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ctl.HandleEvent(ev)
+		}
+		b.StopTimer()
+		if ctl.Counters.Get("response_cache_hits") < int64(b.N) {
+			b.Fatal("cache-hit path not exercised")
+		}
+	})
+
+	b.Run("miss", func(b *testing.B) {
+		srcIP, srcAddr, five := m9Host(b, "pc", "10.4.1.1")
+		pool := query.NewPool(query.PoolConfig{Resolver: query.StaticResolver{srcIP: srcAddr}})
+		b.Cleanup(func() { pool.Close() })
+		eng := query.NewEngine(query.Config{Lower: pool})
+		b.Cleanup(eng.Close)
+		q := wire.Query{Flow: five, Keys: []string{wire.KeyUserID, wire.KeyName}}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			resp, _, err := eng.Query(srcIP, q)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if v, _ := resp.Latest(wire.KeyUserID); v != "alice" {
+				b.Fatal("wrong response")
+			}
+		}
+	})
+
+	b.Run("coalesced", func(b *testing.B) {
+		srcIP, srcAddr, five := m9Host(b, "pc", "10.4.2.1")
+		pool := query.NewPool(query.PoolConfig{Resolver: query.StaticResolver{srcIP: srcAddr}})
+		b.Cleanup(func() { pool.Close() })
+		eng := query.NewEngine(query.Config{Lower: pool})
+		b.Cleanup(eng.Close)
+		q := wire.Query{Flow: five, Keys: []string{wire.KeyName}}
+		b.ReportAllocs()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				if _, _, err := eng.Query(srcIP, q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.StopTimer()
+		b.ReportMetric(float64(pool.Counters.Get("pool_queries_sent"))/float64(b.N), "wire_queries_per_op")
+	})
+
+	b.Run("daemon-down", func(b *testing.B) {
+		// A host that resolves to a dead port: one refused dial, then the
+		// negative cache answers for the whole TTL.
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		deadAddr := l.Addr().String()
+		l.Close()
+		downIP := netaddr.MustParseIP("10.4.3.1")
+		pool := query.NewPool(query.PoolConfig{Resolver: query.StaticResolver{downIP: deadAddr}})
+		b.Cleanup(func() { pool.Close() })
+		eng := query.NewEngine(query.Config{Lower: pool, NegativeTTL: time.Hour, Retries: -1})
+		b.Cleanup(eng.Close)
+		q := wire.Query{Flow: flow.Five{
+			SrcIP: downIP, DstIP: netaddr.MustParseIP("10.4.3.2"),
+			Proto: netaddr.ProtoTCP, SrcPort: 1, DstPort: 631,
+		}}
+		eng.Query(downIP, q) // pay the one refused dial up front
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := eng.Query(downIP, q); err == nil {
+				b.Fatal("dead host answered")
+			}
+		}
+		b.StopTimer()
+		if eng.Counters.Get("engine_negcache_hits") < int64(b.N) {
+			b.Fatal("negative cache not exercised")
 		}
 	})
 }

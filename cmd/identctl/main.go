@@ -17,23 +17,20 @@
 package main
 
 import (
-	"context"
 	"flag"
 	"fmt"
 	"os"
 	"os/signal"
 	"strconv"
 	"strings"
-	"sync"
 	"syscall"
 	"time"
 
 	"identxx/internal/core"
-	"identxx/internal/daemon"
 	"identxx/internal/netaddr"
 	"identxx/internal/openflow"
 	"identxx/internal/pf"
-	"identxx/internal/wire"
+	"identxx/internal/query"
 )
 
 func main() {
@@ -61,12 +58,26 @@ func main() {
 		fatal(err)
 	}
 
+	// The production query plane: pooled pipelined connections to the
+	// daemons the topology declares, under the coalescing/negative-cache
+	// engine, driving the controller's non-blocking decision pipeline.
+	pool := query.NewPool(query.PoolConfig{
+		Resolver:       topoResolver{topo},
+		RequestTimeout: *queryTimeout,
+	})
+	defer pool.Close()
+	eng := query.NewEngine(query.Config{
+		Lower:          pool,
+		RequestTimeout: *queryTimeout,
+	})
+	defer eng.Close()
 	ctl := core.New(core.Config{
 		Name:           "identctl",
 		Policy:         policy,
-		Transport:      &tcpTransport{topo: topo, timeout: *queryTimeout},
+		Transport:      eng,
 		Topology:       topo,
 		InstallEntries: true,
+		AsyncQueries:   true,
 	})
 	handler := &channelHandler{ctl: ctl}
 	server := openflow.NewChannelServer(handler)
@@ -180,22 +191,17 @@ func (t *topology) Path(src, dst netaddr.IP) ([]core.Hop, error) {
 	return []core.Hop{{Datapath: p.datapath, OutPort: p.port}}, nil
 }
 
-// tcpTransport queries real daemons over TCP at the addresses the topology
-// file declares.
-type tcpTransport struct {
-	topo    *topology
-	timeout time.Duration
-	mu      sync.Mutex
+// topoResolver maps host IPs to the daemon addresses the topology file
+// declares; a host without a daemon entry is daemon-less (§4), which the
+// query plane reports as core.ErrNoDaemon without dialing.
+type topoResolver struct {
+	topo *topology
 }
 
-func (t *tcpTransport) Query(host netaddr.IP, q wire.Query) (*wire.Response, time.Duration, error) {
-	p, ok := t.topo.hosts[host]
+func (r topoResolver) Resolve(host netaddr.IP) (string, bool) {
+	p, ok := r.topo.hosts[host]
 	if !ok || p.daemon == "" {
-		return nil, 0, core.ErrNoDaemon
+		return "", false
 	}
-	ctx, cancel := context.WithTimeout(context.Background(), t.timeout)
-	defer cancel()
-	start := time.Now()
-	resp, err := daemon.Query(ctx, p.daemon, q)
-	return resp, time.Since(start), err
+	return p.daemon, true
 }

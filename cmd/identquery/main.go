@@ -1,20 +1,24 @@
 // Command identquery is the ident++ client: it asks a daemon about a flow
 // and prints the key-value response, sections delimited as on the wire.
 //
+// It drives the same query-plane client (internal/query: pooled transport
+// under the coalescing/retry engine) the controller and the CI benchmarks
+// use, so the CLI exercises the production code path rather than a
+// hand-rolled dial.
+//
 // Usage:
 //
 //	identquery -addr 192.168.0.5:783 "tcp 192.168.0.5:40000 > 192.168.1.1:80" [key...]
 package main
 
 import (
-	"context"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
-	"identxx/internal/daemon"
 	"identxx/internal/flow"
+	"identxx/internal/query"
 	"identxx/internal/wire"
 )
 
@@ -31,9 +35,20 @@ func main() {
 		fmt.Fprintln(os.Stderr, "identquery:", err)
 		os.Exit(2)
 	}
-	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
-	defer cancel()
-	resp, err := daemon.Query(ctx, *addr, wire.Query{Flow: f, Keys: flag.Args()[1:]})
+	pool := query.NewPool(query.PoolConfig{
+		Resolver:       query.FixedResolver(*addr),
+		RequestTimeout: *timeout,
+	})
+	defer pool.Close()
+	eng := query.NewEngine(query.Config{
+		Lower:          pool,
+		RequestTimeout: *timeout,
+		Retries:        -1, // one shot: a CLI user retries themselves
+	})
+	defer eng.Close()
+	// The daemon answers about the flow; which endpoint "owns" it only
+	// matters for address resolution, and the resolver pins that to -addr.
+	resp, _, err := eng.Query(f.SrcIP, wire.Query{Flow: f, Keys: flag.Args()[1:]})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "identquery:", err)
 		os.Exit(1)

@@ -37,12 +37,17 @@ func (NullTransport) Query(netaddr.IP, wire.Query) (*wire.Response, time.Duratio
 }
 
 // errNoDaemon mirrors core.ErrNoDaemon without importing core (baseline is
-// imported by core's tests); the controller only checks non-nil-ness.
+// imported by core's tests). The controller classifies errors now — only
+// the daemon-less case may be answered on behalf of — so nullErr declares
+// itself via the NoDaemon marker method core.IsNoDaemon looks for.
 var errNoDaemon = nullErr{}
 
 type nullErr struct{}
 
 func (nullErr) Error() string { return "baseline: vanilla firewall performs no queries" }
+
+// NoDaemon marks the error as the daemon-less case for core.IsNoDaemon.
+func (nullErr) NoDaemon() bool { return true }
 
 // Binding is Ethane's authentication-time knowledge about a host: which
 // user is logged in and their groups. Ethane knows who and where, but not

@@ -1,0 +1,427 @@
+package core
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"identxx/internal/flow"
+	"identxx/internal/netaddr"
+	"identxx/internal/openflow"
+	"identxx/internal/pf"
+	"identxx/internal/wire"
+)
+
+// fakeAsyncTransport implements AsyncQueryTransport over fakeTransport.
+// With a gate set, completions are held until the gate closes, so tests
+// can observe a suspended decision; inline delivers completions on the
+// QueryAsync caller's goroutine (the query plane's fast-fail shape).
+type fakeAsyncTransport struct {
+	fakeTransport
+	gate   chan struct{}
+	inline bool
+}
+
+func (t *fakeAsyncTransport) QueryAsync(host netaddr.IP, q wire.Query, done func(*wire.Response, time.Duration, error)) {
+	if t.inline {
+		resp, rtt, err := t.Query(host, q)
+		done(resp, rtt, err)
+		return
+	}
+	gate := t.gate
+	go func() {
+		if gate != nil {
+			<-gate
+		}
+		resp, rtt, err := t.Query(host, q)
+		done(resp, rtt, err)
+	}()
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+const asyncPolicy = `
+block all
+pass from any to any with eq(@src[name], skype) with eq(@dst[name], skype)
+`
+
+func newAsyncController(tr AsyncQueryTransport, topo Topology) (*Controller, *fakeDatapath) {
+	dp1 := &fakeDatapath{id: 1}
+	c := New(Config{
+		Name:           "async",
+		Policy:         pf.MustCompile("policy", asyncPolicy),
+		Transport:      tr,
+		Topology:       topo,
+		InstallEntries: true,
+		AsyncQueries:   true,
+	})
+	c.AddDatapath(dp1)
+	return c, dp1
+}
+
+// TestAsyncDecisionSuspendsAndFinishes: with completions gated, HandleEvent
+// returns with no verdict rendered — the decision is parked on the query
+// plane, not on a goroutine — and the verdict lands (entries installed,
+// buffer released) once both completions deliver.
+func TestAsyncDecisionSuspendsAndFinishes(t *testing.T) {
+	tr := &fakeAsyncTransport{
+		fakeTransport: fakeTransport{responses: map[netaddr.IP]map[string]string{
+			hostA: {"name": "skype"},
+			hostB: {"name": "skype"},
+		}},
+		gate: make(chan struct{}),
+	}
+	topo := &fakeTopo{hops: []Hop{{Datapath: 1, OutPort: 2}}}
+	c, dp1 := newAsyncController(tr, topo)
+
+	five := flow.Five{SrcIP: hostA, DstIP: hostB, Proto: netaddr.ProtoTCP, SrcPort: 100, DstPort: 200}
+	c.HandleEvent(sampleEvent(five, 1))
+
+	if got := c.Counters.Get("flows_allowed") + c.Counters.Get("flows_denied"); got != 0 {
+		t.Fatalf("verdict rendered before completions delivered (decided=%d)", got)
+	}
+	if dp1.modCount() != 0 {
+		t.Fatal("entries installed before the decision finished")
+	}
+
+	close(tr.gate)
+	waitFor(t, "async verdict", func() bool { return c.Counters.Get("flows_allowed") == 1 })
+	waitFor(t, "install", func() bool { return dp1.modCount() == 1 })
+}
+
+// TestAsyncDuplicatesParkAndResolve: packet-ins arriving while the decision
+// is suspended park on the shard waiter list and are resolved by the
+// completion-side finish, exactly as on the blocking path.
+func TestAsyncDuplicatesParkAndResolve(t *testing.T) {
+	tr := &fakeAsyncTransport{
+		fakeTransport: fakeTransport{responses: map[netaddr.IP]map[string]string{
+			hostA: {"name": "skype"},
+			hostB: {"name": "skype"},
+		}},
+		gate: make(chan struct{}),
+	}
+	topo := &fakeTopo{hops: []Hop{{Datapath: 1, OutPort: 2}}}
+	c, dp1 := newAsyncController(tr, topo)
+
+	five := flow.Five{SrcIP: hostA, DstIP: hostB, Proto: netaddr.ProtoTCP, SrcPort: 101, DstPort: 200}
+	c.HandleEvent(sampleEvent(five, 1))
+	for i := 0; i < 3; i++ {
+		c.HandleEvent(sampleEvent(five, 1)) // duplicates of the suspended flow
+	}
+	if got := c.Counters.Get("duplicate_packet_ins"); got != 3 {
+		t.Fatalf("duplicate_packet_ins = %d, want 3", got)
+	}
+	if got := len(dp1.released); got != 0 {
+		t.Fatalf("%d buffers released while suspended, want 0 (parked)", got)
+	}
+
+	close(tr.gate)
+	waitFor(t, "waiters resolved", func() bool { return c.Counters.Get("waiters_resolved") == 3 })
+	waitFor(t, "buffers released", func() bool {
+		dp1.mu.Lock()
+		defer dp1.mu.Unlock()
+		// The owner's buffer rides the ingress flow-mod's BufferID; the
+		// three parked duplicates are released explicitly.
+		return len(dp1.released) == 3
+	})
+}
+
+// TestAsyncInlineCompletion: a transport that completes inline (negative
+// cache, breaker fast-fail) finishes the decision before HandleEvent
+// returns — no goroutine handoff, no deadlock on the pending counter.
+func TestAsyncInlineCompletion(t *testing.T) {
+	tr := &fakeAsyncTransport{
+		fakeTransport: fakeTransport{responses: map[netaddr.IP]map[string]string{
+			hostA: {"name": "skype"},
+			hostB: {"name": "skype"},
+		}},
+		inline: true,
+	}
+	topo := &fakeTopo{hops: []Hop{{Datapath: 1, OutPort: 2}}}
+	c, dp1 := newAsyncController(tr, topo)
+
+	five := flow.Five{SrcIP: hostA, DstIP: hostB, Proto: netaddr.ProtoTCP, SrcPort: 102, DstPort: 200}
+	c.HandleEvent(sampleEvent(five, 1))
+	if c.Counters.Get("flows_allowed") != 1 {
+		t.Fatal("inline completion did not finish the decision synchronously")
+	}
+	if dp1.modCount() != 1 {
+		t.Fatal("no entry installed")
+	}
+}
+
+// TestAsyncCacheHitStaysSynchronous: with a warm response cache the async
+// pipeline is never entered — the hit path decides on the packet-in
+// goroutine, preserving the allocation budget's fast path.
+func TestAsyncCacheHitStaysSynchronous(t *testing.T) {
+	tr := &fakeAsyncTransport{
+		fakeTransport: fakeTransport{responses: map[netaddr.IP]map[string]string{
+			hostA: {"name": "skype"},
+			hostB: {"name": "skype"},
+		}},
+		inline: true,
+	}
+	topo := &fakeTopo{hops: []Hop{{Datapath: 1, OutPort: 2}}}
+	dp1 := &fakeDatapath{id: 1}
+	c := New(Config{
+		Name:             "async",
+		Policy:           pf.MustCompile("policy", asyncPolicy),
+		Transport:        tr,
+		Topology:         topo,
+		InstallEntries:   true,
+		AsyncQueries:     true,
+		ResponseCacheTTL: time.Hour,
+	})
+	c.AddDatapath(dp1)
+
+	five := flow.Five{SrcIP: hostA, DstIP: hostB, Proto: netaddr.ProtoTCP, SrcPort: 103, DstPort: 200}
+	c.HandleEvent(sampleEvent(five, 1)) // warm the cache
+	queriesAfterWarm := func() int {
+		tr.mu.Lock()
+		defer tr.mu.Unlock()
+		return tr.queries
+	}()
+
+	c.HandleEvent(sampleEvent(five, 1))
+	if c.Counters.Get("response_cache_hits") != 1 {
+		t.Fatal("second packet-in missed the response cache")
+	}
+	if got := func() int {
+		tr.mu.Lock()
+		defer tr.mu.Unlock()
+		return tr.queries
+	}(); got != queriesAfterWarm {
+		t.Errorf("cache hit still queried the transport (%d -> %d)", queriesAfterWarm, got)
+	}
+	if c.Counters.Get("flows_allowed") != 2 {
+		t.Fatalf("flows_allowed = %d, want 2", c.Counters.Get("flows_allowed"))
+	}
+}
+
+// timeoutTransport fails every query with a timeout-classified error, the
+// shape of a daemon'd host that is slow or unreachable mid-connection.
+type timeoutTransport struct{}
+
+type fakeTimeoutErr struct{}
+
+func (fakeTimeoutErr) Error() string { return "fake: i/o timeout" }
+func (fakeTimeoutErr) Timeout() bool { return true }
+
+func (timeoutTransport) Query(netaddr.IP, wire.Query) (*wire.Response, time.Duration, error) {
+	return nil, 50 * time.Millisecond, fakeTimeoutErr{}
+}
+
+// TestTimeoutDoesNotImpersonateHost pins the classification fix: a timeout
+// against a host the controller has answer-on-behalf data for must NOT be
+// answered on the host's behalf — §3.4 impersonation applies only to
+// daemon-less hosts, and a timed-out daemon'd host falls through to the
+// policy's no-info verdict, counted as query_timeouts.
+func TestTimeoutDoesNotImpersonateHost(t *testing.T) {
+	topo := &fakeTopo{hops: []Hop{{Datapath: 1, OutPort: 2}}}
+	c, dp1, _ := newTestController(`
+block all
+pass from any to any with eq(@dst[type], printer)
+`, timeoutTransport{}, topo)
+	c.AnswerForHost(hostB, wire.KV{Key: wire.KeyType, Value: "printer"})
+
+	five := flow.Five{SrcIP: hostA, DstIP: hostB, Proto: netaddr.ProtoTCP, SrcPort: 1, DstPort: 631}
+	c.HandleEvent(sampleEvent(five, 1))
+
+	if got := c.Counters.Get("answered_on_behalf"); got != 0 {
+		t.Errorf("answered_on_behalf = %d on a timeout; impersonated a live host", got)
+	}
+	if got := c.Counters.Get("query_timeouts"); got != 2 {
+		t.Errorf("query_timeouts = %d, want 2 (both ends timed out)", got)
+	}
+	if got := c.Counters.Get("query_errors"); got != 0 {
+		t.Errorf("query_errors = %d, want 0 (timeouts counted separately)", got)
+	}
+	if c.Counters.Get("flows_denied") != 1 {
+		t.Error("timed-out queries must yield the policy's no-info verdict (deny here)")
+	}
+	if dp1.mods[0].Actions[0].Type != openflow.ActionDrop {
+		t.Error("expected drop entry")
+	}
+}
+
+// flakyTransport times out its first round of queries, then serves real
+// responses — a daemon recovering from a brief stall.
+type flakyTransport struct {
+	mu       sync.Mutex
+	failures int // queries to fail before recovering
+	good     map[netaddr.IP]map[string]string
+}
+
+func (t *flakyTransport) Query(host netaddr.IP, q wire.Query) (*wire.Response, time.Duration, error) {
+	t.mu.Lock()
+	if t.failures > 0 {
+		t.failures--
+		t.mu.Unlock()
+		return nil, 0, fakeTimeoutErr{}
+	}
+	kv := t.good[host]
+	t.mu.Unlock()
+	if kv == nil {
+		return nil, 0, ErrNoDaemon
+	}
+	r := wire.NewResponse(q.Flow)
+	for k, v := range kv {
+		r.Add(k, v)
+	}
+	return r, 0, nil
+}
+
+// TestTransientFailureNotCached: a verdict shaped by a transport timeout
+// must not be pinned in the response cache for the TTL — once the daemon
+// answers again, the very next packet of the flow gets the real verdict.
+func TestTransientFailureNotCached(t *testing.T) {
+	tr := &flakyTransport{
+		failures: 2, // both ends of the first decision time out
+		good: map[netaddr.IP]map[string]string{
+			hostA: {"name": "skype"},
+			hostB: {"name": "skype"},
+		},
+	}
+	topo := &fakeTopo{hops: []Hop{{Datapath: 1, OutPort: 2}}}
+	dp1 := &fakeDatapath{id: 1}
+	c := New(Config{
+		Name:             "flaky",
+		Policy:           pf.MustCompile("policy", asyncPolicy),
+		Transport:        tr,
+		Topology:         topo,
+		InstallEntries:   true,
+		ResponseCacheTTL: time.Hour,
+	})
+	c.AddDatapath(dp1)
+
+	five := flow.Five{SrcIP: hostA, DstIP: hostB, Proto: netaddr.ProtoTCP, SrcPort: 105, DstPort: 200}
+	c.HandleEvent(sampleEvent(five, 1))
+	if c.Counters.Get("flows_denied") != 1 {
+		t.Fatal("timed-out decision should deny under block all")
+	}
+
+	// The daemons are back; the flow's next packet must re-query and pass
+	// instead of hitting a cached no-info verdict.
+	c.HandleEvent(sampleEvent(five, 1))
+	if got := c.Counters.Get("response_cache_hits"); got != 0 {
+		t.Errorf("response_cache_hits = %d; transient-failure decision was cached", got)
+	}
+	if c.Counters.Get("flows_allowed") != 1 {
+		t.Errorf("recovered daemon's verdict not applied; counters: %s", c.Counters)
+	}
+
+	// The healthy decision IS cached: a third packet hits.
+	c.HandleEvent(sampleEvent(five, 1))
+	if c.Counters.Get("response_cache_hits") != 1 {
+		t.Error("healthy decision was not cached")
+	}
+}
+
+// markerNoDaemonErr carries the NoDaemon marker without wrapping
+// core.ErrNoDaemon — the baselines' shape.
+type markerNoDaemonErr struct{}
+
+func (markerNoDaemonErr) Error() string  { return "marker: no daemon" }
+func (markerNoDaemonErr) NoDaemon() bool { return true }
+
+type markerTransport struct{}
+
+func (markerTransport) Query(netaddr.IP, wire.Query) (*wire.Response, time.Duration, error) {
+	return nil, 0, markerNoDaemonErr{}
+}
+
+// TestNoDaemonMarkerAllowsAnswerOnBehalf: transports outside core (the
+// baselines) mark daemon-lessness via the NoDaemon() method; the
+// controller's answer-on-behalf path must honor the marker exactly like
+// ErrNoDaemon.
+func TestNoDaemonMarkerAllowsAnswerOnBehalf(t *testing.T) {
+	topo := &fakeTopo{hops: []Hop{{Datapath: 1, OutPort: 2}}}
+	c, _, _ := newTestController(`
+block all
+pass from any to any with eq(@dst[type], printer)
+`, markerTransport{}, topo)
+	c.AnswerForHost(hostB, wire.KV{Key: wire.KeyType, Value: "printer"})
+
+	five := flow.Five{SrcIP: hostA, DstIP: hostB, Proto: netaddr.ProtoTCP, SrcPort: 2, DstPort: 631}
+	c.HandleEvent(sampleEvent(five, 1))
+	if c.Counters.Get("answered_on_behalf") != 1 {
+		t.Error("NoDaemon-marked error did not take the answer-on-behalf path")
+	}
+	if c.Counters.Get("flows_allowed") != 1 {
+		t.Error("printer flow should pass via answer-on-behalf")
+	}
+}
+
+// TestIsNoDaemonClassification covers the classifier directly.
+func TestIsNoDaemonClassification(t *testing.T) {
+	cases := []struct {
+		err  error
+		want bool
+	}{
+		{nil, false},
+		{ErrNoDaemon, true},
+		{errors.New("wrapped: " + ErrNoDaemon.Error()), false}, // string match is not classification
+		{markerNoDaemonErr{}, true},
+		{fakeTimeoutErr{}, false},
+	}
+	for i, tc := range cases {
+		if got := IsNoDaemon(tc.err); got != tc.want {
+			t.Errorf("case %d (%v): IsNoDaemon = %v, want %v", i, tc.err, got, tc.want)
+		}
+	}
+}
+
+// TestApplyModsPooledFanout: a pass verdict across a many-switch path is
+// installed on every datapath through the shared install workers (no
+// goroutine-per-datapath), including under keep-state's reverse pass.
+func TestApplyModsPooledFanout(t *testing.T) {
+	const nDatapaths = 6
+	tr := &fakeTransport{responses: map[netaddr.IP]map[string]string{
+		hostA: {"name": "skype"},
+		hostB: {"name": "skype"},
+	}}
+	hops := make([]Hop, nDatapaths)
+	for i := range hops {
+		hops[i] = Hop{Datapath: uint64(i + 1), OutPort: uint16(i + 2)}
+	}
+	topo := &fakeTopo{hops: hops}
+	dps := make([]*fakeDatapath, nDatapaths)
+	c := New(Config{
+		Name: "fanout",
+		Policy: pf.MustCompile("policy", `
+block all
+pass from any to any with eq(@src[name], skype) with eq(@dst[name], skype) keep state
+`),
+		Transport:      tr,
+		Topology:       topo,
+		InstallEntries: true,
+	})
+	for i := range dps {
+		dps[i] = &fakeDatapath{id: uint64(i + 1)}
+		c.AddDatapath(dps[i])
+	}
+
+	five := flow.Five{SrcIP: hostA, DstIP: hostB, Proto: netaddr.ProtoTCP, SrcPort: 104, DstPort: 200}
+	c.HandleEvent(sampleEvent(five, 1))
+	if c.Counters.Get("flows_allowed") != 1 {
+		t.Fatalf("flow not allowed; counters: %s", c.Counters)
+	}
+	for i, dp := range dps {
+		if got := dp.modCount(); got != 2 { // forward + reverse (keep state)
+			t.Errorf("datapath %d: mods = %d, want 2", i+1, got)
+		}
+	}
+	if c.Counters.Get("entries_installed") != 2*nDatapaths {
+		t.Errorf("entries_installed = %d, want %d", c.Counters.Get("entries_installed"), 2*nDatapaths)
+	}
+}

@@ -20,6 +20,7 @@ package core
 
 import (
 	"errors"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -38,11 +39,52 @@ import (
 // the policy fail closed or open as written.
 var ErrNoDaemon = errors.New("core: host has no ident++ daemon")
 
+// noDaemonError lets transports outside core (the baselines, which core's
+// tests import) mark their errors as the daemon-less case without
+// importing this package.
+type noDaemonError interface{ NoDaemon() bool }
+
+// IsNoDaemon reports whether err means the queried host authoritatively
+// runs no ident++ daemon — ErrNoDaemon anywhere in the chain, or an error
+// self-identifying through NoDaemon() bool. This is the only failure mode
+// in which the controller may answer on the host's behalf (§3.4, §4);
+// timeouts and resets against a host that does run a daemon are transport
+// trouble, not an invitation to impersonate it.
+func IsNoDaemon(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, ErrNoDaemon) {
+		return true
+	}
+	var nd noDaemonError
+	return errors.As(err, &nd) && nd.NoDaemon()
+}
+
+// isTimeout mirrors the net.Error convention without importing net:
+// deadline-style failures (context.DeadlineExceeded, net timeouts, the
+// query plane's ErrDeadline) all report Timeout() true.
+func isTimeout(err error) bool {
+	var t interface{ Timeout() bool }
+	return errors.As(err, &t) && t.Timeout()
+}
+
 // QueryTransport delivers an ident++ query to a host's daemon and returns
 // its response plus the round-trip latency (virtual in simulation, wall on
 // TCP).
 type QueryTransport interface {
 	Query(host netaddr.IP, q wire.Query) (*wire.Response, time.Duration, error)
+}
+
+// AsyncQueryTransport is a QueryTransport that can additionally deliver
+// the result to a completion callback instead of blocking the caller —
+// the query plane's face (internal/query.Engine implements it). done is
+// invoked exactly once, possibly inline (fast-path failures, caches) and
+// possibly on a transport goroutine; the response it delivers may be
+// shared with coalesced waiters and must be treated as a read-only borrow.
+type AsyncQueryTransport interface {
+	QueryTransport
+	QueryAsync(host netaddr.IP, q wire.Query, done func(resp *wire.Response, rtt time.Duration, err error))
 }
 
 // Hop is one switch traversal on a flow's path.
@@ -85,6 +127,14 @@ type Config struct {
 	// InstallEntries caches verdicts in switch flow tables. Disabling it is
 	// the M5 ablation: every packet of every flow punts to the controller.
 	InstallEntries bool
+
+	// AsyncQueries suspends cache-missing decisions on the query plane
+	// instead of parking a goroutine per decision on the daemon round
+	// trip: HandleEvent returns once both endpoint queries are enqueued,
+	// and the completion that delivers the second response finishes the
+	// decision (evaluation, install, waiter resolution) on its own
+	// goroutine. Requires Transport to implement AsyncQueryTransport.
+	AsyncQueries bool
 
 	// ResponseCacheTTL caches (flow -> responses) so retransmissions during
 	// slow installs and repeated short flows skip daemon queries. Zero
@@ -135,6 +185,7 @@ type Controller struct {
 	name      string
 	sourceTag string // "controller:<name>", the §3.4 augmentation source, built once
 	transport QueryTransport
+	asyncTr   AsyncQueryTransport // non-nil iff Config.AsyncQueries
 	topo      Topology
 	latency   LatencyModel
 	idle      time.Duration
@@ -159,8 +210,9 @@ type Controller struct {
 		packetIns, cacheHits, dupPacketIns  *atomic.Int64
 		waitersResolved, waitersForwarded   *atomic.Int64
 		flowsAllowed, flowsDenied, installs *atomic.Int64
-		evalDiags                           *atomic.Int64
-		queryErrors, answeredOnBehalf       *atomic.Int64
+		evalDiags, installErrors            *atomic.Int64
+		queryErrors, queryTimeouts          *atomic.Int64
+		answeredOnBehalf                    *atomic.Int64
 	}
 }
 
@@ -192,10 +244,19 @@ func New(cfg Config) *Controller {
 	if shards <= 0 {
 		shards = defaultShards()
 	}
+	var asyncTr AsyncQueryTransport
+	if cfg.AsyncQueries {
+		at, ok := cfg.Transport.(AsyncQueryTransport)
+		if !ok {
+			panic("core: Config.AsyncQueries requires a Transport implementing AsyncQueryTransport")
+		}
+		asyncTr = at
+	}
 	c := &Controller{
 		name:      cfg.Name,
 		sourceTag: "controller:" + cfg.Name,
 		transport: cfg.Transport,
+		asyncTr:   asyncTr,
 		topo:      cfg.Topology,
 		latency:   cfg.Latency,
 		idle:      idle,
@@ -217,7 +278,9 @@ func New(cfg Config) *Controller {
 	c.hot.flowsDenied = c.Counters.Cell("flows_denied")
 	c.hot.installs = c.Counters.Cell("entries_installed")
 	c.hot.evalDiags = c.Counters.Cell("eval_diags")
+	c.hot.installErrors = c.Counters.Cell("install_errors")
 	c.hot.queryErrors = c.Counters.Cell("query_errors")
+	c.hot.queryTimeouts = c.Counters.Cell("query_timeouts")
 	c.hot.answeredOnBehalf = c.Counters.Cell("answered_on_behalf")
 	c.state.Store(&ctlState{
 		policy:    cfg.Policy,
@@ -328,6 +391,13 @@ func (c *Controller) PacketInFromRemote(sw *openflow.RemoteSwitch, ev openflow.P
 // per-flow state from the flow's shard, and the decision's working set from
 // a pooled scratch — the steady-state path allocates nothing (see
 // decisionScratch and the M8 allocation budget).
+//
+// On a response-cache hit the decision completes synchronously. On a miss
+// the two endpoint queries are issued and the decision is finished by
+// finishDecision — on this goroutine for a blocking transport, or on a
+// query-plane completion goroutine when AsyncQueries is enabled, in which
+// case HandleEvent returns as soon as both queries are enqueued and the
+// event loop is free for the next packet-in.
 func (c *Controller) HandleEvent(ev openflow.PacketIn) {
 	c.hot.packetIns.Add(1)
 	st := c.state.Load()
@@ -360,7 +430,60 @@ func (c *Controller) HandleEvent(ev openflow.PacketIn) {
 		return
 	}
 
+	// The decision owns the flow from here until finishDecision resolves
+	// it; capture the continuation context in the scratch so a suspended
+	// decision survives this goroutine.
 	s := acquireScratch()
+	s.sh, s.dp, s.ev, s.five = sh, dp, ev, five
+	if c.latency != nil {
+		s.bd.Punt = c.latency.PuntLatency(ev.SwitchID)
+		s.bd.Install = c.latency.InstallLatency(ev.SwitchID)
+	}
+	g := &s.gather
+	g.c, g.st = c, st
+
+	if c.cacheTTL > 0 {
+		if e, ok := sh.lookup(five, c.clock(), st.epoch); ok {
+			c.hot.cacheHits.Add(1)
+			g.src, g.dst = e.src, e.dst
+			g.fromCache = true
+			c.finishDecision(s)
+			return
+		}
+	}
+
+	g.q = wire.Query{Flow: five, Keys: st.queryKeys}
+	if c.asyncTr != nil {
+		// Non-blocking pipeline: hand both endpoint queries to the query
+		// plane and return — no goroutine parks on the round trip. pending
+		// is armed before the first enqueue because a completion may run
+		// inline (negative-cache hit, open breaker); whichever completion
+		// drops it to zero finishes the decision.
+		g.pending.Store(2)
+		c.asyncTr.QueryAsync(five.SrcIP, g.q, g.srcDoneFn)
+		c.asyncTr.QueryAsync(five.DstIP, g.q, g.dstDoneFn)
+		return
+	}
+
+	// Blocking transport: query both ends concurrently (§2 step 3), the
+	// destination on a goroutine started through the prebound entry point.
+	g.wg.Add(1)
+	go g.dstFn()
+	resp, rtt, err := c.transport.Query(five.SrcIP, g.q)
+	g.src, g.qsrc, g.srcBuilt, g.srcTransient = c.resolveResponse(st, five, five.SrcIP, resp, rtt, err)
+	g.wg.Wait()
+	c.finishDecision(s)
+}
+
+// finishDecision is the back half of the Figure 1 pipeline: cache the
+// gathered responses, evaluate the policy, record the audit entry, install
+// the verdict, and resolve the parked duplicates. It runs on the
+// packet-in goroutine for cache hits and blocking transports, and on a
+// query-plane completion goroutine for suspended asynchronous decisions;
+// everything it touches is either scratch-owned or independently
+// synchronized, so the two arrivals share one code path.
+func (c *Controller) finishDecision(s *decisionScratch) {
+	st, sh, five := s.gather.st, s.sh, s.five
 	pass := false
 	defer func() {
 		// Resolve after the verdict's entries are installed: released
@@ -378,14 +501,20 @@ func (c *Controller) HandleEvent(ev openflow.PacketIn) {
 		s.release()
 	}()
 
-	bd := &s.bd
-	if c.latency != nil {
-		bd.Punt = c.latency.PuntLatency(ev.SwitchID)
-		bd.Install = c.latency.InstallLatency(ev.SwitchID)
+	g := &s.gather
+	if !g.fromCache && c.cacheTTL > 0 && !g.srcTransient && !g.dstTransient {
+		// Cache only decisions whose information is as good as it gets: a
+		// verdict shaped by a transient transport failure (timeout, reset,
+		// open breaker) must not pin its no-info view of the host for the
+		// whole TTL — the daemon may answer again for the next packet.
+		now := c.clock()
+		sh.store(five, cacheEntry{src: g.src, dst: g.dst, expires: now.Add(c.cacheTTL), epoch: st.epoch}, now, c.cacheTTL)
+		// The cache owns the responses now (decisions across goroutines may
+		// borrow them until eviction); they must never return to the pool.
+		g.srcBuilt, g.dstBuilt = false, false
 	}
 
-	g := &s.gather
-	c.gatherResponses(st, sh, five, g)
+	bd := &s.bd
 	bd.QuerySrc, bd.QueryDst = g.qsrc, g.qdst
 
 	evalStart := time.Now()
@@ -407,10 +536,10 @@ func (c *Controller) HandleEvent(ev openflow.PacketIn) {
 	if d.Action == pf.Pass {
 		pass = true
 		c.hot.flowsAllowed.Add(1)
-		c.installPath(st, dp, ev, five, d.KeepState, s)
+		c.installPath(st, s.dp, s.ev, five, d.KeepState, s)
 	} else {
 		c.hot.flowsDenied.Add(1)
-		c.installDrop(dp, ev, five)
+		c.installDrop(s.dp, s.ev, five)
 	}
 	if len(d.Diags) > 0 {
 		c.hot.evalDiags.Add(int64(len(d.Diags)))
@@ -445,76 +574,128 @@ func (c *Controller) resolveWaiters(waiters []parked, pass bool, hops []Hop) {
 	}
 }
 
-// gatherResponses queries both ends concurrently (§2 step 3) with the
-// flow's shard of the response cache in front, filling g with the
-// responses, per-end RTTs, and ownership flags.
-func (c *Controller) gatherResponses(st *ctlState, sh *shard, five flow.Five, g *gatherState) {
-	now := c.clock()
-	if c.cacheTTL > 0 {
-		if e, ok := sh.lookup(five, now, st.epoch); ok {
-			c.hot.cacheHits.Add(1)
-			g.src, g.dst = e.src, e.dst
-			return
-		}
-	}
-	g.c, g.st = c, st
-	g.q = wire.Query{Flow: five, Keys: st.queryKeys}
-	g.wg.Add(1)
-	go g.dstFn() // prebound gatherState.runDst; queries five.DstIP
-	g.src, g.qsrc, g.srcBuilt = c.queryOne(st, five.SrcIP, g.q)
-	g.wg.Wait()
-
-	if c.cacheTTL > 0 {
-		sh.store(five, cacheEntry{src: g.src, dst: g.dst, expires: now.Add(c.cacheTTL), epoch: st.epoch}, now, c.cacheTTL)
-		// The cache owns the responses now (decisions across goroutines may
-		// borrow them until eviction); they must never return to the pool.
-		g.srcBuilt, g.dstBuilt = false, false
-	}
-}
-
-// queryOne resolves one end of the flow: the daemon's answer when it has
-// one, otherwise the controller's answer-on-behalf data (§3.4, §4). built
-// reports that the response is a controller-built view from the pf pool,
-// owned by the caller until released or handed to the cache.
-func (c *Controller) queryOne(st *ctlState, host netaddr.IP, q wire.Query) (resp *wire.Response, rtt time.Duration, built bool) {
-	resp, rtt, err := c.transport.Query(host, q)
+// resolveResponse turns one end's query outcome into the response the
+// policy will see: the daemon's answer when it has one, the controller's
+// answer-on-behalf data (§3.4, §4) when the host authoritatively runs no
+// daemon, and nothing at all otherwise. Transport trouble against a
+// daemon'd host — a timeout, a reset, an open circuit breaker — must not
+// be laundered into the controller impersonating the host: those fall
+// through with a nil response so the policy renders its no-info verdict,
+// and are counted apart (query_timeouts vs query_errors) so operators can
+// tell a down daemon from a daemon-less one. built reports that the
+// response is a controller-built view from the pf pool, owned by the
+// caller until released or handed to the cache; transient reports exactly
+// the transport-trouble case, so the decision it feeds is not cached —
+// the daemon may be answering again for the very next packet.
+func (c *Controller) resolveResponse(st *ctlState, five flow.Five, host netaddr.IP, resp *wire.Response, rtt time.Duration, err error) (_ *wire.Response, _ time.Duration, built, transient bool) {
 	if err == nil {
-		return resp, rtt, false
+		return resp, rtt, false, false
+	}
+	if !IsNoDaemon(err) {
+		if isTimeout(err) {
+			c.hot.queryTimeouts.Add(1)
+		} else {
+			c.hot.queryErrors.Add(1)
+		}
+		return nil, rtt, false, true
 	}
 	c.hot.queryErrors.Add(1)
 	// Answer on behalf of daemon-less hosts from local configuration.
 	pairs := st.answers[host]
 	if len(pairs) == 0 {
-		return nil, rtt, false
+		return nil, rtt, false, false
 	}
 	c.hot.answeredOnBehalf.Add(1)
-	r := pf.AcquireResponse(q.Flow)
+	r := pf.AcquireResponse(five)
 	sec := r.Augment(c.sourceTag)
 	sec.Pairs = append(sec.Pairs, pairs...)
-	return r, rtt, true
+	return r, rtt, true, false
 }
 
-// applyMods issues one flow-mod per datapath, concurrently when the path
-// crosses more than one switch, so install latency along a path is the
-// slowest single switch rather than the sum of all of them.
-func (c *Controller) applyMods(dps []openflow.Datapath, mods []openflow.FlowMod) {
-	if len(dps) == 1 {
-		if err := dps[0].Apply(mods[0]); err != nil {
-			c.Counters.Add("install_errors", 1)
+// installJob is one datapath's flow-mod application, dispatched to the
+// shared fan-out workers.
+type installJob struct {
+	dp   openflow.Datapath
+	mod  openflow.FlowMod
+	wg   *sync.WaitGroup
+	errs *atomic.Int64
+}
+
+// installFanout is the process-wide pool of install workers, shared by
+// every controller and started on the first multi-switch install. A fixed
+// worker set replaces the goroutine-per-datapath spawn (and its closure
+// allocation) the multi-hop path used to pay, extending the zero-alloc
+// property to long paths; jobs are plain values on a buffered channel.
+var installFanout struct {
+	once sync.Once
+	ch   chan installJob
+}
+
+func installCh() chan installJob {
+	installFanout.once.Do(func() {
+		n := runtime.GOMAXPROCS(0)
+		if n < 4 {
+			n = 4
 		}
+		if n > 16 {
+			n = 16
+		}
+		// Unbuffered on purpose: a job is handed over only when a worker
+		// is ready to run it now. Were jobs buffered, a path's installs
+		// could sit in the queue behind every worker being wedged on a
+		// dead switch, and the owning decision would wait on switches it
+		// never touches.
+		installFanout.ch = make(chan installJob)
+		for i := 0; i < n; i++ {
+			go func() {
+				for j := range installFanout.ch {
+					if err := j.dp.Apply(j.mod); err != nil {
+						j.errs.Add(1)
+					}
+					j.wg.Done()
+				}
+			}()
+		}
+	})
+	return installFanout.ch
+}
+
+// applyMods issues one flow-mod per datapath, through the shared fan-out
+// workers when the path crosses more than one switch, so install latency
+// along a path tends to the slowest single switch rather than the sum of
+// all of them. Handoffs never block: a mod is given to a worker only if
+// one is free this instant, and runs on the calling goroutine otherwise —
+// so worker starvation (every worker wedged on an unresponsive switch)
+// degrades multi-hop installs to sequential rather than stalling healthy
+// decisions behind other decisions' dead switches. The single-hop fast
+// path never touches the pool at all.
+func (c *Controller) applyMods(s *decisionScratch, dps []openflow.Datapath, mods []openflow.FlowMod) {
+	last := len(dps) - 1
+	if last < 0 {
 		return
 	}
-	var wg sync.WaitGroup
-	for i := range dps {
-		wg.Add(1)
-		go func(dp openflow.Datapath, mod openflow.FlowMod) {
-			defer wg.Done()
-			if err := dp.Apply(mod); err != nil {
-				c.Counters.Add("install_errors", 1)
+	handedOff := false
+	if last > 0 {
+		ch := installCh()
+		for i := 0; i < last; i++ {
+			s.installWG.Add(1)
+			select {
+			case ch <- installJob{dp: dps[i], mod: mods[i], wg: &s.installWG, errs: c.hot.installErrors}:
+				handedOff = true
+			default:
+				if err := dps[i].Apply(mods[i]); err != nil {
+					c.hot.installErrors.Add(1)
+				}
+				s.installWG.Done()
 			}
-		}(dps[i], mods[i])
+		}
 	}
-	wg.Wait()
+	if err := dps[last].Apply(mods[last]); err != nil {
+		c.hot.installErrors.Add(1)
+	}
+	if handedOff {
+		s.installWG.Wait()
+	}
 }
 
 // pathMods builds the per-hop flow-mods for one direction of a flow,
@@ -580,7 +761,7 @@ func (c *Controller) installPath(st *ctlState, ingress openflow.Datapath, ev ope
 	}
 	cookie := five.Hash() | 1 // non-zero so delete-by-cookie can target it
 	s.dps, s.mods = c.pathMods(st, hops, five, cookie, true, ev.SwitchID, ev.BufferID, s.dps[:0], s.mods[:0])
-	c.applyMods(s.dps, s.mods)
+	c.applyMods(s, s.dps, s.mods)
 	c.hot.installs.Add(int64(len(hops)))
 	if keepState {
 		rev := five.Reverse()
@@ -592,7 +773,7 @@ func (c *Controller) installPath(st *ctlState, ingress openflow.Datapath, ev ope
 		// No ingress buffer on the reverse path: the reply's first packet
 		// has not arrived yet.
 		s.dps, s.mods = c.pathMods(st, rhops, rev, cookie, false, 0, openflow.BufferNone, s.dps[:0], s.mods[:0])
-		c.applyMods(s.dps, s.mods)
+		c.applyMods(s, s.dps, s.mods)
 		c.hot.installs.Add(int64(len(rhops)))
 	}
 }
@@ -623,7 +804,7 @@ func (c *Controller) installDrop(dp openflow.Datapath, ev openflow.PacketIn, fiv
 		BufferID:    openflow.BufferNone,
 	}
 	if err := dp.Apply(mod); err != nil {
-		c.Counters.Add("install_errors", 1)
+		c.hot.installErrors.Add(1)
 	}
 }
 

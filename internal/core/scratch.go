@@ -2,8 +2,10 @@ package core
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"identxx/internal/flow"
 	"identxx/internal/metrics"
 	"identxx/internal/openflow"
 	"identxx/internal/pf"
@@ -12,35 +14,62 @@ import (
 
 // decisionScratch is the reusable working set of one HandleEvent decision:
 // the latency breakdown, the flow-mod batches installPath builds, the path
-// an ablation verdict resolved (reused by the waiter resolver), and the
-// two-ended query fan-out state. One scratch is checked out of a pool per
-// packet-in and returned when the decision completes, so the steady-state
-// decision path allocates nothing — the budget BenchmarkM8_AllocProfile
-// and TestAllocBudget enforce. (The audit entry is not here: it is a value
-// type handed to AuditLog.Record by copy and never escapes the stack.)
+// an ablation verdict resolved (reused by the waiter resolver), the
+// two-ended query fan-out state, and — since the asynchronous query plane —
+// the decision's continuation context (shard, datapath, event), because a
+// cache-missing decision now survives its originating goroutine and is
+// finished by whichever query-plane completion arrives last. One scratch is
+// checked out of a pool per packet-in and returned when the decision
+// completes, so the steady-state decision path allocates nothing — the
+// budget BenchmarkM8_AllocProfile and TestAllocBudget enforce. (The audit
+// entry is not here: it is a value type handed to AuditLog.Record by copy
+// and never escapes the stack.)
 type decisionScratch struct {
-	bd     metrics.SetupBreakdown
-	dps    []openflow.Datapath
-	mods   []openflow.FlowMod
-	hops   []Hop
+	bd   metrics.SetupBreakdown
+	dps  []openflow.Datapath
+	mods []openflow.FlowMod
+	hops []Hop
+
+	// Continuation context: everything finishDecision needs, captured
+	// before the decision suspends on the query plane.
+	sh   *shard
+	dp   openflow.Datapath
+	ev   openflow.PacketIn
+	five flow.Five
+
+	// installWG pairs the pooled flow-mod fan-out (applyMods) without a
+	// per-install allocation.
+	installWG sync.WaitGroup
+
 	gather gatherState
 }
 
-var scratchPool = sync.Pool{New: func() any {
-	s := new(decisionScratch)
-	// Bind the dst-query entry point once: `go fn()` on a prebound func
-	// value starts the goroutine without wrapping a fresh closure per call.
-	s.gather.dstFn = s.gather.runDst
-	return s
-}}
+var scratchPool sync.Pool
+
+// The pool's New is bound in init: the prebound method values reference
+// finishDecision, which releases back into the pool — a package-level
+// initializer would be an initialization cycle.
+func init() {
+	scratchPool.New = func() any {
+		s := new(decisionScratch)
+		s.gather.owner = s
+		// Bind the entry points once: `go fn()` / QueryAsync on a prebound
+		// func value runs without wrapping a fresh closure per decision.
+		s.gather.dstFn = s.gather.runDst
+		s.gather.srcDoneFn = s.gather.srcDone
+		s.gather.dstDoneFn = s.gather.dstDone
+		return s
+	}
+}
 
 func acquireScratch() *decisionScratch {
 	return scratchPool.Get().(*decisionScratch)
 }
 
 // release clears everything that points outside the scratch — datapaths,
-// responses, config snapshots — so a pooled scratch never extends their
-// lifetime, then returns it to the pool. Slice capacity is kept.
+// responses, config snapshots, the packet-in's frame — so a pooled scratch
+// never extends their lifetime, then returns it to the pool. Slice capacity
+// is kept.
 func (s *decisionScratch) release() {
 	s.bd = metrics.SetupBreakdown{}
 	s.hops = nil // owned by the topology, not scratch capacity
@@ -52,30 +81,63 @@ func (s *decisionScratch) release() {
 		s.mods[i] = openflow.FlowMod{}
 	}
 	s.mods = s.mods[:0]
+	s.sh = nil
+	s.dp = nil
+	s.ev = openflow.PacketIn{}
+	s.five = flow.Five{}
 	s.gather.reset()
 	scratchPool.Put(s)
 }
 
 // gatherState carries one decision's concurrent two-ended query (§2 step 3:
-// the controller queries "both the source and the destination"). The source
-// query runs on the deciding goroutine; the destination query runs on a
-// goroutine started through the prebound dstFn, with wg pairing the two.
+// the controller queries "both the source and the destination"). On the
+// blocking path the source query runs on the deciding goroutine and the
+// destination query on a goroutine started through the prebound dstFn, with
+// wg pairing the two. On the asynchronous path both ends are enqueued with
+// the query plane through the prebound completion funcs, pending counts the
+// outstanding ends, and the completion that drops it to zero finishes the
+// decision on its own goroutine.
 type gatherState struct {
 	wg sync.WaitGroup
 	c  *Controller
 	st *ctlState
 	q  wire.Query
 
-	src, dst           *wire.Response
-	qsrc, qdst         time.Duration
-	srcBuilt, dstBuilt bool // response built by the controller (answer-on-behalf), not a daemon
+	src, dst                   *wire.Response
+	qsrc, qdst                 time.Duration
+	srcBuilt, dstBuilt         bool // response built by the controller (answer-on-behalf), not a daemon
+	srcTransient, dstTransient bool // end lost to transport trouble; decision must not be cached
+	fromCache                  bool // responses borrowed from the shard cache; do not re-store
 
-	dstFn func()
+	owner   *decisionScratch
+	pending atomic.Int32 // outstanding async ends; 2 → 0
+
+	dstFn                func()
+	srcDoneFn, dstDoneFn func(*wire.Response, time.Duration, error)
 }
 
 func (g *gatherState) runDst() {
-	g.dst, g.qdst, g.dstBuilt = g.c.queryOne(g.st, g.q.Flow.DstIP, g.q)
+	resp, rtt, err := g.c.transport.Query(g.q.Flow.DstIP, g.q)
+	g.dst, g.qdst, g.dstBuilt, g.dstTransient = g.c.resolveResponse(g.st, g.q.Flow, g.q.Flow.DstIP, resp, rtt, err)
 	g.wg.Done()
+}
+
+// srcDone and dstDone are the query plane's completion entry points. The
+// response they receive is a read-only borrow shared with any coalesced
+// waiters (see internal/query's borrow contract); resolveResponse never
+// mutates it, and downstream it is either cached or dropped, never pooled.
+func (g *gatherState) srcDone(resp *wire.Response, rtt time.Duration, err error) {
+	g.src, g.qsrc, g.srcBuilt, g.srcTransient = g.c.resolveResponse(g.st, g.q.Flow, g.q.Flow.SrcIP, resp, rtt, err)
+	if g.pending.Add(-1) == 0 {
+		g.c.finishDecision(g.owner)
+	}
+}
+
+func (g *gatherState) dstDone(resp *wire.Response, rtt time.Duration, err error) {
+	g.dst, g.qdst, g.dstBuilt, g.dstTransient = g.c.resolveResponse(g.st, g.q.Flow, g.q.Flow.DstIP, resp, rtt, err)
+	if g.pending.Add(-1) == 0 {
+		g.c.finishDecision(g.owner)
+	}
 }
 
 func (g *gatherState) reset() {
@@ -85,13 +147,16 @@ func (g *gatherState) reset() {
 	g.src, g.dst = nil, nil
 	g.qsrc, g.qdst = 0, 0
 	g.srcBuilt, g.dstBuilt = false, false
+	g.srcTransient, g.dstTransient = false, false
+	g.fromCache = false
+	g.pending.Store(0)
 }
 
 // releaseBuilt returns the controller-built response views to the pf pool
 // once the decision that borrowed them is finished. Responses stored into
-// the shard cache are owned by the cache (gatherResponses clears the built
+// the shard cache are owned by the cache (finishDecision clears the built
 // flags when it stores), and daemon-returned responses are owned by the
-// transport; neither is touched here.
+// transport or the garbage collector; neither is touched here.
 func (g *gatherState) releaseBuilt() {
 	if g.srcBuilt {
 		pf.ReleaseResponse(g.src)

@@ -109,7 +109,10 @@ pass from any to any with member(@src[groupID], staff)
 block all
 pass from any to any with eq(@dst[device-type], printer)
 `),
-		Transport: n.Transport(sw, nil), Topology: n,
+		// The production query plane over the simulated network: repeated
+		// queries for these daemon-less devices hit the engine's negative
+		// cache instead of re-crossing the office network per flow.
+		Transport: n.PlaneTransport(sw, nil), Topology: n,
 		InstallEntries: true, Clock: n.Clock.Now,
 	})
 	// The administrator registers what the network knows about its devices;

@@ -75,7 +75,7 @@ func NewSetupBench(diameter, ruleCount int) *SetupBench {
 	sb.Ctl = core.New(core.Config{
 		Name:      "m1",
 		Policy:    SyntheticPolicy(ruleCount, false),
-		Transport: n.Transport(chain[0], nil), Topology: n,
+		Transport: n.PlaneTransport(chain[0], nil), Topology: n,
 		Latency: n.LatencyModel(), InstallEntries: true, Clock: n.Clock.Now,
 	})
 	n.AttachControllerDelayed(sb.Ctl, chain...)
@@ -91,7 +91,7 @@ func NewSetupBenchNoCache(diameter, ruleCount int) *SetupBench {
 	sb.Ctl = core.New(core.Config{
 		Name:      "m5-ablation",
 		Policy:    SyntheticPolicy(ruleCount, false),
-		Transport: n.Transport(chain[0], nil), Topology: n,
+		Transport: n.PlaneTransport(chain[0], nil), Topology: n,
 		Latency: n.LatencyModel(), InstallEntries: false, Clock: n.Clock.Now,
 	})
 	n.AttachControllerDelayed(sb.Ctl, chain...)

@@ -297,6 +297,25 @@ func (c *Counter) String() string {
 	return strings.Join(parts, " ")
 }
 
+// Gauge is an instantaneous level — in-flight queries, open connections —
+// as opposed to Counter's monotone totals. It is a bare atomic so Inc/Dec
+// pairs are cheap enough for per-request bracketing on hot paths.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Inc raises the gauge by one.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec lowers the gauge by one.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Add moves the gauge by delta (negative to lower).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Get returns the current level.
+func (g *Gauge) Get() int64 { return g.v.Load() }
+
 // SetupBreakdown decomposes one flow-setup into the stages of Figure 1:
 // punt to controller (2), ident++ queries to both ends (3), policy
 // evaluation, and entry installation along the path (4).

@@ -6,6 +6,7 @@ import (
 	"identxx/internal/core"
 	"identxx/internal/netaddr"
 	"identxx/internal/openflow"
+	"identxx/internal/query"
 	"identxx/internal/wire"
 )
 
@@ -72,6 +73,20 @@ func (t *Transport) Query(host netaddr.IP, q wire.Query) (*wire.Response, time.D
 		return h.Daemon.HandleQuery(q)
 	})
 	return resp, rtt, nil
+}
+
+// PlaneTransport wraps the simulator transport in the production
+// query-plane engine (internal/query), so simulator experiments run the
+// same coalescing, negative-cache, and breaker machinery as a real
+// deployment: repeated queries to daemon-less hosts stop re-travelling the
+// virtual network, and concurrent identical queries share one exchange.
+// The engine reads the simulation's virtual clock, keeping expiry
+// semantics deterministic.
+func (n *Network) PlaneTransport(home *SwitchNode, self core.Interceptor) *query.Engine {
+	return query.NewEngine(query.Config{
+		Lower: n.Transport(home, self),
+		Clock: n.Clock.Now,
+	})
 }
 
 // Latency implements core.LatencyModel with the network's control-channel

@@ -1,0 +1,448 @@
+package query
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"identxx/internal/core"
+	"identxx/internal/flow"
+	"identxx/internal/metrics"
+	"identxx/internal/netaddr"
+	"identxx/internal/wire"
+)
+
+// Lower is the wire layer underneath an Engine — core.QueryTransport's
+// shape, satisfied by *Pool (real TCP), netsim.Transport (the §5–§6
+// simulator), and the baselines.
+type Lower interface {
+	Query(host netaddr.IP, q wire.Query) (*wire.Response, time.Duration, error)
+}
+
+// deadlineLower is the optional deadline-aware face of a Lower; *Pool
+// implements it, so engine deadlines reach the socket. Lowers without it
+// (the simulator: instantaneous) are called plain.
+type deadlineLower interface {
+	Exchange(host netaddr.IP, q wire.Query, deadline time.Time) (*wire.Response, time.Duration, error)
+}
+
+// Config parameterizes an Engine. The zero value of every field except
+// Lower is a sensible default.
+type Config struct {
+	// Lower executes the actual wire exchange. Required.
+	Lower Lower
+
+	// RequestTimeout bounds each attempt (default 2s).
+	RequestTimeout time.Duration
+
+	// Retries is how many extra attempts follow a retryable transport
+	// failure (default 1; negative disables retries). ErrNoDaemon and
+	// breaker rejections are never retried.
+	Retries int
+
+	// NegativeTTL is how long a host-unreachable verdict (no daemon, or
+	// dial failure) is served from the negative cache without touching the
+	// wire (default 5s; negative disables the cache).
+	NegativeTTL time.Duration
+
+	// BreakerThreshold opens a host's circuit breaker after this many
+	// consecutive failures (default 4; negative disables the breaker).
+	BreakerThreshold int
+
+	// BreakerCooldown is how long an open breaker rejects queries before
+	// letting a probe through (default 1s).
+	BreakerCooldown time.Duration
+
+	// Workers bounds the asynchronous completion pool (default
+	// 8×GOMAXPROCS, capped at 64). Workers start lazily on the first
+	// QueryAsync, so a blocking-only Engine spawns no goroutines.
+	Workers int
+
+	// Clock supplies time for the negative cache and breaker; defaults to
+	// time.Now. The simulator passes its virtual clock.
+	Clock func() time.Time
+
+	// Counters receives engine counters; a private set when nil.
+	Counters *metrics.Counter
+}
+
+// Engine is the query-plane brain. It implements core.QueryTransport
+// (blocking Query) and core.AsyncQueryTransport (QueryAsync), multiplexing
+// both over the same coalescing, caching, and breaker state.
+type Engine struct {
+	lower     Lower
+	dlLower   deadlineLower // nil when lower is not deadline-aware
+	timeout   time.Duration
+	retries   int
+	negTTL    time.Duration
+	brkN      int
+	brkCool   time.Duration
+	workerCap int
+	clock     func() time.Time
+
+	Counters *metrics.Counter
+	// InFlight gauges queries between admission and delivery, coalesced
+	// waiters excluded (they ride an already-counted flight).
+	InFlight metrics.Gauge
+
+	hot struct {
+		sent, coalesced, negHits, retriesC        *atomic.Int64
+		breakerOpens, breakerFastfails, timeoutsC *atomic.Int64
+	}
+
+	sfMu sync.Mutex
+	sf   map[sfKey]*flight
+
+	hostMu sync.Mutex
+	hosts  map[netaddr.IP]*hostState
+
+	startWorkers sync.Once
+	workerWG     sync.WaitGroup
+	jobs         chan *flight
+	closed       atomic.Bool
+}
+
+// sfKey identifies coalesceable work: same host, same flow, same key
+// hints — one wire query serves every concurrent asker.
+type sfKey struct {
+	host netaddr.IP
+	flow flow.Five
+	keys string
+}
+
+// completion receives a delivered result; see the package comment for the
+// borrow contract on resp.
+type completion func(resp *wire.Response, rtt time.Duration, err error)
+
+// flight is one in-flight wire query and the waiters coalesced onto it.
+type flight struct {
+	key  sfKey
+	q    wire.Query
+	resp *wire.Response
+	rtt  time.Duration
+	err  error
+	cbs  []completion  // async waiters; invoked after delivery
+	done chan struct{} // closed at delivery; blocking waiters select on it
+}
+
+// hostState is the per-host availability record: negative cache, breaker,
+// and the RTT histogram.
+type hostState struct {
+	mu       sync.Mutex
+	negErr   error     // verdict served while the negative cache is live
+	negUntil time.Time // negative-cache expiry
+	fails    int       // consecutive failures feeding the breaker
+	openTill time.Time // breaker-open horizon; zero when closed
+	rtt      *metrics.Histogram
+}
+
+// NewEngine creates an engine over cfg.Lower.
+func NewEngine(cfg Config) *Engine {
+	if cfg.Lower == nil {
+		panic("query: Config.Lower is required")
+	}
+	e := &Engine{
+		lower:   cfg.Lower,
+		timeout: cfg.RequestTimeout,
+		retries: cfg.Retries,
+		negTTL:  cfg.NegativeTTL,
+		brkN:    cfg.BreakerThreshold,
+		brkCool: cfg.BreakerCooldown,
+		clock:   cfg.Clock,
+		sf:      make(map[sfKey]*flight),
+		hosts:   make(map[netaddr.IP]*hostState),
+	}
+	e.dlLower, _ = cfg.Lower.(deadlineLower)
+	if e.timeout <= 0 {
+		e.timeout = defaultRequestTimeout
+	}
+	if e.retries < 0 {
+		e.retries = 0
+	} else if cfg.Retries == 0 {
+		e.retries = 1
+	}
+	if e.negTTL < 0 {
+		e.negTTL = 0
+	} else if cfg.NegativeTTL == 0 {
+		e.negTTL = 5 * time.Second
+	}
+	if e.brkN < 0 {
+		e.brkN = 0
+	} else if cfg.BreakerThreshold == 0 {
+		e.brkN = 4
+	}
+	if e.brkCool <= 0 {
+		e.brkCool = time.Second
+	}
+	e.workerCap = cfg.Workers
+	if e.workerCap <= 0 {
+		e.workerCap = 8 * runtime.GOMAXPROCS(0)
+		if e.workerCap > 64 {
+			e.workerCap = 64
+		}
+	}
+	if e.clock == nil {
+		e.clock = time.Now
+	}
+	e.Counters = cfg.Counters
+	if e.Counters == nil {
+		e.Counters = metrics.NewCounter()
+	}
+	e.hot.sent = e.Counters.Cell("engine_queries_sent")
+	e.hot.coalesced = e.Counters.Cell("engine_coalesce_hits")
+	e.hot.negHits = e.Counters.Cell("engine_negcache_hits")
+	e.hot.retriesC = e.Counters.Cell("engine_retries")
+	e.hot.breakerOpens = e.Counters.Cell("engine_breaker_opens")
+	e.hot.breakerFastfails = e.Counters.Cell("engine_breaker_fastfails")
+	e.hot.timeoutsC = e.Counters.Cell("engine_timeouts")
+	return e
+}
+
+// Query implements core.QueryTransport: it blocks until the result is
+// available, joining an identical in-flight query instead of issuing a
+// duplicate.
+func (e *Engine) Query(host netaddr.IP, q wire.Query) (*wire.Response, time.Duration, error) {
+	if e.closed.Load() {
+		return nil, 0, ErrClosed
+	}
+	if err := e.fastFail(host); err != nil {
+		return nil, 0, err
+	}
+	f, leader := e.join(host, q, nil)
+	if leader {
+		e.run(f)
+	} else {
+		e.hot.coalesced.Add(1)
+		<-f.done
+	}
+	return f.resp, f.rtt, f.err
+}
+
+// QueryAsync implements core.AsyncQueryTransport: done is invoked exactly
+// once — inline for fast-path rejections (negative cache, breaker,
+// closed), from a completion worker otherwise, possibly sharing one wire
+// exchange with other callers. done must not block for long; the
+// controller's continuation (evaluate + install) is the intended scale.
+func (e *Engine) QueryAsync(host netaddr.IP, q wire.Query, done func(*wire.Response, time.Duration, error)) {
+	if e.closed.Load() {
+		done(nil, 0, ErrClosed)
+		return
+	}
+	if err := e.fastFail(host); err != nil {
+		done(nil, 0, err)
+		return
+	}
+	f, leader := e.join(host, q, done)
+	if !leader {
+		e.hot.coalesced.Add(1)
+		return
+	}
+	e.startWorkers.Do(e.spawnWorkers)
+	defer func() {
+		if recover() != nil {
+			// Close raced the enqueue and the jobs channel is gone; fail
+			// the flight so no coalesced waiter hangs.
+			e.deliver(f, nil, 0, ErrClosed)
+		}
+	}()
+	e.jobs <- f
+}
+
+func (e *Engine) spawnWorkers() {
+	e.jobs = make(chan *flight, 4*e.workerCap)
+	e.workerWG.Add(e.workerCap)
+	for i := 0; i < e.workerCap; i++ {
+		go func() {
+			defer e.workerWG.Done()
+			for f := range e.jobs {
+				e.run(f)
+			}
+		}()
+	}
+}
+
+// Close rejects future queries, then blocks until the completion workers
+// have drained every already-enqueued async flight (their waiters still
+// get real results) and exited. Because Close returns only after the last
+// flight has run, closing the Engine before its lower layer is safe — the
+// identctl/defer idiom of eng.Close() then pool.Close() never yanks the
+// transport out from under a running flight. Close must not be called
+// from a completion callback (it would wait on its own worker).
+func (e *Engine) Close() {
+	if e.closed.Swap(true) {
+		return
+	}
+	// Ensure jobs exists so the close/drain below have a channel to work
+	// with even if no QueryAsync ever ran.
+	e.startWorkers.Do(e.spawnWorkers)
+	close(e.jobs)
+	e.workerWG.Wait()
+}
+
+// fastFail consults the negative cache and the breaker; a non-nil return
+// is delivered without touching the wire.
+func (e *Engine) fastFail(host netaddr.IP) error {
+	hs := e.hostState(host)
+	now := e.clock()
+	hs.mu.Lock()
+	defer hs.mu.Unlock()
+	if hs.negErr != nil && now.Before(hs.negUntil) {
+		e.hot.negHits.Add(1)
+		return hs.negErr
+	}
+	if !hs.openTill.IsZero() && now.Before(hs.openTill) {
+		e.hot.breakerFastfails.Add(1)
+		return fmt.Errorf("query: %s: %w", host, ErrBreakerOpen)
+	}
+	return nil
+}
+
+func (e *Engine) hostState(host netaddr.IP) *hostState {
+	e.hostMu.Lock()
+	defer e.hostMu.Unlock()
+	hs, ok := e.hosts[host]
+	if !ok {
+		hs = &hostState{rtt: metrics.NewHistogram(0)}
+		e.hosts[host] = hs
+	}
+	return hs
+}
+
+// HostRTT returns the RTT histogram for host (created on first use), for
+// operators and the experiment harness.
+func (e *Engine) HostRTT(host netaddr.IP) *metrics.Histogram {
+	return e.hostState(host).rtt
+}
+
+// join registers interest in (host, flow, keys): the first caller becomes
+// the leader who must execute the flight; later callers coalesce onto it.
+func (e *Engine) join(host netaddr.IP, q wire.Query, cb completion) (*flight, bool) {
+	key := sfKey{host: host, flow: q.Flow, keys: strings.Join(q.Keys, "\n")}
+	e.sfMu.Lock()
+	defer e.sfMu.Unlock()
+	if f, ok := e.sf[key]; ok {
+		if cb != nil {
+			f.cbs = append(f.cbs, cb)
+		}
+		return f, false
+	}
+	f := &flight{key: key, q: q, done: make(chan struct{})}
+	if cb != nil {
+		f.cbs = append(f.cbs, cb)
+	}
+	e.sf[key] = f
+	e.InFlight.Inc()
+	return f, true
+}
+
+// run executes a flight against the lower layer (with retries) and
+// delivers the result to every waiter.
+func (e *Engine) run(f *flight) {
+	host := f.key.host
+	var resp *wire.Response
+	var rtt time.Duration
+	var err error
+	for attempt := 0; ; attempt++ {
+		e.hot.sent.Add(1)
+		resp, rtt, err = e.exchange(host, f.q)
+		if err == nil || !retryable(err) || attempt >= e.retries {
+			break
+		}
+		e.hot.retriesC.Add(1)
+	}
+	e.settle(host, rtt, err)
+	e.deliver(f, resp, rtt, err)
+}
+
+// deliver publishes a flight's result: fields first, then the done close
+// and the callback snapshot, so blocking waiters (ordered by the channel)
+// and async waiters (invoked with the values directly) both observe a
+// complete result exactly once.
+func (e *Engine) deliver(f *flight, resp *wire.Response, rtt time.Duration, err error) {
+	f.resp, f.rtt, f.err = resp, rtt, err
+
+	e.sfMu.Lock()
+	delete(e.sf, f.key)
+	cbs := f.cbs
+	f.cbs = nil
+	e.sfMu.Unlock()
+	e.InFlight.Dec()
+	close(f.done)
+	for _, cb := range cbs {
+		cb(resp, rtt, err)
+	}
+}
+
+// exchange performs one attempt, threading the engine deadline through to
+// deadline-aware lowers.
+func (e *Engine) exchange(host netaddr.IP, q wire.Query) (*wire.Response, time.Duration, error) {
+	if e.dlLower != nil {
+		return e.dlLower.Exchange(host, q, time.Now().Add(e.timeout))
+	}
+	return e.lower.Query(host, q)
+}
+
+// settle updates the host's availability record from one exchange outcome.
+func (e *Engine) settle(host netaddr.IP, rtt time.Duration, err error) {
+	hs := e.hostState(host)
+	now := e.clock()
+	if err == nil {
+		hs.mu.Lock()
+		hs.fails = 0
+		hs.openTill = time.Time{}
+		hs.negErr = nil
+		hs.mu.Unlock()
+		hs.rtt.Observe(rtt) // histograms stripe their own locks
+		return
+	}
+	hs.mu.Lock()
+	defer hs.mu.Unlock()
+	if isTimeout(err) {
+		e.hot.timeoutsC.Add(1)
+	}
+	if e.negTTL > 0 && hostUnavailable(err) {
+		// Host-granularity failure: no daemon there, or we cannot even
+		// connect. Serve the same verdict from cache until the TTL runs
+		// out, so a rack of daemon-less printers does not cost a dial
+		// timeout per flow.
+		hs.negErr = err
+		hs.negUntil = now.Add(e.negTTL)
+	}
+	// An authoritative "no daemon" is the host answering, in its way —
+	// connection refused means the machine is up. It must not feed the
+	// breaker: an open breaker would replace ErrNoDaemon with
+	// ErrBreakerOpen, and the controller's answer-on-behalf role (§3.4)
+	// keys on the no-daemon classification surviving end to end.
+	if e.brkN > 0 && !core.IsNoDaemon(err) {
+		hs.fails++
+		if hs.fails >= e.brkN && (hs.openTill.IsZero() || !now.Before(hs.openTill)) {
+			hs.openTill = now.Add(e.brkCool)
+			hs.fails = 0 // the post-cooldown probe restarts the count
+			e.hot.breakerOpens.Add(1)
+		}
+	}
+}
+
+// retryable reports whether a failed attempt is worth repeating: transport
+// trouble is, an authoritative "no daemon" is not.
+func retryable(err error) bool {
+	return !core.IsNoDaemon(err)
+}
+
+// hostUnavailable reports whether err condemns the host rather than the
+// request: daemon-less (refused / resolver miss) or unreachable (dial
+// failure). Per-request timeouts and resets on an established connection
+// do not qualify — the next request may well succeed.
+func hostUnavailable(err error) bool {
+	return core.IsNoDaemon(err) || errors.Is(err, ErrDial)
+}
+
+// isTimeout mirrors the net.Error convention without importing net.
+func isTimeout(err error) bool {
+	var t interface{ Timeout() bool }
+	return errors.As(err, &t) && t.Timeout()
+}

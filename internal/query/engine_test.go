@@ -1,0 +1,361 @@
+package query
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"identxx/internal/core"
+	"identxx/internal/netaddr"
+	"identxx/internal/wire"
+)
+
+// fakeLower is a scriptable lower layer counting wire exchanges.
+type fakeLower struct {
+	calls atomic.Int64
+	gate  chan struct{} // when non-nil, exchanges block until it closes
+	fn    func(host netaddr.IP, q wire.Query) (*wire.Response, time.Duration, error)
+}
+
+func (l *fakeLower) Query(host netaddr.IP, q wire.Query) (*wire.Response, time.Duration, error) {
+	l.calls.Add(1)
+	if l.gate != nil {
+		<-l.gate
+	}
+	if l.fn != nil {
+		return l.fn(host, q)
+	}
+	r := wire.NewResponse(q.Flow)
+	r.Add(wire.KeyHost, "fake")
+	return r, time.Millisecond, nil
+}
+
+// fakeClock is a manually advanced clock for TTL/cooldown determinism.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+var engHost = netaddr.MustParseIP("10.1.0.1")
+
+func engQuery(port netaddr.Port) wire.Query {
+	return wire.Query{Flow: testFlow(engHost, port), Keys: []string{wire.KeyName}}
+}
+
+// TestEngineCoalescing is the acceptance check: N concurrent misses for
+// one (host, flow, keys) produce exactly one wire query; every waiter gets
+// the same response.
+func TestEngineCoalescing(t *testing.T) {
+	lower := &fakeLower{gate: make(chan struct{})}
+	e := NewEngine(Config{Lower: lower})
+	defer e.Close()
+
+	const n = 16
+	q := engQuery(1000)
+	var wg sync.WaitGroup
+	resps := make([]*wire.Response, n)
+	errs := make([]error, n)
+	started := make(chan struct{}, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			started <- struct{}{}
+			resps[i], _, errs[i] = e.Query(engHost, q)
+		}(i)
+	}
+	for i := 0; i < n; i++ {
+		<-started
+	}
+	// All askers are queued behind one gated flight (give the laggards a
+	// moment to reach join, then release).
+	deadline := time.Now().Add(2 * time.Second)
+	for e.Counters.Get("engine_coalesce_hits") < n-1 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	close(lower.gate)
+	wg.Wait()
+
+	if got := lower.calls.Load(); got != 1 {
+		t.Fatalf("wire queries = %d, want exactly 1 for %d concurrent misses", got, n)
+	}
+	for i := 1; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("waiter %d: %v", i, errs[i])
+		}
+		if resps[i] != resps[0] {
+			t.Errorf("waiter %d got a different response pointer (coalescing should share)", i)
+		}
+	}
+	if ch := e.Counters.Get("engine_coalesce_hits"); ch != n-1 {
+		t.Errorf("engine_coalesce_hits = %d, want %d", ch, n-1)
+	}
+	if e.InFlight.Get() != 0 {
+		t.Errorf("InFlight = %d after delivery, want 0", e.InFlight.Get())
+	}
+}
+
+// TestEngineKeyedByQuery: different flows must NOT coalesce — the daemon's
+// answer depends on the flow it is asked about.
+func TestEngineKeyedByQuery(t *testing.T) {
+	lower := &fakeLower{}
+	e := NewEngine(Config{Lower: lower})
+	defer e.Close()
+	if _, _, err := e.Query(engHost, engQuery(1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := e.Query(engHost, engQuery(2)); err != nil {
+		t.Fatal(err)
+	}
+	if got := lower.calls.Load(); got != 2 {
+		t.Errorf("wire queries = %d, want 2 for distinct flows", got)
+	}
+}
+
+// TestEngineNegativeCache: a daemon-less host costs one wire trip, then
+// negative-cache hits until the TTL expires.
+func TestEngineNegativeCache(t *testing.T) {
+	clk := &fakeClock{now: time.Unix(1000, 0)}
+	lower := &fakeLower{fn: func(netaddr.IP, wire.Query) (*wire.Response, time.Duration, error) {
+		return nil, 0, core.ErrNoDaemon
+	}}
+	e := NewEngine(Config{Lower: lower, NegativeTTL: time.Second, Clock: clk.Now, Retries: -1})
+	defer e.Close()
+
+	for i := 0; i < 5; i++ {
+		_, _, err := e.Query(engHost, engQuery(netaddr.Port(100+i)))
+		if !errors.Is(err, core.ErrNoDaemon) {
+			t.Fatalf("query %d: err = %v, want ErrNoDaemon", i, err)
+		}
+	}
+	if got := lower.calls.Load(); got != 1 {
+		t.Errorf("wire queries = %d, want 1 (negative cache must absorb repeats)", got)
+	}
+	if hits := e.Counters.Get("engine_negcache_hits"); hits != 4 {
+		t.Errorf("engine_negcache_hits = %d, want 4", hits)
+	}
+
+	clk.Advance(2 * time.Second) // past the TTL: the host gets re-probed
+	if _, _, err := e.Query(engHost, engQuery(200)); !errors.Is(err, core.ErrNoDaemon) {
+		t.Fatalf("post-TTL query: %v", err)
+	}
+	if got := lower.calls.Load(); got != 2 {
+		t.Errorf("wire queries after TTL expiry = %d, want 2", got)
+	}
+}
+
+// TestEngineNegativeCachePreservesClassification: an unreachable (dial
+// failure, not refused) host is negative-cached too, but its cached error
+// must stay a transport failure — never mutate into "no daemon".
+func TestEngineNegativeCachePreservesClassification(t *testing.T) {
+	dialErr := &timeoutErr{}
+	lower := &fakeLower{fn: func(netaddr.IP, wire.Query) (*wire.Response, time.Duration, error) {
+		return nil, 0, wrapDial(dialErr)
+	}}
+	e := NewEngine(Config{Lower: lower, Retries: -1})
+	defer e.Close()
+
+	_, _, err1 := e.Query(engHost, engQuery(1))
+	_, _, err2 := e.Query(engHost, engQuery(2))
+	for i, err := range []error{err1, err2} {
+		if errors.Is(err, core.ErrNoDaemon) {
+			t.Errorf("attempt %d: down host classified as daemon-less: %v", i, err)
+		}
+		if !errors.Is(err, ErrDial) {
+			t.Errorf("attempt %d: lost dial classification: %v", i, err)
+		}
+	}
+	if got := lower.calls.Load(); got != 1 {
+		t.Errorf("wire queries = %d, want 1 (down host negative-cached)", got)
+	}
+}
+
+type timeoutErr struct{}
+
+func (*timeoutErr) Error() string { return "fake dial timeout" }
+func (*timeoutErr) Timeout() bool { return true }
+
+func wrapDial(err error) error {
+	return errors.Join(ErrDial, err)
+}
+
+// TestEngineBreaker: consecutive per-request failures (not host-condemning,
+// so the negative cache stays out of the way) trip the breaker; while open,
+// queries fast-fail without wire trips; after the cooldown a probe goes
+// through.
+func TestEngineBreaker(t *testing.T) {
+	clk := &fakeClock{now: time.Unix(1000, 0)}
+	lower := &fakeLower{fn: func(netaddr.IP, wire.Query) (*wire.Response, time.Duration, error) {
+		return nil, 0, errors.New("connection reset mid-exchange")
+	}}
+	e := NewEngine(Config{
+		Lower: lower, Retries: -1, NegativeTTL: -1,
+		BreakerThreshold: 3, BreakerCooldown: time.Second, Clock: clk.Now,
+	})
+	defer e.Close()
+
+	for i := 0; i < 3; i++ {
+		if _, _, err := e.Query(engHost, engQuery(netaddr.Port(i))); err == nil {
+			t.Fatal("scripted failure succeeded")
+		}
+	}
+	if opens := e.Counters.Get("engine_breaker_opens"); opens != 1 {
+		t.Fatalf("engine_breaker_opens = %d, want 1", opens)
+	}
+	wireBefore := lower.calls.Load()
+	for i := 0; i < 4; i++ {
+		_, _, err := e.Query(engHost, engQuery(netaddr.Port(50+i)))
+		if !errors.Is(err, ErrBreakerOpen) {
+			t.Fatalf("open-breaker query %d: err = %v, want ErrBreakerOpen", i, err)
+		}
+	}
+	if lower.calls.Load() != wireBefore {
+		t.Error("open breaker still let queries reach the wire")
+	}
+	if ff := e.Counters.Get("engine_breaker_fastfails"); ff != 4 {
+		t.Errorf("engine_breaker_fastfails = %d, want 4", ff)
+	}
+
+	clk.Advance(2 * time.Second)
+	e.Query(engHost, engQuery(99)) // post-cooldown probe reaches the wire
+	if lower.calls.Load() != wireBefore+1 {
+		t.Error("post-cooldown probe never reached the wire")
+	}
+}
+
+// TestEngineBreakerIgnoresNoDaemon: an authoritatively daemon-less host
+// (the §4 steady state) must never trip the breaker — an open breaker
+// would replace ErrNoDaemon with ErrBreakerOpen and strip the
+// classification the controller's answer-on-behalf role keys on.
+func TestEngineBreakerIgnoresNoDaemon(t *testing.T) {
+	lower := &fakeLower{fn: func(netaddr.IP, wire.Query) (*wire.Response, time.Duration, error) {
+		return nil, 0, core.ErrNoDaemon
+	}}
+	e := NewEngine(Config{Lower: lower, Retries: -1, NegativeTTL: -1, BreakerThreshold: 2})
+	defer e.Close()
+	for i := 0; i < 10; i++ {
+		_, _, err := e.Query(engHost, engQuery(netaddr.Port(i)))
+		if !errors.Is(err, core.ErrNoDaemon) {
+			t.Fatalf("query %d lost the no-daemon classification: %v", i, err)
+		}
+	}
+	if opens := e.Counters.Get("engine_breaker_opens"); opens != 0 {
+		t.Errorf("engine_breaker_opens = %d for a daemon-less host, want 0", opens)
+	}
+}
+
+// TestEngineRetries: a transient failure is retried within the attempt
+// budget; an authoritative no-daemon is not.
+func TestEngineRetries(t *testing.T) {
+	var n atomic.Int64
+	lower := &fakeLower{fn: func(_ netaddr.IP, q wire.Query) (*wire.Response, time.Duration, error) {
+		if n.Add(1) == 1 {
+			return nil, 0, errors.New("transient reset")
+		}
+		return wire.NewResponse(q.Flow), 0, nil
+	}}
+	e := NewEngine(Config{Lower: lower}) // default: 1 retry
+	defer e.Close()
+	if _, _, err := e.Query(engHost, engQuery(1)); err != nil {
+		t.Fatalf("retryable failure not retried: %v", err)
+	}
+	if r := e.Counters.Get("engine_retries"); r != 1 {
+		t.Errorf("engine_retries = %d, want 1", r)
+	}
+
+	lower2 := &fakeLower{fn: func(netaddr.IP, wire.Query) (*wire.Response, time.Duration, error) {
+		return nil, 0, core.ErrNoDaemon
+	}}
+	e2 := NewEngine(Config{Lower: lower2, NegativeTTL: -1})
+	defer e2.Close()
+	e2.Query(engHost, engQuery(2))
+	if got := lower2.calls.Load(); got != 1 {
+		t.Errorf("no-daemon was retried %d times; it is authoritative", got-1)
+	}
+}
+
+// TestEngineQueryAsync: completions are invoked exactly once with the
+// result, and concurrent async askers coalesce onto one wire query.
+func TestEngineQueryAsync(t *testing.T) {
+	lower := &fakeLower{gate: make(chan struct{})}
+	e := NewEngine(Config{Lower: lower})
+	defer e.Close()
+
+	const n = 8
+	q := engQuery(700)
+	var wg sync.WaitGroup
+	var delivered atomic.Int64
+	resps := make([]*wire.Response, n)
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		i := i
+		e.QueryAsync(engHost, q, func(resp *wire.Response, rtt time.Duration, err error) {
+			if err != nil {
+				t.Errorf("async completion %d: %v", i, err)
+			}
+			resps[i] = resp
+			delivered.Add(1)
+			wg.Done()
+		})
+	}
+	close(lower.gate)
+	wg.Wait()
+	if got := delivered.Load(); got != n {
+		t.Fatalf("completions = %d, want %d", got, n)
+	}
+	if got := lower.calls.Load(); got != 1 {
+		t.Errorf("wire queries = %d, want 1 (async coalescing)", got)
+	}
+	for i := 1; i < n; i++ {
+		if resps[i] != resps[0] {
+			t.Errorf("async waiter %d received a different response", i)
+		}
+	}
+}
+
+// TestEngineRTTHistogram: successful exchanges land in the per-host RTT
+// histogram.
+func TestEngineRTTHistogram(t *testing.T) {
+	lower := &fakeLower{}
+	e := NewEngine(Config{Lower: lower})
+	defer e.Close()
+	for i := 0; i < 3; i++ {
+		if _, _, err := e.Query(engHost, engQuery(netaddr.Port(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := e.HostRTT(engHost).Count(); got != 3 {
+		t.Errorf("per-host RTT samples = %d, want 3", got)
+	}
+}
+
+// TestEngineClosed: a closed engine rejects blocking and async queries
+// without panicking.
+func TestEngineClosed(t *testing.T) {
+	e := NewEngine(Config{Lower: &fakeLower{}})
+	e.Close()
+	if _, _, err := e.Query(engHost, engQuery(1)); !errors.Is(err, ErrClosed) {
+		t.Errorf("Query after Close: %v, want ErrClosed", err)
+	}
+	got := make(chan error, 1)
+	e.QueryAsync(engHost, engQuery(2), func(_ *wire.Response, _ time.Duration, err error) {
+		got <- err
+	})
+	if err := <-got; !errors.Is(err, ErrClosed) {
+		t.Errorf("QueryAsync after Close delivered %v, want ErrClosed", err)
+	}
+}

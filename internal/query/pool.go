@@ -1,0 +1,439 @@
+package query
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"identxx/internal/core"
+	"identxx/internal/flow"
+	"identxx/internal/metrics"
+	"identxx/internal/netaddr"
+	"identxx/internal/wire"
+)
+
+// PoolConfig parameterizes a Pool; the zero value is usable.
+type PoolConfig struct {
+	// Resolver maps host IPs to daemon addresses. Required.
+	Resolver Resolver
+
+	// DialTimeout bounds connection establishment (default 1s). A request
+	// deadline closer than this wins.
+	DialTimeout time.Duration
+
+	// RequestTimeout is the per-request deadline Query applies when the
+	// caller does not supply one via Exchange (default 2s).
+	RequestTimeout time.Duration
+
+	// MaxBackoff caps the reconnect backoff after repeated dial failures
+	// (default 2s; backoff starts at 50ms and doubles).
+	MaxBackoff time.Duration
+
+	// Counters receives transport counters; a private set when nil.
+	Counters *metrics.Counter
+}
+
+const (
+	defaultDialTimeout    = 1 * time.Second
+	defaultRequestTimeout = 2 * time.Second
+	defaultMaxBackoff     = 2 * time.Second
+	initialBackoff        = 50 * time.Millisecond
+
+	// readGrace pads the reader's deadline horizon past the last request's
+	// deadline, so per-request timeouts abandon their slot (keeping the
+	// connection and its pipeline intact) before the reader declares the
+	// whole connection hung and tears it down.
+	readGrace = 500 * time.Millisecond
+)
+
+// Pool is the pooled TCP transport of the query plane: one connection per
+// end-host, multiplexed and pipelined — any number of in-flight requests
+// share the connection, correlated to responses by FIFO order, which is
+// exactly the order daemon.Server answers one connection's queries in.
+// Each response's flow tuple is checked against its request's as a desync
+// guard. Pool implements core.QueryTransport.
+type Pool struct {
+	resolver    Resolver
+	dialTimeout time.Duration
+	reqTimeout  time.Duration
+	maxBackoff  time.Duration
+
+	Counters *metrics.Counter
+	// Conns gauges currently established connections.
+	Conns metrics.Gauge
+
+	mu     sync.Mutex
+	hosts  map[netaddr.IP]*hostConn
+	closed bool
+}
+
+// NewPool creates a pooled transport.
+func NewPool(cfg PoolConfig) *Pool {
+	if cfg.Resolver == nil {
+		panic("query: PoolConfig.Resolver is required")
+	}
+	p := &Pool{
+		resolver:    cfg.Resolver,
+		dialTimeout: cfg.DialTimeout,
+		reqTimeout:  cfg.RequestTimeout,
+		maxBackoff:  cfg.MaxBackoff,
+		Counters:    cfg.Counters,
+		hosts:       make(map[netaddr.IP]*hostConn),
+	}
+	if p.dialTimeout <= 0 {
+		p.dialTimeout = defaultDialTimeout
+	}
+	if p.reqTimeout <= 0 {
+		p.reqTimeout = defaultRequestTimeout
+	}
+	if p.maxBackoff <= 0 {
+		p.maxBackoff = defaultMaxBackoff
+	}
+	if p.Counters == nil {
+		p.Counters = metrics.NewCounter()
+	}
+	return p
+}
+
+// Query implements core.QueryTransport with the pool's default deadline.
+func (p *Pool) Query(host netaddr.IP, q wire.Query) (*wire.Response, time.Duration, error) {
+	return p.Exchange(host, q, time.Now().Add(p.reqTimeout))
+}
+
+// Exchange performs one query/response round trip against host's daemon,
+// failing with ErrDeadline once deadline passes. The reported duration is
+// the caller-observed round trip (wall time).
+func (p *Pool) Exchange(host netaddr.IP, q wire.Query, deadline time.Time) (*wire.Response, time.Duration, error) {
+	start := time.Now()
+	hc, err := p.host(host)
+	if err != nil {
+		return nil, time.Since(start), err
+	}
+	resp, err := hc.exchange(q, deadline)
+	return resp, time.Since(start), err
+}
+
+// host returns (creating if needed) the connection manager for host.
+func (p *Pool) host(host netaddr.IP) (*hostConn, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return nil, ErrClosed
+	}
+	if hc, ok := p.hosts[host]; ok {
+		return hc, nil
+	}
+	addr, ok := p.resolver.Resolve(host)
+	if !ok {
+		// Resolver-level knowledge: this host runs no daemon. Not cached
+		// in the pool (the resolver is the cache); cheap either way.
+		return nil, fmt.Errorf("query: no daemon address for %s: %w", host, core.ErrNoDaemon)
+	}
+	hc := &hostConn{pool: p, addr: addr}
+	p.hosts[host] = hc
+	return hc, nil
+}
+
+// Close tears down every connection and fails all in-flight requests.
+func (p *Pool) Close() error {
+	p.mu.Lock()
+	p.closed = true
+	hosts := make([]*hostConn, 0, len(p.hosts))
+	for _, hc := range p.hosts {
+		hosts = append(hosts, hc)
+	}
+	p.mu.Unlock()
+	for _, hc := range hosts {
+		hc.mu.Lock()
+		gen := hc.gen
+		hc.mu.Unlock()
+		hc.teardown(gen, ErrClosed)
+	}
+	return nil
+}
+
+// call is one in-flight request's slot in a connection's pipeline. Its
+// lifecycle is governed by state: the reader CASes waiting→delivered and
+// sends on done; an abandoning waiter (deadline) CASes waiting→abandoned
+// and leaves, after which the reader recycles the slot when its (late)
+// response or the teardown reaches it — correlation survives timeouts.
+type call struct {
+	flow  flow.Five
+	state atomic.Int32
+	done  chan callResult
+}
+
+type callResult struct {
+	resp *wire.Response
+	err  error
+}
+
+const (
+	callWaiting int32 = iota
+	callDelivered
+	callAbandoned
+)
+
+var callPool = sync.Pool{New: func() any {
+	return &call{done: make(chan callResult, 1)}
+}}
+
+func acquireCall(f flow.Five) *call {
+	c := callPool.Get().(*call)
+	c.flow = f
+	c.state.Store(callWaiting)
+	return c
+}
+
+func releaseCall(c *call) {
+	// Drain a deposited-but-unreceived result so the slot is clean.
+	select {
+	case <-c.done:
+	default:
+	}
+	c.flow = flow.Five{}
+	callPool.Put(c)
+}
+
+// hostConn owns the single pipelined connection to one daemon.
+type hostConn struct {
+	pool *Pool
+	addr string
+
+	// sendMu serializes enqueue+write pairs so the pending queue's order
+	// is exactly the wire order — the correlation invariant.
+	sendMu sync.Mutex
+
+	mu       sync.Mutex
+	conn     net.Conn
+	gen      uint64 // bumped by teardown; stale readers/teardowns no-op
+	pending  []*call
+	horizon  time.Time // read deadline currently set on conn
+	dialErr  error     // last dial failure, served during backoff
+	nextDial time.Time
+	backoff  time.Duration
+}
+
+// exchange writes one query and waits for its response or the deadline.
+func (hc *hostConn) exchange(q wire.Query, deadline time.Time) (*wire.Response, error) {
+	c, early, err := hc.send(q, deadline)
+	if err != nil {
+		return nil, err
+	}
+	if early != nil {
+		return early, nil
+	}
+	timer := time.NewTimer(time.Until(deadline))
+	defer timer.Stop()
+	select {
+	case r := <-c.done:
+		releaseCall(c)
+		return r.resp, r.err
+	case <-timer.C:
+		if c.state.CompareAndSwap(callWaiting, callAbandoned) {
+			// The reader recycles the slot when it reaches it; the
+			// connection and the requests pipelined behind ours live on.
+			hc.pool.Counters.Add("pool_timeouts", 1)
+			return nil, fmt.Errorf("query: %s: %w", hc.addr, ErrDeadline)
+		}
+		// Delivery won the race: the result is already deposited.
+		r := <-c.done
+		releaseCall(c)
+		return r.resp, r.err
+	}
+}
+
+// send dials if needed, enqueues the call, and writes the frame. On a
+// write failure the call is already resolved here: early carries a
+// response the reader managed to deliver before the teardown (the write
+// "failed" after the frame reached the daemon), err the failure otherwise.
+func (hc *hostConn) send(q wire.Query, deadline time.Time) (c *call, early *wire.Response, err error) {
+	hc.sendMu.Lock()
+	defer hc.sendMu.Unlock()
+	hc.mu.Lock()
+	if hc.conn == nil {
+		if err := hc.dialLocked(deadline); err != nil {
+			hc.mu.Unlock()
+			return nil, nil, err
+		}
+	}
+	conn, gen := hc.conn, hc.gen
+	c = acquireCall(q.Flow)
+	hc.pending = append(hc.pending, c)
+	if h := deadline.Add(readGrace); h.After(hc.horizon) {
+		hc.horizon = h
+		conn.SetReadDeadline(h)
+	}
+	hc.mu.Unlock()
+
+	conn.SetWriteDeadline(deadline)
+	if err := wire.WriteQuery(conn, q); err != nil {
+		err = fmt.Errorf("query: write %s: %w", hc.addr, err)
+		// teardown fails every pending call, ours included; collect our
+		// own result from the channel so the slot is recycled exactly
+		// once. The reader may have beaten the teardown to our slot with
+		// a real response (write deadline hit after the frame was
+		// kernel-buffered and answered) — that is a success, not an error.
+		hc.teardown(gen, err)
+		r := <-c.done
+		releaseCall(c)
+		if r.err == nil {
+			return nil, r.resp, nil
+		}
+		return nil, nil, r.err
+	}
+	hc.pool.Counters.Add("pool_queries_sent", 1)
+	return c, nil, nil
+}
+
+// dialLocked establishes the connection (hc.mu held). During backoff after
+// a failure it fails fast with the cached error instead of paying the dial
+// latency again.
+func (hc *hostConn) dialLocked(deadline time.Time) error {
+	// A closed pool must not grow fresh connections: Close tears down
+	// conns after setting closed under p.mu, and this check runs with
+	// hc.mu held for the whole dial, so a dial that slips past it is
+	// always visible to (and closed by) Close's teardown.
+	hc.pool.mu.Lock()
+	closed := hc.pool.closed
+	hc.pool.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	now := time.Now()
+	if hc.dialErr != nil && now.Before(hc.nextDial) {
+		hc.pool.Counters.Add("pool_dial_backoff_fastfails", 1)
+		return hc.dialErr
+	}
+	timeout := hc.pool.dialTimeout
+	if until := time.Until(deadline); until < timeout {
+		timeout = until
+	}
+	if timeout <= 0 {
+		return fmt.Errorf("query: %s: %w", hc.addr, ErrDeadline)
+	}
+	conn, err := net.DialTimeout("tcp", hc.addr, timeout)
+	if err != nil {
+		if hc.backoff == 0 {
+			hc.backoff = initialBackoff
+		} else if hc.backoff < hc.pool.maxBackoff {
+			hc.backoff *= 2
+			if hc.backoff > hc.pool.maxBackoff {
+				hc.backoff = hc.pool.maxBackoff
+			}
+		}
+		hc.nextDial = now.Add(hc.backoff)
+		hc.dialErr = classifyDial(hc.addr, err)
+		hc.pool.Counters.Add("pool_dial_errors", 1)
+		return hc.dialErr
+	}
+	hc.backoff = 0
+	hc.dialErr = nil
+	hc.conn = conn
+	hc.horizon = time.Time{}
+	hc.pool.Counters.Add("pool_dials", 1)
+	hc.pool.Conns.Inc()
+	go hc.readLoop(conn, hc.gen)
+	return nil
+}
+
+// classifyDial separates "no daemon there" from "host unreachable". A
+// connection refused means the host is up and not serving port 783 — the
+// §4 daemon-less case, so the error matches core.ErrNoDaemon and the
+// controller may answer on the host's behalf. Anything else (dial timeout,
+// no route) is a reachability failure that must NOT be impersonated; it
+// stays a plain ErrDial so the policy sees a no-info verdict.
+func classifyDial(addr string, err error) error {
+	if errors.Is(err, syscall.ECONNREFUSED) {
+		return fmt.Errorf("query: dial %s: %w: %w", addr, err, core.ErrNoDaemon)
+	}
+	// Both wrapped: ErrDial drives the negative cache, and the original
+	// error keeps its net.Error shape so a dial timeout still counts as a
+	// timeout (query_timeouts), not a generic query_error.
+	return fmt.Errorf("query: dial %s: %w: %w", addr, err, ErrDial)
+}
+
+// readLoop is the connection's single reader: it pops the pending queue in
+// FIFO order, matching daemon.Server's in-order responses.
+func (hc *hostConn) readLoop(conn net.Conn, gen uint64) {
+	for {
+		resp, err := wire.ReadResponse(conn)
+		if err != nil {
+			hc.teardown(gen, fmt.Errorf("query: read %s: %w", hc.addr, err))
+			return
+		}
+		hc.mu.Lock()
+		if hc.gen != gen {
+			hc.mu.Unlock()
+			return // torn down concurrently; teardown owned the pending queue
+		}
+		if len(hc.pending) == 0 {
+			hc.mu.Unlock()
+			hc.teardown(gen, fmt.Errorf("query: %s: unsolicited response", hc.addr))
+			return
+		}
+		c := hc.pending[0]
+		hc.pending = hc.pending[1:]
+		if len(hc.pending) == 0 {
+			// Nothing outstanding: an idle connection must not trip the
+			// reader's hung-connection deadline.
+			hc.horizon = time.Time{}
+			conn.SetReadDeadline(time.Time{})
+		}
+		hc.mu.Unlock()
+		if resp.Flow != c.flow {
+			// Correlation broken — a daemon answering out of order or a
+			// protocol bug. Fail everything rather than misattribute.
+			deliver(c, callResult{err: fmt.Errorf("query: %s: response flow %v does not match query %v", hc.addr, resp.Flow, c.flow)})
+			hc.teardown(gen, fmt.Errorf("query: %s: pipeline desync", hc.addr))
+			return
+		}
+		deliver(c, callResult{resp: resp})
+	}
+}
+
+// deliver completes a call under the state protocol; abandoned slots are
+// recycled here, on the reader, exactly once.
+func deliver(c *call, r callResult) {
+	if c.state.CompareAndSwap(callWaiting, callDelivered) {
+		c.done <- r
+		return
+	}
+	releaseCall(c)
+}
+
+// teardown closes the connection, fails every pending call, and arms the
+// redial backoff. gen guards against a stale teardown (from a reader or
+// writer of a previous connection) killing a fresh connection.
+func (hc *hostConn) teardown(gen uint64, err error) {
+	hc.mu.Lock()
+	if hc.gen != gen {
+		hc.mu.Unlock()
+		return
+	}
+	hc.gen++
+	conn := hc.conn
+	hc.conn = nil
+	failed := hc.pending
+	hc.pending = nil
+	hc.horizon = time.Time{}
+	// The next exchange redials immediately — losing an established
+	// connection says nothing about whether a fresh dial will succeed.
+	// The dial backoff arms only when that dial itself fails.
+	hc.dialErr = nil
+	hc.mu.Unlock()
+	if conn != nil {
+		conn.Close()
+		hc.pool.Conns.Dec()
+	}
+	if len(failed) > 0 {
+		hc.pool.Counters.Add("pool_requests_failed", int64(len(failed)))
+	}
+	for _, c := range failed {
+		deliver(c, callResult{err: err})
+	}
+}
