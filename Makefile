@@ -4,7 +4,7 @@ GO ?= go
 # race detector on purpose: the allocation-budget guards (alloc_test.go)
 # skip themselves under -race, so both flavors are needed.
 .PHONY: ci
-ci: fmt-check vet build test race race-query bench-smoke
+ci: fmt-check vet build test race race-query bench-smoke check-examples
 
 .PHONY: fmt-check
 fmt-check:
@@ -76,14 +76,15 @@ bench-compare:
 	git worktree add --detach $$tmp/base $(BASE) >/dev/null; \
 	trap 'git worktree remove --force '"$$tmp"'/base >/dev/null 2>&1; rm -rf '"$$tmp" EXIT; \
 	echo "== base ($(BASE)) =="; \
-	(cd $$tmp/base && $(GO) test -run=NONE -bench='M7_|M8_|M9_' -benchmem -count=$(BENCH_COUNT) -benchtime=$(BENCH_TIME) .) | tee $$tmp/base.txt; \
+	(cd $$tmp/base && $(GO) test -run=NONE -bench='M7_|M8_|M9_|M10_' -benchmem -count=$(BENCH_COUNT) -benchtime=$(BENCH_TIME) .) | tee $$tmp/base.txt; \
 	echo "== head =="; \
-	$(GO) test -run=NONE -bench='M7_|M8_|M9_' -benchmem -count=$(BENCH_COUNT) -benchtime=$(BENCH_TIME) . | tee $$tmp/head.txt; \
+	$(GO) test -run=NONE -bench='M7_|M8_|M9_|M10_' -benchmem -count=$(BENCH_COUNT) -benchtime=$(BENCH_TIME) . | tee $$tmp/head.txt; \
 	if command -v benchstat >/dev/null 2>&1; then benchstat $$tmp/base.txt $$tmp/head.txt || true; fi; \
 	$(GO) run ./cmd/benchdiff \
 		-max-allocs 'BenchmarkM7_ShardedHandleEvent=2' \
 		-max-allocs 'BenchmarkM8_AllocProfile=2' \
 		-max-allocs 'BenchmarkM9_QueryPlane/hit=2' \
+		-max-allocs 'BenchmarkM10_PolicyEval/compiled=2' \
 		$$tmp/base.txt $$tmp/head.txt
 
 # Short bursts of every fuzz target; regression seeds live in testdata/.
@@ -93,3 +94,20 @@ fuzz:
 	$(GO) test -fuzz=FuzzParseFive -fuzztime=$(FUZZTIME) ./internal/flow/
 	$(GO) test -fuzz=FuzzDecodeQuery -fuzztime=$(FUZZTIME) ./internal/wire/
 	$(GO) test -fuzz=FuzzDecodeResponse -fuzztime=$(FUZZTIME) ./internal/wire/
+	$(GO) test -fuzz=FuzzParsePolicy -fuzztime=$(FUZZTIME) ./internal/pf/
+
+# Compile every example's .control files through pfcheck (with -explain,
+# so the compiler's lowering and key analysis run too): example configs
+# cannot silently rot. branch-collab's two files are independent
+# per-controller policies, checked one by one exactly as the example
+# deploys them; every other example is a §3.4 concatenated directory.
+.PHONY: check-examples
+check-examples:
+	@for d in examples/quickstart examples/skype-policy examples/trust-delegation examples/research-delegation; do \
+		echo "pfcheck -explain -dir $$d"; \
+		$(GO) run ./cmd/pfcheck -explain -dir $$d >/dev/null || exit 1; \
+	done
+	@for f in examples/branch-collab/*.control; do \
+		echo "pfcheck -explain $$f"; \
+		$(GO) run ./cmd/pfcheck -explain $$f >/dev/null || exit 1; \
+	done

@@ -490,8 +490,11 @@ func BenchmarkM9_QueryPlane(b *testing.B) {
 		eng := query.NewEngine(query.Config{Lower: pool})
 		b.Cleanup(eng.Close)
 		ctl := core.New(core.Config{
-			Name:             "m9",
-			Policy:           pf.MustCompile("m9", "pass all"),
+			Name: "m9",
+			// The rule must read an endpoint key: a header-only policy
+			// would be decided by the pre-pass and never warm the response
+			// cache this variant measures.
+			Policy:           pf.MustCompile("m9", "block all\npass from any to any with eq(@src[name], skype)"),
 			Transport:        eng,
 			Topology:         &m7Topo{hops: []core.Hop{{Datapath: 1, OutPort: 2}}},
 			InstallEntries:   true,
@@ -597,6 +600,99 @@ func BenchmarkM9_QueryPlane(b *testing.B) {
 			b.Fatal("negative cache not exercised")
 		}
 	})
+}
+
+// m10Policy builds a mixed synthetic policy for the compiler benchmarks:
+// a deny-all opener, `rules` port-scoped key-dependent rules (none of
+// which header-match the benchmark flows), one pure header rule, and one
+// key-dependent rule the key flow hits. Header-only flows aim at the
+// header rule's port; key flows at the key rule's.
+func m10Policy(rules int) *pf.Policy {
+	var sb []byte
+	sb = append(sb, "block all\n"...)
+	for i := 0; i < rules; i++ {
+		sb = append(sb, ("pass from any to any port " + itoa(20000+i%5000) + " with eq(@src[name], app" + itoa(i) + ")\n")...)
+	}
+	sb = append(sb, "pass from 10.0.0.0/8 to any port 80 keep state\n"...)
+	sb = append(sb, "pass from any to any port 443 with eq(@src[name], web) with eq(@dst[name], httpd)\n"...)
+	return pf.MustCompile("m10", string(sb))
+}
+
+// BenchmarkM10_PolicyEval measures PF+=2 decision cost across the two
+// execution engines (tree-walking interpreter vs. compiled flat program),
+// policy sizes, and the two flow classes the compiler distinguishes:
+//
+//   - keys: the flow hits the key-dependent rule and evaluation reads
+//     both responses — the classic decision.
+//   - headeronly: the flow is decidable from the header alone; the
+//     compiled engine additionally runs the Prepass the controller uses
+//     to skip the query plane entirely.
+//
+// CI's bench-compare gates the compiled variants at ≤ 2 allocs/op (they
+// measure 0): the steady-state compiled path must never regress into
+// allocating.
+func BenchmarkM10_PolicyEval(b *testing.B) {
+	for _, size := range []struct {
+		name  string
+		rules int
+	}{{"small", 8}, {"large", 500}} {
+		p := m10Policy(size.rules)
+		prog := p.Program()
+
+		keyFlow := flow.Five{
+			SrcIP: netaddr.MustParseIP("10.0.0.1"), DstIP: netaddr.MustParseIP("10.0.0.2"),
+			Proto: netaddr.ProtoTCP, SrcPort: 40000, DstPort: 443,
+		}
+		src := wire.NewResponse(keyFlow)
+		src.Add(wire.KeyName, "web")
+		dst := wire.NewResponse(keyFlow)
+		dst.Add(wire.KeyName, "httpd")
+		keyIn := pf.Input{Flow: keyFlow, Src: src, Dst: dst}
+
+		headerFlow := keyFlow
+		headerFlow.DstPort = 80
+		headerIn := pf.Input{Flow: headerFlow}
+
+		b.Run("interpreted/"+size.name+"/keys", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if d := p.EvaluateInterpreted(keyIn); d.Action != pf.Pass {
+					b.Fatal("wrong decision")
+				}
+			}
+		})
+		b.Run("compiled/"+size.name+"/keys", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if d := p.EvaluateCompiled(keyIn); d.Action != pf.Pass {
+					b.Fatal("wrong decision")
+				}
+			}
+		})
+		b.Run("interpreted/"+size.name+"/headeronly", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if d := p.EvaluateInterpreted(headerIn); d.Action != pf.Pass {
+					b.Fatal("wrong decision")
+				}
+			}
+		})
+		b.Run("compiled/"+size.name+"/headeronly", func(b *testing.B) {
+			// The controller's actual header-only path: Prepass decides and
+			// yields the hints, no full evaluation at all.
+			srcKeys := make([]string, 0, 16)
+			dstKeys := make([]string, 0, 16)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				d, ok, s2, d2 := prog.Prepass(headerFlow, srcKeys[:0], dstKeys[:0])
+				if !ok || d.Action != pf.Pass {
+					b.Fatal("flow should be header-only decidable")
+				}
+				srcKeys, dstKeys = s2, d2
+			}
+		})
+	}
 }
 
 func itoa(n int) string {

@@ -5,8 +5,14 @@
 // Usage:
 //
 //	pfcheck [-dir /etc/identxx.control.d | files...]
+//	        [-explain]
 //	        [-flow "tcp 10.0.0.1:4000 > 10.0.0.2:80"]
 //	        [-src key=value]... [-dst key=value]...
+//
+// -explain dumps the compiled decision program: every rule with its
+// static key-requirement set (which @src/@dst keys it can read, the
+// basis of the controller's per-flow query hints) and whether the
+// header-only pre-pass can ever decide a flow under this policy.
 package main
 
 import (
@@ -27,6 +33,7 @@ func (l *kvList) Set(s string) error { *l = append(*l, s); return nil }
 
 func main() {
 	dir := flag.String("dir", "", "directory of .control files (read in alphabetical order)")
+	explain := flag.Bool("explain", false, "dump the compiled decision program and per-rule key sets")
 	flowSpec := flag.String("flow", "", `flow to evaluate, e.g. "tcp 10.0.0.1:4000 > 10.0.0.2:80"`)
 	var srcKV, dstKV kvList
 	flag.Var(&srcKV, "src", "source-response key=value (repeatable)")
@@ -61,8 +68,12 @@ func main() {
 	if keys := policy.ReferencedKeys(); len(keys) > 0 {
 		fmt.Printf("ident++ keys the controller will query for: %s\n", strings.Join(keys, ", "))
 	}
-	for i, r := range policy.Rules {
-		fmt.Printf("  %3d  %s\n", i, r)
+	if *explain {
+		policy.Program().Explain(os.Stdout)
+	} else {
+		for i, r := range policy.Rules {
+			fmt.Printf("  %3d  %s\n", i, r)
+		}
 	}
 
 	if *flowSpec == "" {

@@ -5,6 +5,7 @@
 package main
 
 import (
+	_ "embed"
 	"fmt"
 
 	"identxx/internal/core"
@@ -15,6 +16,15 @@ import (
 	"identxx/internal/wire"
 	"identxx/internal/workload"
 )
+
+// Each branch's policy ships as a real .control file next to this
+// program; CI's pfcheck pass keeps them compiling.
+//
+//go:embed branch-a.control
+var branchAControl string
+
+//go:embed branch-b.control
+var branchBControl string
 
 func main() {
 	n := netsim.New()
@@ -34,11 +44,8 @@ func main() {
 	// Branch B accepts only web traffic and advertises that by augmenting
 	// every ident++ response that leaves its network (§3.4).
 	ctlB := core.New(core.Config{
-		Name: "B",
-		Policy: pf.MustCompile("pB", `
-block all
-pass from any to any port 80
-`),
+		Name:      "B",
+		Policy:    pf.MustCompile("branch-b.control", branchBControl),
 		Transport: n.Transport(swB, nil), Topology: n,
 		InstallEntries: true, Clock: n.Clock.Now,
 	})
@@ -50,11 +57,8 @@ pass from any to any port 80
 
 	// Branch A defers to whatever the destination branch advertises.
 	ctlA := core.New(core.Config{
-		Name: "A",
-		Policy: pf.MustCompile("pA", `
-block all
-pass from any to any with allowed(@dst[branch-rules])
-`),
+		Name:      "A",
+		Policy:    pf.MustCompile("branch-a.control", branchAControl),
 		Transport: n.Transport(swA, nil), Topology: n,
 		InstallEntries: true, Clock: n.Clock.Now,
 	})

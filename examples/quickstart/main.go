@@ -6,6 +6,7 @@
 package main
 
 import (
+	_ "embed"
 	"fmt"
 
 	"identxx/internal/core"
@@ -14,6 +15,12 @@ import (
 	"identxx/internal/pf"
 	"identxx/internal/workload"
 )
+
+// The policy ships as a real .control file next to this program (CI runs
+// pfcheck over every example's .control files, so it cannot rot).
+//
+//go:embed quickstart.control
+var quickstartControl string
 
 func main() {
 	// A network: one switch, a laptop and a server.
@@ -33,10 +40,7 @@ func main() {
 	// The administrator's policy names applications, not ports: browsers
 	// may reach the web server; nothing else may (§1's port-80 dilemma,
 	// solved by asking the end-host what is actually talking).
-	policy := pf.MustCompile("quickstart.control", `
-block all
-pass from any to any port 80 with eq(@src[name], firefox) keep state
-`)
+	policy := pf.MustCompile("quickstart.control", quickstartControl)
 
 	// The ident++ controller: queries daemons through the simulated
 	// network, computes paths from its topology, installs verdicts.

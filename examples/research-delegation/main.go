@@ -5,6 +5,7 @@
 package main
 
 import (
+	_ "embed"
 	"fmt"
 
 	"identxx/internal/core"
@@ -15,6 +16,32 @@ import (
 	"identxx/internal/sig"
 	"identxx/internal/workload"
 )
+
+// The delegation rule ships as a real .control file (checked by CI's
+// pfcheck pass); the group's key is appended as a dict override at
+// startup — and swapped for revocation.
+//
+//go:embed 30-research.control
+var researchControl string
+
+// compileWithKey compiles the static rule file plus a generated dict
+// fragment with the research group's current public key.
+func compileWithKey(pub sig.PublicKey) *pf.Policy {
+	base, err := pf.Parse("30-research.control", researchControl)
+	if err != nil {
+		panic(err)
+	}
+	keys, err := pf.Parse("90-keys.control",
+		fmt.Sprintf("dict <pubkeys> { research : %s }", pub))
+	if err != nil {
+		panic(err)
+	}
+	p, err := pf.Compile(base, keys)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
 
 func main() {
 	// The research group's signing key. The public half is the only thing
@@ -35,19 +62,7 @@ func main() {
 
 	// Figure 5: the administrator's rule — researchers may run whatever
 	// they have signed, anywhere except production.
-	policy := pf.MustCompile("30-research.control", fmt.Sprintf(`
-table <research-machines> { 10.1.0.0/16 }
-table <production-machines> { 10.2.0.0/16 }
-dict <pubkeys> { research : %s }
-block all
-pass from <research-machines> \
-     with member(@src[groupID], research) \
-     to !<production-machines> \
-     with member(@dst[groupID], research) \
-     with allowed(@dst[requirements]) \
-     with verify(@dst[req-sig], @pubkeys[research], \
-                 @dst[exe-hash], @dst[app-name], @dst[requirements])
-`, pub))
+	policy := compileWithKey(pub)
 
 	n := netsim.New()
 	sw := n.AddSwitch("lab", 0)
@@ -93,19 +108,12 @@ pass from <research-machines> \
 	try("research-app lab1 -> lab2 (signed delegation)", st1, r2)
 	try("research-app lab1 -> prod (production fence)", st1, prod)
 
-	// Revocation: the group's key is withdrawn; cached verdicts are flushed
-	// with the policy, so the very next packet re-evaluates and fails.
+	// Revocation: the group's key is withdrawn — the same rule file is
+	// recompiled with a different dict override, so signatures under the
+	// old key no longer verify. Cached verdicts are flushed with the
+	// policy, so the very next packet re-evaluates and fails.
 	other, _ := sig.MustGenerateKey()
-	revoked := pf.MustCompile("30-research.control", fmt.Sprintf(`
-table <research-machines> { 10.1.0.0/16 }
-table <production-machines> { 10.2.0.0/16 }
-dict <pubkeys> { research : %s }
-block all
-pass from <research-machines> to !<production-machines> \
-     with verify(@dst[req-sig], @pubkeys[research], \
-                 @dst[exe-hash], @dst[app-name], @dst[requirements])
-`, other))
-	ctl.SetPolicy(revoked)
+	ctl.SetPolicy(compileWithKey(other))
 	try("research-app lab1 -> lab2 after key revocation", st1, r2)
 
 	fmt.Printf("\ndecisions: %s\n", ctl.Counters)

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"embed"
 	"fmt"
 
 	"identxx/internal/core"
@@ -17,27 +18,15 @@ import (
 	"identxx/internal/workload"
 )
 
+// The three Figure 2 layers ship as real .control files next to this
+// program — exactly what an administrator would drop into
+// /etc/identxx.control.d, and what CI's pfcheck pass keeps honest.
+//
+//go:embed 00-local-header.control 50-skype.control 99-local-footer.control
+var controlFiles embed.FS
+
 func main() {
-	policy, err := pf.LoadSources(map[string]string{
-		"00-local-header.control": `
-table <server> { 192.168.1.1 }
-table <lan> { 192.168.0.0/24 }
-table <int_hosts> { <lan> <server> }
-allowed = "{ http ssh }"
-block all
-pass from <int_hosts> to !<int_hosts> keep state
-pass from <int_hosts> to <int_hosts> with member(@src[name], $allowed) keep state
-`,
-		"50-skype.control": `
-table <skype_update> { 123.123.123.0/24 }
-pass all with eq(@src[name], skype) with eq(@dst[name], skype)
-pass from any to <skype_update> port 80 with eq(@src[name], skype) keep state
-`,
-		"99-local-footer.control": `
-block all with eq(@src[name], skype) with lt(@src[version], 200)
-block from any to <server> with eq(@src[name], skype)
-`,
-	})
+	policy, err := pf.LoadControlFS(controlFiles, ".")
 	if err != nil {
 		panic(err)
 	}

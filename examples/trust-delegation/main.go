@@ -6,6 +6,7 @@
 package main
 
 import (
+	_ "embed"
 	"fmt"
 
 	"identxx/internal/core"
@@ -16,6 +17,13 @@ import (
 	"identxx/internal/sig"
 	"identxx/internal/workload"
 )
+
+// The administrator's rule ships as a real .control file (checked by
+// CI's pfcheck pass); only the trusted key is injected at startup, the
+// way a deployment would append a site-local dict override.
+//
+//go:embed 30-secur.control
+var securControl string
 
 func main() {
 	securPub, securPriv := sig.MustGenerateKey()
@@ -36,17 +44,13 @@ func main() {
 `, requirements, signature)
 
 	// Figure 7: the administrator's rule — anything Secur approved runs
-	// under Secur's rules.
-	policy := pf.MustCompile("30-secur.control", fmt.Sprintf(`
-dict <pubkeys> { Secur : %s }
-block all
-pass from any \
-     with eq(@src[rule-maker], Secur) \
-     with allowed(@src[requirements]) \
-     with verify(@src[req-sig], @pubkeys[Secur], \
-                 @src[exe-hash], @src[app-name], @src[requirements]) \
-     to any
-`, securPub))
+	// under Secur's rules. The rule file is static; the deployment's real
+	// key arrives as a dict override in a later fragment (later
+	// definitions win under §3.4 concatenation).
+	policy, err := compileWithKey(securControl, securPub)
+	if err != nil {
+		panic(err)
+	}
 
 	n := netsim.New()
 	sw := n.AddSwitch("office", 0)
@@ -90,4 +94,20 @@ pass from any \
 
 	fmt.Printf("\ndecisions: %s\n", ctl.Counters)
 	fmt.Println("\nThe administrator never mentioned thunderbird: dict <pubkeys> { Secur : ... } is the entire trust decision.")
+}
+
+// compileWithKey compiles the static rule file plus a generated dict
+// fragment carrying the deployment's real public key; the fragment is
+// compiled after the rule file, so its <pubkeys> entry wins.
+func compileWithKey(control string, pub sig.PublicKey) (*pf.Policy, error) {
+	base, err := pf.Parse("30-secur.control", control)
+	if err != nil {
+		return nil, err
+	}
+	keys, err := pf.Parse("90-keys.control",
+		fmt.Sprintf("dict <pubkeys> { Secur : %s }", pub))
+	if err != nil {
+		return nil, err
+	}
+	return pf.Compile(base, keys)
 }

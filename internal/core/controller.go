@@ -115,8 +115,12 @@ type Config struct {
 	Topology  Topology
 	Latency   LatencyModel
 
-	// QueryKeys overrides the key hints sent in queries; when nil the
-	// controller derives them from the policy's referenced keys.
+	// QueryKeys overrides the key hints sent in queries. When nil (the
+	// default) the controller derives hints per flow from the compiled
+	// policy's per-rule key analysis: each end is asked only for the keys
+	// some still-matching rule could read for that flow (§3.2's "list of
+	// keys that the controller is interested in", sharpened per flow).
+	// The override applies until the next SetPolicy.
 	QueryKeys []string
 
 	// IdleTimeout/HardTimeout are applied to installed entries. Defaults:
@@ -156,8 +160,15 @@ type Config struct {
 // Mutators never modify a published snapshot: they clone, edit the clone,
 // and atomically swap it in under writeMu.
 type ctlState struct {
-	epoch     uint64 // bumped by SetPolicy; pins cache entries to a policy
-	policy    *pf.Policy
+	epoch  uint64 // bumped by SetPolicy; pins cache entries to a policy
+	policy *pf.Policy
+	// prog is the policy's compiled decision program, captured in the
+	// snapshot so the fast path reaches the header-only pre-pass and the
+	// per-rule key analysis without re-deriving anything per event.
+	prog *pf.Program
+	// queryKeys is the operator's static hint override (Config.QueryKeys).
+	// nil — the default — means hints are derived per flow from the
+	// compiled program's per-rule key sets.
 	queryKeys []string
 	datapaths map[uint64]openflow.Datapath
 	answers   map[netaddr.IP][]wire.KV // answer-on-behalf data (§3.4, §4)
@@ -212,7 +223,7 @@ type Controller struct {
 		flowsAllowed, flowsDenied, installs *atomic.Int64
 		evalDiags, installErrors            *atomic.Int64
 		queryErrors, queryTimeouts          *atomic.Int64
-		answeredOnBehalf                    *atomic.Int64
+		answeredOnBehalf, headerOnly        *atomic.Int64
 	}
 }
 
@@ -235,10 +246,6 @@ func New(cfg Config) *Controller {
 	clock := cfg.Clock
 	if clock == nil {
 		clock = time.Now
-	}
-	keys := cfg.QueryKeys
-	if keys == nil {
-		keys = cfg.Policy.ReferencedKeys()
 	}
 	shards := cfg.Shards
 	if shards <= 0 {
@@ -282,9 +289,11 @@ func New(cfg Config) *Controller {
 	c.hot.queryErrors = c.Counters.Cell("query_errors")
 	c.hot.queryTimeouts = c.Counters.Cell("query_timeouts")
 	c.hot.answeredOnBehalf = c.Counters.Cell("answered_on_behalf")
+	c.hot.headerOnly = c.Counters.Cell("decisions_headeronly")
 	c.state.Store(&ctlState{
 		policy:    cfg.Policy,
-		queryKeys: keys,
+		prog:      cfg.Policy.Program(),
+		queryKeys: cfg.QueryKeys,
 		datapaths: make(map[uint64]openflow.Datapath),
 		answers:   make(map[netaddr.IP][]wire.KV),
 	})
@@ -333,7 +342,10 @@ func (c *Controller) SetPolicy(p *pf.Policy) {
 	st := c.mutate(func(st *ctlState) {
 		st.epoch++
 		st.policy = p
-		st.queryKeys = p.ReferencedKeys()
+		st.prog = p.Program()
+		// Any construction-time hint override belonged to the old policy;
+		// hints for the new one derive from its own key analysis.
+		st.queryKeys = nil
 	})
 
 	c.flows.flushAll()
@@ -442,6 +454,10 @@ func (c *Controller) HandleEvent(ev openflow.PacketIn) {
 	g := &s.gather
 	g.c, g.st = c, st
 
+	// Cache probe first: for a cached key-dependent flow the decision is
+	// one shard lookup away, and header-only flows never store entries
+	// (see below), so the probe can never return a verdict the pre-pass
+	// would have overridden.
 	if c.cacheTTL > 0 {
 		if e, ok := sh.lookup(five, c.clock(), st.epoch); ok {
 			c.hot.cacheHits.Add(1)
@@ -452,7 +468,38 @@ func (c *Controller) HandleEvent(ev openflow.PacketIn) {
 		}
 	}
 
-	g.q = wire.Query{Flow: five, Keys: st.queryKeys}
+	// Header-only pre-pass: when the compiled program admits it at all,
+	// scan the per-rule static key sets against this flow's header. A
+	// flow none of whose possibly-matching rules can read endpoint
+	// information is decided and installed right here — no cache entry,
+	// no query, no suspension; a whole workload class that never touches
+	// the query plane. The same scan yields the per-flow key hints a
+	// cache-missing decision sends instead of the global key list.
+	hintsDone := false
+	if st.prog.MaybeHeaderOnly() {
+		evalStart := time.Now()
+		var d pf.Decision
+		var decided bool
+		d, decided, s.srcKeys, s.dstKeys = st.prog.Prepass(five, s.srcKeys[:0], s.dstKeys[:0])
+		s.bd.Eval = time.Since(evalStart)
+		if decided {
+			c.hot.headerOnly.Add(1)
+			g.pre, g.preDecided = d, true
+			c.finishDecision(s)
+			return
+		}
+		hintsDone = true
+	}
+
+	srcHints, dstHints := st.queryKeys, st.queryKeys
+	if st.queryKeys == nil {
+		if !hintsDone {
+			s.srcKeys, s.dstKeys = st.prog.Hints(five, s.srcKeys[:0], s.dstKeys[:0])
+		}
+		srcHints, dstHints = s.srcKeys, s.dstKeys
+	}
+	g.qs = wire.Query{Flow: five, Keys: srcHints}
+	g.qd = wire.Query{Flow: five, Keys: dstHints}
 	if c.asyncTr != nil {
 		// Non-blocking pipeline: hand both endpoint queries to the query
 		// plane and return — no goroutine parks on the round trip. pending
@@ -460,8 +507,8 @@ func (c *Controller) HandleEvent(ev openflow.PacketIn) {
 		// inline (negative-cache hit, open breaker); whichever completion
 		// drops it to zero finishes the decision.
 		g.pending.Store(2)
-		c.asyncTr.QueryAsync(five.SrcIP, g.q, g.srcDoneFn)
-		c.asyncTr.QueryAsync(five.DstIP, g.q, g.dstDoneFn)
+		c.asyncTr.QueryAsync(five.SrcIP, g.qs, g.srcDoneFn)
+		c.asyncTr.QueryAsync(five.DstIP, g.qd, g.dstDoneFn)
 		return
 	}
 
@@ -469,7 +516,7 @@ func (c *Controller) HandleEvent(ev openflow.PacketIn) {
 	// destination on a goroutine started through the prebound entry point.
 	g.wg.Add(1)
 	go g.dstFn()
-	resp, rtt, err := c.transport.Query(five.SrcIP, g.q)
+	resp, rtt, err := c.transport.Query(five.SrcIP, g.qs)
 	g.src, g.qsrc, g.srcBuilt, g.srcTransient = c.resolveResponse(st, five, five.SrcIP, resp, rtt, err)
 	g.wg.Wait()
 	c.finishDecision(s)
@@ -502,11 +549,13 @@ func (c *Controller) finishDecision(s *decisionScratch) {
 	}()
 
 	g := &s.gather
-	if !g.fromCache && c.cacheTTL > 0 && !g.srcTransient && !g.dstTransient {
+	if !g.fromCache && !g.preDecided && c.cacheTTL > 0 && !g.srcTransient && !g.dstTransient {
 		// Cache only decisions whose information is as good as it gets: a
 		// verdict shaped by a transient transport failure (timeout, reset,
 		// open breaker) must not pin its no-info view of the host for the
 		// whole TTL — the daemon may answer again for the next packet.
+		// Header-only decisions gathered nothing and re-decide from the
+		// header alone per packet, cheaper than a cache probe would be.
 		now := c.clock()
 		sh.store(five, cacheEntry{src: g.src, dst: g.dst, expires: now.Add(c.cacheTTL), epoch: st.epoch}, now, c.cacheTTL)
 		// The cache owns the responses now (decisions across goroutines may
@@ -517,9 +566,16 @@ func (c *Controller) finishDecision(s *decisionScratch) {
 	bd := &s.bd
 	bd.QuerySrc, bd.QueryDst = g.qsrc, g.qdst
 
-	evalStart := time.Now()
-	d := st.policy.Evaluate(pf.Input{Flow: five, Src: g.src, Dst: g.dst})
-	bd.Eval = time.Since(evalStart)
+	var d pf.Decision
+	if g.preDecided {
+		// The header-only pre-pass already decided (and timed itself into
+		// bd.Eval); evaluating again would just re-derive it.
+		d = g.pre
+	} else {
+		evalStart := time.Now()
+		d = st.policy.Evaluate(pf.Input{Flow: five, Src: g.src, Dst: g.dst})
+		bd.Eval = time.Since(evalStart)
+	}
 
 	c.Setup.Observe(*bd)
 	c.Audit.Record(AuditEntry{

@@ -14,18 +14,21 @@ import (
 
 // fakeTransport serves canned responses per host.
 type fakeTransport struct {
-	mu        sync.Mutex
-	responses map[netaddr.IP]map[string]string // host -> kv
-	rtt       time.Duration
-	queries   int
-	lastKeys  []string
+	mu         sync.Mutex
+	responses  map[netaddr.IP]map[string]string // host -> kv
+	rtt        time.Duration
+	queries    int
+	keysByHost map[netaddr.IP][]string // copied: q.Keys is borrowed scratch
 }
 
 func (t *fakeTransport) Query(host netaddr.IP, q wire.Query) (*wire.Response, time.Duration, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.queries++
-	t.lastKeys = q.Keys
+	if t.keysByHost == nil {
+		t.keysByHost = make(map[netaddr.IP][]string)
+	}
+	t.keysByHost[host] = append([]string(nil), q.Keys...)
 	kv, ok := t.responses[host]
 	if !ok {
 		return nil, t.rtt, ErrNoDaemon
@@ -247,16 +250,52 @@ pass from any to any with eq(@src[name], skype) with lt(@src[version], 200) with
 	five := flow.Five{SrcIP: hostA, DstIP: hostB, Proto: netaddr.ProtoTCP, SrcPort: 1, DstPort: 2}
 	c.HandleEvent(sampleEvent(five, 1))
 	tr.mu.Lock()
-	keys := tr.lastKeys
+	srcKeys := tr.keysByHost[hostA]
+	dstKeys := tr.keysByHost[hostB]
 	tr.mu.Unlock()
-	want := map[string]bool{"name": true, "version": true, "os-patch": true}
-	if len(keys) != len(want) {
-		t.Fatalf("keys = %v", keys)
-	}
-	for _, k := range keys {
-		if !want[k] {
-			t.Errorf("unexpected hint key %q", k)
+	// Hints are per end since the compiler's key analysis: each daemon is
+	// asked only for the keys a rule could read from its side of the flow.
+	wantEq := func(got, want []string) {
+		t.Helper()
+		if len(got) != len(want) {
+			t.Fatalf("keys = %v, want %v", got, want)
 		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("keys = %v, want %v", got, want)
+			}
+		}
+	}
+	wantEq(srcKeys, []string{"name", "version"})
+	wantEq(dstKeys, []string{"os-patch"})
+}
+
+// TestQueryKeysDifferPerFlow: the per-rule key sets narrow hints to the
+// rules a given flow could still match — two flows under one policy ask
+// for different keys.
+func TestQueryKeysDifferPerFlow(t *testing.T) {
+	tr := &fakeTransport{responses: map[netaddr.IP]map[string]string{hostA: {"name": "x"}}}
+	topo := &fakeTopo{hops: []Hop{{Datapath: 1, OutPort: 2}}}
+	c, _, _ := newTestController(`
+block all
+pass from any to any port 80 with eq(@src[name], web)
+pass from any to any port 22 with eq(@src[userID], root)
+`, tr, topo)
+	web := flow.Five{SrcIP: hostA, DstIP: hostB, Proto: netaddr.ProtoTCP, SrcPort: 1, DstPort: 80}
+	c.HandleEvent(sampleEvent(web, 1))
+	tr.mu.Lock()
+	got := append([]string(nil), tr.keysByHost[hostA]...)
+	tr.mu.Unlock()
+	if len(got) != 1 || got[0] != "name" {
+		t.Errorf("port-80 flow src hints = %v, want [name]", got)
+	}
+	ssh := flow.Five{SrcIP: hostA, DstIP: hostB, Proto: netaddr.ProtoTCP, SrcPort: 1, DstPort: 22}
+	c.HandleEvent(sampleEvent(ssh, 1))
+	tr.mu.Lock()
+	got = append([]string(nil), tr.keysByHost[hostA]...)
+	tr.mu.Unlock()
+	if len(got) != 1 || got[0] != "userID" {
+		t.Errorf("port-22 flow src hints = %v, want [userID]", got)
 	}
 }
 
@@ -264,7 +303,9 @@ func TestDuplicateSuppression(t *testing.T) {
 	block := make(chan struct{})
 	slow := &slowTransport{unblock: block}
 	topo := &fakeTopo{hops: []Hop{{Datapath: 1, OutPort: 2}}}
-	c, dp1, _ := newTestController(`pass from any to any`, slow, topo)
+	// The rule must read an endpoint key: a pure header rule would be
+	// decided by the pre-pass without ever touching the (slow) transport.
+	c, dp1, _ := newTestController(`pass from any to any with eq(@src[name], skype)`, slow, topo)
 	five := flow.Five{SrcIP: hostA, DstIP: hostB, Proto: netaddr.ProtoTCP, SrcPort: 1, DstPort: 2}
 
 	var wg sync.WaitGroup
@@ -322,7 +363,7 @@ func TestResponseCache(t *testing.T) {
 	topo := &fakeTopo{hops: []Hop{{Datapath: 1, OutPort: 2}}}
 	dp := &fakeDatapath{id: 1}
 	c := New(Config{
-		Name: "ctl", Policy: pf.MustCompile("p", `pass from any to any`),
+		Name: "ctl", Policy: pf.MustCompile("p", `pass from any to any with eq(@src[name], skype)`),
 		Transport: tr, Topology: topo, InstallEntries: true,
 		ResponseCacheTTL: time.Minute,
 	})

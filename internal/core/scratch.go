@@ -30,6 +30,12 @@ type decisionScratch struct {
 	mods []openflow.FlowMod
 	hops []Hop
 
+	// srcKeys/dstKeys are the per-flow key-hint scratch the pre-pass
+	// appends into: the program's per-rule key sets for the rules this
+	// flow could still match, per end. The strings are interned in the
+	// compiled program; only the slice capacity belongs to the scratch.
+	srcKeys, dstKeys []string
+
 	// Continuation context: everything finishDecision needs, captured
 	// before the decision suspends on the query plane.
 	sh   *shard
@@ -85,6 +91,13 @@ func (s *decisionScratch) release() {
 	s.dp = nil
 	s.ev = openflow.PacketIn{}
 	s.five = flow.Five{}
+	// Truncate the hint scratch but do not zero it: a transport may have
+	// captured the slice (wire.Query borrows Keys for the duration of the
+	// call, and test doubles legitimately record it), and the residual
+	// elements are short interned key strings — retaining them in pooled
+	// capacity costs bytes, never correctness.
+	s.srcKeys = s.srcKeys[:0]
+	s.dstKeys = s.dstKeys[:0]
 	s.gather.reset()
 	scratchPool.Put(s)
 }
@@ -101,13 +114,22 @@ type gatherState struct {
 	wg sync.WaitGroup
 	c  *Controller
 	st *ctlState
-	q  wire.Query
+	// qs/qd are the two endpoint queries. They differ only in key hints:
+	// each end is asked for the keys the per-rule analysis says some
+	// still-matching rule could read from that end.
+	qs, qd wire.Query
 
 	src, dst                   *wire.Response
 	qsrc, qdst                 time.Duration
 	srcBuilt, dstBuilt         bool // response built by the controller (answer-on-behalf), not a daemon
 	srcTransient, dstTransient bool // end lost to transport trouble; decision must not be cached
 	fromCache                  bool // responses borrowed from the shard cache; do not re-store
+
+	// pre is the header-only pre-pass verdict; when preDecided is set the
+	// decision needed no endpoint information and finishDecision installs
+	// it without evaluating again.
+	pre        pf.Decision
+	preDecided bool
 
 	owner   *decisionScratch
 	pending atomic.Int32 // outstanding async ends; 2 → 0
@@ -117,8 +139,8 @@ type gatherState struct {
 }
 
 func (g *gatherState) runDst() {
-	resp, rtt, err := g.c.transport.Query(g.q.Flow.DstIP, g.q)
-	g.dst, g.qdst, g.dstBuilt, g.dstTransient = g.c.resolveResponse(g.st, g.q.Flow, g.q.Flow.DstIP, resp, rtt, err)
+	resp, rtt, err := g.c.transport.Query(g.qd.Flow.DstIP, g.qd)
+	g.dst, g.qdst, g.dstBuilt, g.dstTransient = g.c.resolveResponse(g.st, g.qd.Flow, g.qd.Flow.DstIP, resp, rtt, err)
 	g.wg.Done()
 }
 
@@ -127,14 +149,14 @@ func (g *gatherState) runDst() {
 // waiters (see internal/query's borrow contract); resolveResponse never
 // mutates it, and downstream it is either cached or dropped, never pooled.
 func (g *gatherState) srcDone(resp *wire.Response, rtt time.Duration, err error) {
-	g.src, g.qsrc, g.srcBuilt, g.srcTransient = g.c.resolveResponse(g.st, g.q.Flow, g.q.Flow.SrcIP, resp, rtt, err)
+	g.src, g.qsrc, g.srcBuilt, g.srcTransient = g.c.resolveResponse(g.st, g.qs.Flow, g.qs.Flow.SrcIP, resp, rtt, err)
 	if g.pending.Add(-1) == 0 {
 		g.c.finishDecision(g.owner)
 	}
 }
 
 func (g *gatherState) dstDone(resp *wire.Response, rtt time.Duration, err error) {
-	g.dst, g.qdst, g.dstBuilt, g.dstTransient = g.c.resolveResponse(g.st, g.q.Flow, g.q.Flow.DstIP, resp, rtt, err)
+	g.dst, g.qdst, g.dstBuilt, g.dstTransient = g.c.resolveResponse(g.st, g.qd.Flow, g.qd.Flow.DstIP, resp, rtt, err)
 	if g.pending.Add(-1) == 0 {
 		g.c.finishDecision(g.owner)
 	}
@@ -143,12 +165,13 @@ func (g *gatherState) dstDone(resp *wire.Response, rtt time.Duration, err error)
 func (g *gatherState) reset() {
 	g.c = nil
 	g.st = nil
-	g.q = wire.Query{}
+	g.qs, g.qd = wire.Query{}, wire.Query{}
 	g.src, g.dst = nil, nil
 	g.qsrc, g.qdst = 0, 0
 	g.srcBuilt, g.dstBuilt = false, false
 	g.srcTransient, g.dstTransient = false, false
 	g.fromCache = false
+	g.pre, g.preDecided = pf.Decision{}, false
 	g.pending.Store(0)
 }
 

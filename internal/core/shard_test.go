@@ -48,7 +48,7 @@ func TestShardedCacheExpiryDeterministicClock(t *testing.T) {
 	dp := &fakeDatapath{id: 1}
 	c := New(Config{
 		Name:             "clock",
-		Policy:           pf.MustCompile("p", `pass from any to any`),
+		Policy:           pf.MustCompile("p", `pass from any to any with eq(@src[name], skype)`),
 		Transport:        tr,
 		Topology:         topo,
 		InstallEntries:   true,
@@ -188,7 +188,7 @@ func TestAblationParkedDuplicatesArePacketOut(t *testing.T) {
 	dp1 := &fakeDatapath{id: 1}
 	c := New(Config{
 		Name:           "ablate",
-		Policy:         pf.MustCompile("p", `pass from any to any`),
+		Policy:         pf.MustCompile("p", `pass from any to any with eq(@src[name], skype)`),
 		Transport:      slow,
 		Topology:       topo,
 		InstallEntries: false, // the ablation under test
@@ -256,7 +256,7 @@ func TestWaiterResolutionReleasesAllParkedBuffers(t *testing.T) {
 	block := make(chan struct{})
 	slow := &slowTransport{unblock: block}
 	topo := &fakeTopo{hops: []Hop{{Datapath: 1, OutPort: 2}}}
-	c, dp1, _ := newTestController(`pass from any to any`, slow, topo)
+	c, dp1, _ := newTestController(`pass from any to any with eq(@src[name], skype)`, slow, topo)
 	five := flow.Five{SrcIP: hostA, DstIP: hostB, Proto: netaddr.ProtoTCP, SrcPort: 1, DstPort: 2}
 
 	var wg sync.WaitGroup

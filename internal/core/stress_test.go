@@ -166,7 +166,7 @@ func TestPolicySwapInvalidatesInFlightCacheWrite(t *testing.T) {
 	dp := &fakeDatapath{id: 1}
 	c := New(Config{
 		Name:             "swap",
-		Policy:           pf.MustCompile("p1", `pass from any to any`),
+		Policy:           pf.MustCompile("p1", `pass from any to any with eq(@src[name], skype)`),
 		Transport:        slow,
 		Topology:         topo,
 		InstallEntries:   true,
@@ -185,7 +185,7 @@ func TestPolicySwapInvalidatesInFlightCacheWrite(t *testing.T) {
 	slow.waitUntilQuerying()
 
 	// The swap completes while the first decision is mid-query.
-	c.SetPolicy(pf.MustCompile("p2", `pass from any to any`))
+	c.SetPolicy(pf.MustCompile("p2", `pass from any to any with eq(@src[name], skype)`))
 
 	close(block) // first decision finishes and writes the cache — stale epoch
 	wg.Wait()

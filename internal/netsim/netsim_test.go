@@ -126,7 +126,7 @@ pass from any to any with eq(@src[name], skype)
 }
 
 func TestSetupBreakdownRecorded(t *testing.T) {
-	n, ctl, ha, hb := buildLine(t, `pass from any to any`)
+	n, ctl, ha, hb := buildLine(t, `pass from any to any with eq(@src[name], skype)`)
 	runSkypeFlow(t, n, ha, hb)
 	if ctl.Setup.Total.Count() != 1 {
 		t.Fatal("no setup breakdown recorded")

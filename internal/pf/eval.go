@@ -3,6 +3,7 @@ package pf
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"identxx/internal/flow"
 	"identxx/internal/netaddr"
@@ -16,7 +17,10 @@ const maxAllowedDepth = 4
 
 // Policy is a compiled PF+=2 ruleset: resolved tables, dictionaries,
 // macros, the ordered rule list, and the function registry. A Policy is
-// safe for concurrent Evaluate calls.
+// safe for concurrent Evaluate calls. The definition maps (Tables,
+// Dicts, Macros) must not be mutated after Compile — the lowered
+// decision program (program.go) pre-resolves against them; Default and
+// Register stay live.
 //
 // Because controller configuration is the concatenation of several files
 // (§3.4), Compile merges definitions across files: tables union their
@@ -33,14 +37,18 @@ type Policy struct {
 
 	funcs *FuncRegistry
 
-	// ruleCache memoizes ParseRules results for `allowed` arguments, which
-	// repeat across flows from the same application.
-	ruleCache sync.Map // string -> allowedEntry
-}
+	// prog is the lowered decision program (compile.go); set by Compile,
+	// lazily by Program() for hand-assembled policies.
+	prog atomic.Pointer[Program]
 
-type allowedEntry struct {
-	rules []*Rule
-	err   error
+	// ruleCache memoizes parse+lower results for `allowed` arguments,
+	// which repeat across flows from the same application. The memo is
+	// bounded (maxRuleCacheEntries, compile.go): its keys arrive from the
+	// network, so without a cap a churning `requirements` value would
+	// grow it forever.
+	ruleCache          sync.Map // string -> *allowedEntry
+	ruleCacheN         atomic.Int64
+	ruleCacheEvictions atomic.Int64
 }
 
 // Compile resolves the definitions of one or more parsed files (in order)
@@ -89,6 +97,10 @@ func Compile(files ...*File) (*Policy, error) {
 			}
 		}
 	}
+	// Lower to the flat decision program here, once, so SetPolicy swaps
+	// never lower on the decision path (and statically-known embedded
+	// `allowed` rules are pre-parsed into the rule cache).
+	p.prog.Store(lowerPolicy(p))
 	return p, nil
 }
 
@@ -174,7 +186,28 @@ func (p *Policy) resolveTables(defs []*TableDef) error {
 
 // Register installs (or replaces) a named predicate function, the paper's
 // "functions are user-definable and new functions can be added" (§3.3).
-func (p *Policy) Register(name string, fn Func) { p.funcs.Register(name, fn) }
+//
+// Replacing a built-in invalidates the compiled program's static key
+// analysis (a replacement may read anything), so the policy re-lowers and
+// drops memoized embedded analyses. Controllers snapshot the compiled
+// program: Register before handing the policy to a controller, or
+// re-issue SetPolicy afterwards — Register is not synchronized with
+// in-flight evaluations.
+func (p *Policy) Register(name string, fn Func) {
+	p.funcs.Register(name, fn)
+	// The registry is the single authority on which names invalidate the
+	// static analysis (it records them as overridden); re-lower and drop
+	// memoized embedded analyses when this registration was one.
+	if p.funcs.Overridden(name) {
+		p.ruleCache.Range(func(k, _ any) bool {
+			if _, loaded := p.ruleCache.LoadAndDelete(k); loaded {
+				p.ruleCacheN.Add(-1)
+			}
+			return true
+		})
+		p.prog.Store(lowerPolicy(p))
+	}
+}
 
 // Input is what a policy decision is made from: the flow's 5-tuple and the
 // ident++ responses from its two ends (either may be nil when an end did
@@ -216,12 +249,48 @@ type Decision struct {
 // every rule is consulted in order, the final matching rule decides, and a
 // matching `quick` rule short-circuits immediately (§3.3).
 //
+// Since the policy compiler landed, Evaluate is a thin wrapper over the
+// lowered decision program (program.go, vm.go); the tree-walking
+// interpreter survives as EvaluateInterpreted, the reference
+// implementation the differential mode (SetDifferential) checks every
+// verdict against.
+//
 // Evaluation is allocation-free in steady state: the evaluation context
 // (including the argument scratch every `with` call resolves into) comes
 // from a pool, and in.Src/in.Dst are borrowed, never copied — see Input for
 // the ownership contract. Only diagnostics (which indicate a broken policy,
 // not a normal decision) allocate.
 func (p *Policy) Evaluate(in Input) Decision {
+	d := p.EvaluateCompiled(in)
+	if differential.Load() {
+		ref := p.EvaluateInterpreted(in)
+		if d.Action != ref.Action || d.Rule != ref.Rule ||
+			d.Matched != ref.Matched || d.KeepState != ref.KeepState {
+			panic(fmt.Sprintf(
+				"pf: compiled program and interpreter disagree on %s:\n  compiled:    %+v\n  interpreted: %+v",
+				in.Flow, d, ref))
+		}
+	}
+	return d
+}
+
+// EvaluateCompiled executes the lowered decision program. Callers
+// normally use Evaluate; this entry point exists for the differential
+// tests and benchmarks that need to name one engine explicitly.
+func (p *Policy) EvaluateCompiled(in Input) Decision {
+	prog := p.Program()
+	c := acquireEvalCtx(p, in, 0)
+	c.compiled = true
+	d := c.runProgram(prog.rules, Decision{Action: p.Default})
+	d.Diags = c.diags
+	releaseEvalCtx(c)
+	return d
+}
+
+// EvaluateInterpreted walks the parsed rule AST — the original evaluator,
+// kept as the reference the compiled program is differentially tested
+// against.
+func (p *Policy) EvaluateInterpreted(in Input) Decision {
 	c := acquireEvalCtx(p, in, 0)
 	d := c.run(p.Rules, Decision{Action: p.Default})
 	d.Diags = c.diags
@@ -258,6 +327,11 @@ type evalCtx struct {
 	depth int
 	diags []string
 
+	// compiled selects the engine embedded `allowed` rules run under, so
+	// a differential evaluation exercises each engine end to end rather
+	// than converging on shared embedded execution.
+	compiled bool
+
 	// pub is the *Ctx handed to predicate functions, pointing back at this
 	// context; embedding it here keeps the per-call &Ctx{} off the heap.
 	pub Ctx
@@ -292,6 +366,7 @@ func releaseEvalCtx(c *evalCtx) {
 	c.in = Input{}
 	c.depth = 0
 	c.diags = nil
+	c.compiled = false
 	c.valBuf = [evalScratchArgs]Value{}
 	evalCtxPool.Put(c)
 }
@@ -447,24 +522,26 @@ func (x *Ctx) LookupMacro(name string) (string, bool) {
 // EvalEmbedded parses src as a rule-only PF+=2 fragment and evaluates it
 // against the current flow and responses, implementing `allowed` (§3.3).
 // The embedded rules run with this policy's tables, dicts, macros and
-// functions visible. Parse results are memoized.
+// functions visible, under the same engine (compiled program or
+// interpreter) as the evaluation that reached them. Parse and lowering
+// results are memoized in the policy's bounded rule cache.
 func (x *Ctx) EvalEmbedded(origin, src string) (Decision, error) {
 	if x.c.depth >= maxAllowedDepth {
 		return Decision{}, fmt.Errorf("allowed() recursion deeper than %d", maxAllowedDepth)
 	}
-	var entry allowedEntry
-	if cached, ok := x.c.p.ruleCache.Load(src); ok {
-		entry = cached.(allowedEntry)
-	} else {
-		rules, err := ParseRules(origin, src)
-		entry = allowedEntry{rules: rules, err: err}
-		x.c.p.ruleCache.Store(src, entry)
-	}
+	entry := x.c.p.embeddedEntry(origin, src, x.c.depth+1)
 	if entry.err != nil {
 		return Decision{}, entry.err
 	}
 	sub := acquireEvalCtx(x.c.p, x.c.in, x.c.depth+1)
-	d := sub.run(entry.rules, Decision{Action: Block}) // embedded rule sets are default-deny
+	sub.compiled = x.c.compiled
+	// Embedded rule sets are default-deny.
+	var d Decision
+	if sub.compiled {
+		d = sub.runProgram(entry.prog, Decision{Action: Block})
+	} else {
+		d = sub.run(entry.rules, Decision{Action: Block})
+	}
 	x.c.diags = append(x.c.diags, sub.diags...)
 	releaseEvalCtx(sub)
 	return d, nil

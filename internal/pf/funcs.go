@@ -5,6 +5,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"identxx/internal/sig"
 )
@@ -20,41 +21,73 @@ type Func func(ctx *Ctx, args []Value) (bool, error)
 
 // FuncRegistry maps function names to implementations. It is safe for
 // concurrent use so operators can register functions while the controller
-// is evaluating flows.
+// is evaluating flows. The live map sits behind an atomic pointer and
+// Register copies-on-write, so the per-predicate Lookup on the decision
+// fast path is one atomic load plus a map read, no lock.
 type FuncRegistry struct {
-	mu    sync.RWMutex
-	funcs map[string]Func
+	mu    sync.Mutex // serializes writers only
+	funcs atomic.Pointer[map[string]Func]
+	// overridden records built-in names the operator has replaced. The
+	// compiler's static key analysis assumes the built-ins' read
+	// behavior (they inspect only their resolved arguments); a
+	// replacement may do anything — EvalEmbedded included — so analysis
+	// of an overridden name must fall back to the conservative bound.
+	overridden atomic.Pointer[map[string]bool]
 }
 
 // Register installs or replaces a function.
 func (r *FuncRegistry) Register(name string, fn Func) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.funcs[name] = fn
+	old := r.funcs.Load()
+	next := make(map[string]Func, len(*old)+1)
+	for k, v := range *old {
+		next[k] = v
+	}
+	next[name] = fn
+	r.funcs.Store(&next)
+	if staticFuncs[name] || name == "allowed" {
+		oldOv := r.overridden.Load()
+		nextOv := make(map[string]bool, len(*oldOv)+1)
+		for k := range *oldOv {
+			nextOv[k] = true
+		}
+		nextOv[name] = true
+		r.overridden.Store(&nextOv)
+	}
 }
 
 // Lookup returns a function by name.
 func (r *FuncRegistry) Lookup(name string) (Func, bool) {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	fn, ok := r.funcs[name]
+	fn, ok := (*r.funcs.Load())[name]
 	return fn, ok
+}
+
+// Overridden reports whether a built-in name has been replaced since the
+// registry was built; the key analysis (compile.go) consults it.
+func (r *FuncRegistry) Overridden(name string) bool {
+	return (*r.overridden.Load())[name]
 }
 
 // DefaultFuncs returns a registry with the paper's predefined functions
 // (§3.3: eq, gt, lt, gte, lte, member, allowed, verify) plus `includes`,
 // which Figure 8 uses for patch-level checks.
 func DefaultFuncs() *FuncRegistry {
-	r := &FuncRegistry{funcs: make(map[string]Func)}
-	r.Register("eq", fnEq)
-	r.Register("gt", fnCompare(func(c int) bool { return c > 0 }))
-	r.Register("lt", fnCompare(func(c int) bool { return c < 0 }))
-	r.Register("gte", fnCompare(func(c int) bool { return c >= 0 }))
-	r.Register("lte", fnCompare(func(c int) bool { return c <= 0 }))
-	r.Register("member", fnMember)
-	r.Register("allowed", fnAllowed)
-	r.Register("verify", fnVerify)
-	r.Register("includes", fnIncludes)
+	m := map[string]Func{
+		"eq":       fnEq,
+		"gt":       fnCompare(func(c int) bool { return c > 0 }),
+		"lt":       fnCompare(func(c int) bool { return c < 0 }),
+		"gte":      fnCompare(func(c int) bool { return c >= 0 }),
+		"lte":      fnCompare(func(c int) bool { return c <= 0 }),
+		"member":   fnMember,
+		"allowed":  fnAllowed,
+		"verify":   fnVerify,
+		"includes": fnIncludes,
+	}
+	r := &FuncRegistry{}
+	r.funcs.Store(&m)
+	ov := make(map[string]bool)
+	r.overridden.Store(&ov)
 	return r
 }
 

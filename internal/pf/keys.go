@@ -1,33 +1,18 @@
 package pf
 
-import "sort"
-
 // ReferencedKeys returns the @src/@dst dictionary keys the policy's rules
-// mention, sorted and deduplicated. The ident++ controller sends them as
+// can read, sorted and deduplicated. The ident++ controller sends them as
 // the query's key hints (§3.2: "a list of keys that the controller is
-// interested in"). Keys used only inside embedded `allowed` rules are not
-// statically known and are not included; hints are advisory and daemons
-// may answer with more.
+// interested in") when it has no per-flow analysis to narrow them further.
+//
+// The set is derived from the compiled decision program's static key
+// analysis — the same analysis that powers per-flow hints and the
+// header-only pre-pass — so there is exactly one definition of "key the
+// policy reads". That analysis sees through statically-known embedded
+// `allowed` rules (literal, macro, and policy-dict arguments), whose keys
+// the old AST walk missed; keys of dynamically-supplied embedded rules
+// (allowed(@src[requirements])) remain unknowable until the response
+// arrives, and hints are advisory — daemons may answer with more.
 func (p *Policy) ReferencedKeys() []string {
-	seen := make(map[string]bool)
-	var walk func(rules []*Rule)
-	walk = func(rules []*Rule) {
-		for _, r := range rules {
-			for _, w := range r.Withs {
-				for _, a := range w.Args {
-					if (a.Kind == ArgDict || a.Kind == ArgDictConcat) &&
-						(a.Text == "src" || a.Text == "dst") {
-						seen[a.Key] = true
-					}
-				}
-			}
-		}
-	}
-	walk(p.Rules)
-	out := make([]string, 0, len(seen))
-	for k := range seen {
-		out = append(out, k)
-	}
-	sort.Strings(out)
-	return out
+	return p.Program().ReferencedKeys()
 }

@@ -227,7 +227,7 @@ func TestE2EConcurrentFlowsThroughQueryPlane(t *testing.T) {
 	dp := &e2eDatapath{id: 1}
 	ctl := core.New(core.Config{
 		Name:           "e2e-flood",
-		Policy:         pf.MustCompile("e2e", "pass all"),
+		Policy:         pf.MustCompile("e2e", "block from any to any with eq(@src[name], no-such-app)"),
 		Transport:      eng,
 		Topology:       &e2eTopo{hops: []core.Hop{{Datapath: 1, OutPort: 2}}},
 		InstallEntries: true,
