@@ -76,15 +76,16 @@ bench-compare:
 	git worktree add --detach $$tmp/base $(BASE) >/dev/null; \
 	trap 'git worktree remove --force '"$$tmp"'/base >/dev/null 2>&1; rm -rf '"$$tmp" EXIT; \
 	echo "== base ($(BASE)) =="; \
-	(cd $$tmp/base && $(GO) test -run=NONE -bench='M7_|M8_|M9_|M10_' -benchmem -count=$(BENCH_COUNT) -benchtime=$(BENCH_TIME) .) | tee $$tmp/base.txt; \
+	(cd $$tmp/base && $(GO) test -run=NONE -bench='M7_|M8_|M9_|M10_|M11_' -benchmem -count=$(BENCH_COUNT) -benchtime=$(BENCH_TIME) .) | tee $$tmp/base.txt; \
 	echo "== head =="; \
-	$(GO) test -run=NONE -bench='M7_|M8_|M9_|M10_' -benchmem -count=$(BENCH_COUNT) -benchtime=$(BENCH_TIME) . | tee $$tmp/head.txt; \
+	$(GO) test -run=NONE -bench='M7_|M8_|M9_|M10_|M11_' -benchmem -count=$(BENCH_COUNT) -benchtime=$(BENCH_TIME) . | tee $$tmp/head.txt; \
 	if command -v benchstat >/dev/null 2>&1; then benchstat $$tmp/base.txt $$tmp/head.txt || true; fi; \
 	$(GO) run ./cmd/benchdiff \
 		-max-allocs 'BenchmarkM7_ShardedHandleEvent=2' \
 		-max-allocs 'BenchmarkM8_AllocProfile=2' \
 		-max-allocs 'BenchmarkM9_QueryPlane/hit=2' \
 		-max-allocs 'BenchmarkM10_PolicyEval/compiled=2' \
+		-max-allocs 'BenchmarkM11_Revocation/no-subscribers=2' \
 		$$tmp/base.txt $$tmp/head.txt
 
 # Short bursts of every fuzz target; regression seeds live in testdata/.

@@ -46,6 +46,7 @@ func BenchmarkE5_PatchGate(b *testing.B)          { benchExperiment(b, experimen
 func BenchmarkE6_Compromise(b *testing.B)         { benchExperiment(b, experiments.RunE6) }
 func BenchmarkE7_BranchCollab(b *testing.B)       { benchExperiment(b, experiments.RunE7) }
 func BenchmarkE8_Incremental(b *testing.B)        { benchExperiment(b, experiments.RunE8) }
+func BenchmarkE9_Revocation(b *testing.B)         { benchExperiment(b, experiments.RunE9) }
 
 // BenchmarkM1_SetupVsPolicySize sweeps flow-setup cost against policy size
 // and topology diameter: the Ethane-lineage scalability question. The
@@ -693,6 +694,97 @@ func BenchmarkM10_PolicyEval(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkM11_Revocation measures the revocation plane (PR 5):
+//
+//   - no-subscribers: the M8 cache-hit path with Revocation enabled but no
+//     updates arriving — the proof that adopting the plane costs the
+//     packet-in hot path nothing. Carries the same ≤ 2 allocs/op budget as
+//     M8/M9-hit in the CI bench-compare gate (measures 0).
+//   - teardown: one full revocation cycle per op — decide+install a flow,
+//     then a flow-scoped endpoint-state update tears it down (cache drop,
+//     index unlink, path deletes). 1/ns-op is flows-torn-down/sec.
+//   - fanin-64: one key-scoped update revokes 64 dependent flows through
+//     the fact-dependency index; flows_torn_per_op reports the fan-in.
+func BenchmarkM11_Revocation(b *testing.B) {
+	srcIP := netaddr.MustParseIP("10.0.0.1")
+	dstIP := netaddr.MustParseIP("10.0.0.2")
+	mkCtl := func(shards int) *core.Controller {
+		tr := &m7Transport{responses: map[netaddr.IP]map[string]string{
+			srcIP: {"name": "skype"},
+			dstIP: {"name": "skype"},
+		}}
+		ctl := core.New(core.Config{
+			Name:             "m11",
+			Policy:           pf.MustCompile("m11", m8Policy),
+			Transport:        tr,
+			Topology:         &m7Topo{hops: []core.Hop{{Datapath: 1, OutPort: 2}}},
+			InstallEntries:   true,
+			ResponseCacheTTL: time.Hour,
+			Revocation:       true,
+			Shards:           shards,
+		})
+		ctl.AddDatapath(&m7Datapath{id: 1})
+		return ctl
+	}
+	flowAt := func(sp int) flow.Five {
+		return flow.Five{SrcIP: srcIP, DstIP: dstIP, Proto: netaddr.ProtoTCP,
+			SrcPort: netaddr.Port(sp), DstPort: 80}
+	}
+	eventAt := func(sp int) openflow.PacketIn {
+		ev := m8Event(srcIP, dstIP)
+		ev.Tuple.SrcPort = netaddr.Port(sp)
+		return ev
+	}
+
+	b.Run("no-subscribers", func(b *testing.B) {
+		ctl := mkCtl(0)
+		ev := m8Event(srcIP, dstIP)
+		ctl.HandleEvent(ev) // warm cache, pools, and the one registration
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ctl.HandleEvent(ev)
+		}
+		b.StopTimer()
+		if ctl.Counters.Get("response_cache_hits") < int64(b.N) {
+			b.Fatal("cache-hit path not exercised")
+		}
+	})
+
+	b.Run("teardown", func(b *testing.B) {
+		ctl := mkCtl(0)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sp := 1 + i%30000
+			ctl.HandleEvent(eventAt(sp))
+			ctl.HandleUpdate(srcIP, wire.Update{Flow: flowAt(sp), Key: "name", Serial: uint64(i + 1)})
+		}
+		b.StopTimer()
+		if got := ctl.Counters.Get("revocations_flows"); got < int64(b.N) {
+			b.Fatalf("revocations_flows = %d, want >= %d", got, b.N)
+		}
+	})
+
+	b.Run("fanin-64", func(b *testing.B) {
+		const fan = 64
+		ctl := mkCtl(0)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for j := 0; j < fan; j++ {
+				ctl.HandleEvent(eventAt(1 + j))
+			}
+			ctl.HandleUpdate(srcIP, wire.Update{Key: "name", Serial: uint64(i + 1)})
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(ctl.Counters.Get("revocations_flows"))/float64(b.N), "flows_torn_per_op")
+		if got := ctl.Counters.Get("revocations_flows"); got < int64(b.N)*fan {
+			b.Fatalf("revocations_flows = %d, want >= %d", got, int64(b.N)*fan)
+		}
+	})
 }
 
 func itoa(n int) string {

@@ -1,0 +1,123 @@
+package main
+
+// The admin channel: a line-oriented TCP listener on the serving
+// controller (enabled with -admin), and the `identctl revoke` subcommand
+// that speaks to it. This is what makes the revocation plane operable from
+// a shell: `identctl revoke 10.0.0.7` tears down every live flow admitted
+// on facts from that host; with a key, only the flows whose verdicts read
+// that key.
+//
+// Protocol (one request per line, one reply per line):
+//
+//	revoke <host-ip> [key]   ->  ok <flows-torn-down> | err <message>
+//	sweep                    ->  ok <flows-torn-down>
+//	stats                    ->  ok live=<n> registered=<n> dropped=<n>
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"strings"
+	"time"
+
+	"identxx/internal/core"
+	"identxx/internal/netaddr"
+)
+
+// serveAdmin runs the admin listener until the listener is closed.
+func serveAdmin(l net.Listener, ctl *core.Controller) {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		go func() {
+			defer conn.Close()
+			conn.SetDeadline(time.Now().Add(30 * time.Second))
+			sc := bufio.NewScanner(conn)
+			for sc.Scan() {
+				fmt.Fprintf(conn, "%s\n", adminCommand(ctl, sc.Text()))
+				conn.SetDeadline(time.Now().Add(30 * time.Second))
+			}
+		}()
+	}
+}
+
+// adminCommand executes one admin line and renders the reply.
+func adminCommand(ctl *core.Controller, line string) string {
+	f := strings.Fields(line)
+	if len(f) == 0 {
+		return "err empty command"
+	}
+	switch f[0] {
+	case "revoke":
+		if len(f) < 2 || len(f) > 3 {
+			return "err usage: revoke <host-ip> [key]"
+		}
+		host, err := netaddr.ParseIP(f[1])
+		if err != nil {
+			return "err " + err.Error()
+		}
+		key := ""
+		if len(f) == 3 {
+			key = f[2]
+		}
+		return fmt.Sprintf("ok %d", ctl.RevokeHost(host, key))
+	case "sweep":
+		return fmt.Sprintf("ok %d", ctl.SweepLeases())
+	case "stats":
+		live, registered, dropped := ctl.RevocationIndexStats()
+		return fmt.Sprintf("ok live=%d registered=%d dropped=%d", live, registered, dropped)
+	default:
+		return "err unknown command " + f[0]
+	}
+}
+
+// revokeMain is the `identctl revoke` subcommand: it connects to a serving
+// identctl's admin channel and requests the teardown.
+func revokeMain(args []string) {
+	fs := flag.NewFlagSet("revoke", flag.ExitOnError)
+	admin := fs.String("admin", "127.0.0.1:7833", "admin address of the serving identctl")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: identctl revoke [-admin addr] <host-ip> [key]")
+		fs.PrintDefaults()
+	}
+	fs.Parse(args)
+	rest := fs.Args()
+	if len(rest) < 1 || len(rest) > 2 {
+		fs.Usage()
+		os.Exit(2)
+	}
+	if _, err := netaddr.ParseIP(rest[0]); err != nil {
+		fatal(err)
+	}
+	line := "revoke " + strings.Join(rest, " ")
+	reply, err := adminRoundTrip(*admin, line)
+	if err != nil {
+		fatal(err)
+	}
+	if !strings.HasPrefix(reply, "ok ") {
+		fatal(fmt.Errorf("controller refused: %s", reply))
+	}
+	fmt.Printf("identctl: revoked %s flow(s) for %s\n", strings.TrimPrefix(reply, "ok "), rest[0])
+}
+
+// adminRoundTrip sends one admin line and returns the one-line reply.
+func adminRoundTrip(addr, line string) (string, error) {
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return "", fmt.Errorf("identctl: dial admin %s: %w", addr, err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(10 * time.Second))
+	if _, err := fmt.Fprintf(conn, "%s\n", line); err != nil {
+		return "", err
+	}
+	sc := bufio.NewScanner(conn)
+	if !sc.Scan() {
+		return "", fmt.Errorf("identctl: admin closed without a reply")
+	}
+	return sc.Text(), nil
+}

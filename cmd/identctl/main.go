@@ -14,11 +14,19 @@
 // Usage:
 //
 //	identctl -listen :6633 -policy ./policy.d -topology hosts.topo
+//	identctl revoke [-admin addr] <host-ip> [key]
+//
+// The serving controller runs the revocation plane: daemons that push
+// endpoint-state updates get their flows torn down the moment a fact stops
+// being true, daemons that do not are covered by TTL leases
+// (-revocation-lease), and the -admin listener makes operator-initiated
+// revocation (`identctl revoke`) available from any shell.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net"
 	"os"
 	"os/signal"
 	"strconv"
@@ -34,10 +42,16 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "revoke" {
+		revokeMain(os.Args[2:])
+		return
+	}
 	listen := flag.String("listen", ":6633", "secure-channel listen address")
 	policyDir := flag.String("policy", "", ".control policy directory (required)")
 	topoFile := flag.String("topology", "", "host placement file (required)")
 	queryTimeout := flag.Duration("query-timeout", 2*time.Second, "ident++ query timeout")
+	adminAddr := flag.String("admin", "127.0.0.1:7833", "admin listen address for `identctl revoke` (empty disables)")
+	leaseTTL := flag.Duration("revocation-lease", 5*time.Minute, "fact lease for daemons that do not push updates (0 disables)")
 	flag.Parse()
 	if *policyDir == "" || *topoFile == "" {
 		fmt.Fprintln(os.Stderr, "identctl: -policy and -topology are required")
@@ -72,13 +86,35 @@ func main() {
 	})
 	defer eng.Close()
 	ctl := core.New(core.Config{
-		Name:           "identctl",
-		Policy:         policy,
-		Transport:      eng,
-		Topology:       topo,
-		InstallEntries: true,
-		AsyncQueries:   true,
+		Name:               "identctl",
+		Policy:             policy,
+		Transport:          eng,
+		Topology:           topo,
+		InstallEntries:     true,
+		AsyncQueries:       true,
+		Revocation:         true,
+		RevocationLeaseTTL: *leaseTTL,
 	})
+	// Close the revocation loop: daemon pushes demuxed by the pool land in
+	// the controller's teardown pipeline.
+	eng.SetUpdateHandler(ctl.HandleUpdate)
+	if *leaseTTL > 0 {
+		go func() {
+			tick := time.NewTicker(*leaseTTL / 2)
+			defer tick.Stop()
+			for range tick.C {
+				ctl.SweepLeases()
+			}
+		}()
+	}
+	if *adminAddr != "" {
+		al, err := net.Listen("tcp", *adminAddr)
+		if err != nil {
+			fatal(err)
+		}
+		defer al.Close()
+		go serveAdmin(al, ctl)
+	}
 	handler := &channelHandler{ctl: ctl}
 	server := openflow.NewChannelServer(handler)
 	addr, err := server.Listen(*listen)

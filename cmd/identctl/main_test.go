@@ -1,9 +1,16 @@
 package main
 
 import (
+	"net"
 	"testing"
+	"time"
 
+	"identxx/internal/core"
+	"identxx/internal/flow"
 	"identxx/internal/netaddr"
+	"identxx/internal/openflow"
+	"identxx/internal/pf"
+	"identxx/internal/wire"
 )
 
 func TestParseTopology(t *testing.T) {
@@ -47,3 +54,92 @@ func TestParseTopologyErrors(t *testing.T) {
 		}
 	}
 }
+
+func TestAdminCommands(t *testing.T) {
+	tr := nullTransport{}
+	ctl := core.New(core.Config{
+		Name:             "admin-test",
+		Policy:           pf.MustCompile("p", "block all\npass from any to any with eq(@src[name], skype)"),
+		Transport:        tr,
+		Topology:         &sinkTopo{},
+		InstallEntries:   true,
+		ResponseCacheTTL: time.Hour,
+		Revocation:       true,
+	})
+	ctl.AddDatapath(&sinkDatapath{id: 1})
+	five := flow.Five{
+		SrcIP: netaddr.MustParseIP("10.0.0.1"), DstIP: netaddr.MustParseIP("10.0.0.2"),
+		Proto: netaddr.ProtoTCP, SrcPort: 40000, DstPort: 80,
+	}
+	ctl.HandleEvent(openflow.PacketIn{
+		SwitchID: 1, BufferID: openflow.BufferNone, InPort: 1,
+		Tuple: flow.Ten{
+			EthType: flow.EthTypeIPv4,
+			SrcIP:   five.SrcIP, DstIP: five.DstIP, Proto: five.Proto,
+			SrcPort: five.SrcPort, DstPort: five.DstPort,
+		},
+	})
+
+	if got := adminCommand(ctl, "stats"); got != "ok live=1 registered=1 dropped=0" {
+		t.Errorf("stats = %q", got)
+	}
+	if got := adminCommand(ctl, "revoke 10.0.0.1 name"); got != "ok 1" {
+		t.Errorf("revoke = %q", got)
+	}
+	if got := adminCommand(ctl, "revoke 10.0.0.1"); got != "ok 0" {
+		t.Errorf("second revoke = %q", got)
+	}
+	if got := adminCommand(ctl, "sweep"); got != "ok 0" {
+		t.Errorf("sweep = %q", got)
+	}
+	for _, bad := range []string{"", "revoke", "revoke bogus", "revoke 1.2.3.4 k extra", "frobnicate"} {
+		if got := adminCommand(ctl, bad); len(got) < 3 || got[:3] != "err" {
+			t.Errorf("adminCommand(%q) = %q, want err", bad, got)
+		}
+	}
+}
+
+// TestAdminOverTCP drives the listener + client round trip.
+func TestAdminOverTCP(t *testing.T) {
+	ctl := core.New(core.Config{
+		Name:       "admin-tcp",
+		Policy:     pf.MustCompile("p", "block all"),
+		Transport:  nullTransport{},
+		Topology:   &sinkTopo{},
+		Revocation: true,
+	})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go serveAdmin(l, ctl)
+	reply, err := adminRoundTrip(l.Addr().String(), "revoke 10.0.0.9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply != "ok 0" {
+		t.Errorf("reply = %q", reply)
+	}
+}
+
+type nullTransport struct{}
+
+func (nullTransport) Query(host netaddr.IP, q wire.Query) (*wire.Response, time.Duration, error) {
+	r := wire.NewResponse(q.Flow)
+	r.Add(wire.KeyName, "skype")
+	return r, 0, nil
+}
+
+type sinkTopo struct{}
+
+func (sinkTopo) Path(src, dst netaddr.IP) ([]core.Hop, error) {
+	return []core.Hop{{Datapath: 1, OutPort: 2}}, nil
+}
+
+type sinkDatapath struct{ id uint64 }
+
+func (d *sinkDatapath) DatapathID() uint64                  { return d.id }
+func (d *sinkDatapath) Apply(openflow.FlowMod) error        { return nil }
+func (d *sinkDatapath) PacketOut(port uint16, frame []byte) {}
+func (d *sinkDatapath) ReleaseBuffer(id uint32)             {}

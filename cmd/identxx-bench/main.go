@@ -1,4 +1,4 @@
-// Command identxx-bench runs every paper experiment (E1-E8) and emits the
+// Command identxx-bench runs every paper experiment (E1-E9) and emits the
 // tables EXPERIMENTS.md records, in plain text or markdown.
 //
 // Usage:

@@ -27,6 +27,10 @@ type AuditEntry struct {
 	Diags     []string
 	Setup     metrics.SetupBreakdown
 
+	// Revoked marks a revocation-plane teardown record: not a flow-setup
+	// decision but the live withdrawal of one (Rule carries the reason).
+	Revoked bool
+
 	// seq totally orders entries across stripes; assigned by Record.
 	seq int64
 }
@@ -133,11 +137,24 @@ func (l *AuditLog) Entries() []AuditEntry {
 	return out
 }
 
-// Denials returns the retained entries that denied a flow.
+// Denials returns the retained entries that denied a flow at setup.
+// Revocation records are not denials — the flow was admitted, then
+// withdrawn — so they are excluded; see Revocations.
 func (l *AuditLog) Denials() []AuditEntry {
 	var out []AuditEntry
 	for _, e := range l.Entries() {
-		if e.Action == pf.Block {
+		if e.Action == pf.Block && !e.Revoked {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Revocations returns the retained revocation-plane teardown records.
+func (l *AuditLog) Revocations() []AuditEntry {
+	var out []AuditEntry
+	for _, e := range l.Entries() {
+		if e.Revoked {
 			out = append(out, e)
 		}
 	}

@@ -30,6 +30,7 @@ import (
 	"identxx/internal/netaddr"
 	"identxx/internal/openflow"
 	"identxx/internal/pf"
+	"identxx/internal/revoke"
 	"identxx/internal/wire"
 )
 
@@ -145,6 +146,22 @@ type Config struct {
 	// disables the cache.
 	ResponseCacheTTL time.Duration
 
+	// Revocation enables the revocation plane: every cache-missing decision
+	// registers the (host, key) facts its verdict read in a fact-dependency
+	// index, and HandleUpdate — fed daemon-pushed endpoint-state updates by
+	// the query plane — tears affected flows down live (cache entry dropped,
+	// flow-table entries deleted along the installed path, audit record
+	// emitted). The cache-hit fast path is untouched: it neither registers
+	// nor consults the index.
+	Revocation bool
+
+	// RevocationLeaseTTL is the fallback for daemons that never push (the
+	// honest-but-legacy case): facts from hosts that have not said hello
+	// are leased for this long, and SweepLeases tears expired flows down,
+	// forcing a fresh query — short-lived credentials where no revocation
+	// channel exists. Zero disables leases. Requires Revocation.
+	RevocationLeaseTTL time.Duration
+
 	// Shards sets the number of flow-state shards, rounded up to a power
 	// of two. Zero picks a hardware-sized default (≥ GOMAXPROCS).
 	Shards int
@@ -209,6 +226,11 @@ type Controller struct {
 	writeMu sync.Mutex               // serializes snapshot writers only
 	flows   *shardTable              // sharded per-flow state (shard.go)
 
+	// revoker is the revocation plane's fact-dependency index (nil unless
+	// Config.Revocation); leaseTTL the legacy-daemon lease fallback.
+	revoker  *revoke.Index
+	leaseTTL time.Duration
+
 	// Counters and latency recorder are exported for the harness.
 	Counters *metrics.Counter
 	Setup    *metrics.SetupRecorder
@@ -224,6 +246,7 @@ type Controller struct {
 		evalDiags, installErrors            *atomic.Int64
 		queryErrors, queryTimeouts          *atomic.Int64
 		answeredOnBehalf, headerOnly        *atomic.Int64
+		revUpdates, revFlows, revInflight   *atomic.Int64
 	}
 }
 
@@ -290,6 +313,13 @@ func New(cfg Config) *Controller {
 	c.hot.queryTimeouts = c.Counters.Cell("query_timeouts")
 	c.hot.answeredOnBehalf = c.Counters.Cell("answered_on_behalf")
 	c.hot.headerOnly = c.Counters.Cell("decisions_headeronly")
+	c.hot.revUpdates = c.Counters.Cell("revocations_updates")
+	c.hot.revFlows = c.Counters.Cell("revocations_flows")
+	c.hot.revInflight = c.Counters.Cell("revocations_inflight")
+	if cfg.Revocation {
+		c.revoker = revoke.NewIndex(shards)
+		c.leaseTTL = cfg.RevocationLeaseTTL
+	}
 	c.state.Store(&ctlState{
 		policy:    cfg.Policy,
 		prog:      cfg.Policy.Program(),
@@ -349,6 +379,11 @@ func (c *Controller) SetPolicy(p *pf.Policy) {
 	})
 
 	c.flows.flushAll()
+	if c.revoker != nil {
+		// Every registration described a decision of the old policy; the
+		// table flush below removes the entries wholesale.
+		c.revoker.FlushAll()
+	}
 	var wg sync.WaitGroup
 	for _, dp := range st.datapaths {
 		wg.Add(1)
@@ -388,9 +423,32 @@ func (c *Controller) HandlePacketIn(sw *openflow.Switch, ev openflow.PacketIn) {
 	c.HandleEvent(ev)
 }
 
-// HandleFlowRemoved implements openflow.Controller.
+// HandleFlowRemoved implements openflow.Controller. The ingress entry is
+// the only one installed with NotifyRemoved, so its eviction means the
+// flow's forward path is gone from the network's point of view: the flow's
+// response-cache entry is dropped with it — previously it survived, so a
+// flow that idle-timed-out was re-admitted from cache without re-querying
+// even though the daemon might now answer differently (stale-grant-on-
+// reuse) — and, when the revocation plane is on, the dependency links are
+// unregistered and any remaining entries along the installed path deleted
+// so no orphan state lingers on non-ingress switches.
 func (c *Controller) HandleFlowRemoved(sw *openflow.Switch, ev openflow.FlowRemoved) {
 	c.Counters.Add("flow_removed", 1)
+	five := ev.Match.Tuple.Five()
+	c.flows.shardFor(five).drop(five)
+	if c.revoker == nil {
+		return
+	}
+	reg, ok := c.revoker.Drop(five)
+	if !ok {
+		return
+	}
+	// The notifying switch is included on purpose: only the flow's forward
+	// entry was evicted there — a keep-state reverse entry at the same
+	// switch must go too (deleting the already-gone forward entry is a
+	// no-op).
+	st := c.state.Load()
+	c.deleteAlongPath(st, five, reg.Paths)
 }
 
 // PacketInFromRemote adapts ChannelServer events (TCP-attached switches).
@@ -444,9 +502,12 @@ func (c *Controller) HandleEvent(ev openflow.PacketIn) {
 
 	// The decision owns the flow from here until finishDecision resolves
 	// it; capture the continuation context in the scratch so a suspended
-	// decision survives this goroutine.
+	// decision survives this goroutine. The shard's revocation sequence is
+	// captured before the cache probe: a revocation between here and the
+	// decision's publication voids it (see shard.rev).
 	s := acquireScratch()
 	s.sh, s.dp, s.ev, s.five = sh, dp, ev, five
+	s.revSeq = sh.rev.Load()
 	if c.latency != nil {
 		s.bd.Punt = c.latency.PuntLatency(ev.SwitchID)
 		s.bd.Install = c.latency.InstallLatency(ev.SwitchID)
@@ -549,6 +610,19 @@ func (c *Controller) finishDecision(s *decisionScratch) {
 	}()
 
 	g := &s.gather
+	if sh.rev.Load() != s.revSeq {
+		// A revocation touched this shard after the decision claimed its
+		// flow: the responses it gathered (or the cache line it read) may
+		// predate the endpoint-state change that caused the revocation.
+		// Publishing would re-install possibly-stale state right behind the
+		// teardown, so the decision voids itself — buffer released, nothing
+		// cached, nothing installed; the packet's retransmission re-decides
+		// under current facts. (Same-shard neighbors occasionally void too;
+		// one spurious re-decision, never a wrong verdict.)
+		c.hot.revInflight.Add(1)
+		s.dp.ReleaseBuffer(s.ev.BufferID)
+		return
+	}
 	if !g.fromCache && !g.preDecided && c.cacheTTL > 0 && !g.srcTransient && !g.dstTransient {
 		// Cache only decisions whose information is as good as it gets: a
 		// verdict shaped by a transient transport failure (timeout, reset,
@@ -556,11 +630,18 @@ func (c *Controller) finishDecision(s *decisionScratch) {
 		// whole TTL — the daemon may answer again for the next packet.
 		// Header-only decisions gathered nothing and re-decide from the
 		// header alone per packet, cheaper than a cache probe would be.
+		// The store itself re-checks the revocation sequence under the
+		// shard lock (a revocation racing past the check above must not be
+		// outrun by this write); on refusal the responses simply stay
+		// decision-owned and the post-publication re-check below settles
+		// the rest.
 		now := c.clock()
-		sh.store(five, cacheEntry{src: g.src, dst: g.dst, expires: now.Add(c.cacheTTL), epoch: st.epoch}, now, c.cacheTTL)
-		// The cache owns the responses now (decisions across goroutines may
-		// borrow them until eviction); they must never return to the pool.
-		g.srcBuilt, g.dstBuilt = false, false
+		if sh.store(five, cacheEntry{src: g.src, dst: g.dst, expires: now.Add(c.cacheTTL), epoch: st.epoch}, now, c.cacheTTL, s.revSeq) {
+			// The cache owns the responses now (decisions across goroutines
+			// may borrow them until eviction); they must never return to the
+			// pool.
+			g.srcBuilt, g.dstBuilt = false, false
+		}
 	}
 
 	bd := &s.bd
@@ -595,10 +676,30 @@ func (c *Controller) finishDecision(s *decisionScratch) {
 		c.installPath(st, s.dp, s.ev, five, d.KeepState, s)
 	} else {
 		c.hot.flowsDenied.Add(1)
-		c.installDrop(s.dp, s.ev, five)
+		c.installDrop(s.dp, s.ev, five, s)
 	}
 	if len(d.Diags) > 0 {
 		c.hot.evalDiags.Add(int64(len(d.Diags)))
+	}
+
+	// Revocation plane: record which endpoint facts this verdict read, so
+	// a daemon-pushed update resolves straight to this flow. Cache hits
+	// keep the registration their original miss created, and header-only
+	// decisions read no endpoint facts at all; neither touches the index —
+	// the hot paths stay exactly as fast as without revocation.
+	if c.revoker != nil && !g.fromCache && !g.preDecided && (c.install || c.cacheTTL > 0) {
+		c.registerDeps(s)
+		// Publication re-check: a revocation that landed after the entry
+		// check at the top resolved to nothing (neither the cache entry
+		// nor the registration existed yet) — its state is gone, but ours
+		// just went live on pre-revocation facts. The registration is in
+		// place now, so tearing ourselves down reaches everything this
+		// decision installed; the next packet re-decides under current
+		// facts. One extra atomic load on the miss path, nothing on hits.
+		if sh.rev.Load() != s.revSeq {
+			c.Counters.Add("revocations_raced", 1)
+			c.revokeResolved(five, "raced-decision", false)
+		}
 	}
 }
 
@@ -819,6 +920,7 @@ func (c *Controller) installPath(st *ctlState, ingress openflow.Datapath, ev ope
 	s.dps, s.mods = c.pathMods(st, hops, five, cookie, true, ev.SwitchID, ev.BufferID, s.dps[:0], s.mods[:0])
 	c.applyMods(s, s.dps, s.mods)
 	c.hot.installs.Add(int64(len(hops)))
+	c.collectPathIDs(s)
 	if keepState {
 		rev := five.Reverse()
 		rhops, err := c.topo.Path(rev.SrcIP, rev.DstIP)
@@ -831,6 +933,19 @@ func (c *Controller) installPath(st *ctlState, ingress openflow.Datapath, ev ope
 		s.dps, s.mods = c.pathMods(st, rhops, rev, cookie, false, 0, openflow.BufferNone, s.dps[:0], s.mods[:0])
 		c.applyMods(s, s.dps, s.mods)
 		c.hot.installs.Add(int64(len(rhops)))
+		c.collectPathIDs(s)
+	}
+}
+
+// collectPathIDs records the datapaths the just-applied batch touched, for
+// the revocation plane's teardown-along-path. Skipped entirely when
+// revocation is off: the hot path pays one nil check.
+func (c *Controller) collectPathIDs(s *decisionScratch) {
+	if c.revoker == nil {
+		return
+	}
+	for _, dp := range s.dps {
+		s.pathIDs = appendPathID(s.pathIDs, dp.DatapathID())
 	}
 }
 
@@ -845,7 +960,7 @@ func (c *Controller) packetOutOrRelease(dp openflow.Datapath, ev openflow.Packet
 
 // installDrop caches a deny verdict at the ingress switch so subsequent
 // packets of the flow die in hardware, and discards the buffered packet.
-func (c *Controller) installDrop(dp openflow.Datapath, ev openflow.PacketIn, five flow.Five) {
+func (c *Controller) installDrop(dp openflow.Datapath, ev openflow.PacketIn, five flow.Five, s *decisionScratch) {
 	dp.ReleaseBuffer(ev.BufferID)
 	if !c.install {
 		return
@@ -862,24 +977,19 @@ func (c *Controller) installDrop(dp openflow.Datapath, ev openflow.PacketIn, fiv
 	if err := dp.Apply(mod); err != nil {
 		c.hot.installErrors.Add(1)
 	}
+	if c.revoker != nil {
+		// A deny entry is as revocable as a pass entry: a fact change can
+		// flip the verdict, and the drop entry must not outlive its facts.
+		s.pathIDs = appendPathID(s.pathIDs, ev.SwitchID)
+	}
 }
 
-// RevokeFlow deletes the cached entries for a flow everywhere, forcing the
-// next packet back to the controller — per-flow revocation. Deletes are
-// issued concurrently per switch, as with installs.
+// RevokeFlow deletes the cached entries for a flow, forcing the next
+// packet back to the controller — per-flow revocation. With the dependency
+// index on, deletes go to the flow's installed path; otherwise (or for an
+// unknown flow) they broadcast to every datapath, the pre-index contract.
 func (c *Controller) RevokeFlow(five flow.Five) {
-	cookie := five.Hash() | 1
-	st := c.state.Load()
-	var wg sync.WaitGroup
-	for _, dp := range st.datapaths {
-		wg.Add(1)
-		go func(dp openflow.Datapath) {
-			defer wg.Done()
-			dp.Apply(openflow.FlowMod{Delete: true, Cookie: cookie, Match: flow.MatchAll(), BufferID: openflow.BufferNone})
-		}(dp)
-	}
-	wg.Wait()
-	c.flows.shardFor(five).drop(five)
+	c.revokeResolved(five, "revoke-flow", true)
 	c.Counters.Add("flows_revoked", 1)
 }
 

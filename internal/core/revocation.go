@@ -1,0 +1,241 @@
+package core
+
+import (
+	"sync"
+	"time"
+
+	"identxx/internal/flow"
+	"identxx/internal/netaddr"
+	"identxx/internal/openflow"
+	"identxx/internal/pf"
+	"identxx/internal/revoke"
+	"identxx/internal/wire"
+)
+
+// This file is the controller half of the revocation plane: endpoint-state
+// updates pushed by daemons (or synthesized by the transport on serial
+// gaps) resolve through the fact-dependency index to the exact flows whose
+// verdicts depended on the changed facts, and each is torn down live —
+// response-cache entry dropped, flow-table entries deleted along the full
+// installed path through the shared install worker pool, audit record
+// emitted. The next packet of a torn-down flow punts, re-queries, and
+// re-decides under current endpoint state; no controller restart, policy
+// reload, or switch idle-timeout is involved.
+
+// HandleUpdate consumes one daemon-pushed endpoint-state update for host.
+// It is the intended sink for query.Engine.SetUpdateHandler and is safe
+// for concurrent use. With revocation disabled it is a no-op.
+//
+// Scope resolution (see wire.Update): a hello marks the host push-capable
+// (its facts need no lease); a flow-scoped update revokes that flow; a
+// key-scoped update revokes every flow whose verdict read (host, key); a
+// bare update is a resync and revokes everything depending on the host.
+func (c *Controller) HandleUpdate(host netaddr.IP, u wire.Update) {
+	if c.revoker == nil {
+		return
+	}
+	if u.Hello {
+		c.revoker.MarkPush(host)
+		c.Counters.Add("revocations_hellos", 1)
+		return
+	}
+	c.hot.revUpdates.Add(1)
+	if u.FlowScoped() {
+		// Revoke unconditionally rather than checking registration first:
+		// even when no decision state exists yet, bumping the shard's
+		// revocation sequence voids a decision in flight for this flow,
+		// whose gathered responses predate the change.
+		c.revokeResolved(u.Flow, "update:"+updateKeyLabel(u), false)
+		return
+	}
+	if u.Resync() {
+		c.Counters.Add("revocations_resyncs", 1)
+	}
+	c.revokeHostFact(host, u.Key, "update:"+updateKeyLabel(u))
+}
+
+func updateKeyLabel(u wire.Update) string {
+	if u.Key != "" {
+		return u.Key
+	}
+	if u.Resync() {
+		return "resync"
+	}
+	return "flow"
+}
+
+// RevokeHost is the operator-initiated form (identctl revoke): it tears
+// down every flow whose verdict depended on the named fact — or, with an
+// empty key, on any fact — of host, and returns how many flows were torn
+// down. It requires Config.Revocation.
+func (c *Controller) RevokeHost(host netaddr.IP, key string) int {
+	if c.revoker == nil {
+		return 0
+	}
+	return c.revokeHostFact(host, key, "operator:"+host.String())
+}
+
+func (c *Controller) revokeHostFact(host netaddr.IP, key, reason string) int {
+	flows := c.revoker.ResolveFact(host, key, nil)
+	for _, f := range flows {
+		c.revokeResolved(f, reason, false)
+	}
+	return len(flows)
+}
+
+// SweepLeases tears down every flow whose lease has expired — the fallback
+// revocation for hosts whose daemons never push. Callers own the cadence
+// (identctl runs it on a ticker; the simulator in virtual time; tests
+// directly): the controller spawns no goroutine of its own. Returns the
+// number of flows torn down.
+func (c *Controller) SweepLeases() int {
+	if c.revoker == nil {
+		return 0
+	}
+	expired := c.revoker.ExpiredLeases(c.clock(), nil)
+	for _, f := range expired {
+		c.revokeResolved(f, "lease-expired", false)
+	}
+	if n := len(expired); n > 0 {
+		c.Counters.Add("revocations_lease_expired", int64(n))
+		return n
+	}
+	return 0
+}
+
+// revokeResolved tears one flow down. broadcast controls the no-
+// registration fallback: RevokeFlow (which predates the index and promises
+// "everywhere") deletes at every datapath when the flow is unknown, while
+// update-driven teardown trusts the index — an unregistered flow has no
+// entries to delete. broadcast also suppresses the audit record: RevokeFlow
+// kept its pre-plane contract (counter only), whereas plane-driven
+// teardowns are audited with their reason.
+func (c *Controller) revokeResolved(five flow.Five, reason string, broadcast bool) {
+	st := c.state.Load()
+	sh := c.flows.shardFor(five)
+	// Order matters: bump the sequence before dropping the cache, so a
+	// decision that read the cache (or gathered responses) before the bump
+	// cannot publish after the drop without noticing.
+	sh.rev.Add(1)
+	dropped := sh.drop(five)
+	var paths []uint64
+	haveReg := false
+	if c.revoker != nil {
+		var reg revoke.Registration
+		if reg, haveReg = c.revoker.Drop(five); haveReg {
+			paths = reg.Paths
+		}
+	}
+	if !haveReg && broadcast {
+		for id := range st.datapaths {
+			paths = append(paths, id)
+		}
+	}
+	if !haveReg && !broadcast && !dropped {
+		// Nothing known about this flow: no cache entry, no registration.
+		// The sequence bump above still voids any in-flight decision.
+		c.Counters.Add("revocations_noop", 1)
+		return
+	}
+	deleted := c.deleteAlongPath(st, five, paths)
+	c.hot.revFlows.Add(1)
+	c.Counters.Add("revocations_entries", int64(deleted))
+	if !broadcast {
+		c.Audit.Record(AuditEntry{
+			Time:    c.clock(),
+			Flow:    five,
+			Action:  pf.Block,
+			Rule:    "(revoked: " + reason + ")",
+			Revoked: true,
+		})
+	}
+}
+
+// deleteAlongPath issues delete-by-flow mods (both directions, cookie-
+// scoped) at every datapath in paths, fanning out through the shared
+// install worker pool exactly as installs do, so teardown latency on a
+// long path tends to the slowest switch, not the sum. Returns the number
+// of delete mods issued.
+func (c *Controller) deleteAlongPath(st *ctlState, five flow.Five, paths []uint64) int {
+	if len(paths) == 0 {
+		return 0
+	}
+	cookie := five.Hash() | 1
+	rev := five.Reverse()
+	var wg sync.WaitGroup
+	issued := 0
+	ch := installCh()
+	for _, id := range paths {
+		dp := st.datapaths[id]
+		if dp == nil {
+			continue
+		}
+		for _, m := range [2]openflow.FlowMod{
+			{Delete: true, Cookie: cookie, Match: flow.FiveMatch(five), BufferID: openflow.BufferNone},
+			{Delete: true, Cookie: cookie, Match: flow.FiveMatch(rev), BufferID: openflow.BufferNone},
+		} {
+			issued++
+			wg.Add(1)
+			select {
+			case ch <- installJob{dp: dp, mod: m, wg: &wg, errs: c.hot.installErrors}:
+			default:
+				// No worker free this instant: run inline rather than queue
+				// behind other teardowns' wedged switches.
+				if err := dp.Apply(m); err != nil {
+					c.hot.installErrors.Add(1)
+				}
+				wg.Done()
+			}
+		}
+	}
+	wg.Wait()
+	return issued
+}
+
+// registerDeps records the decision's fact dependencies in the index: the
+// host-scope markers for both ends plus each key the verdict could have
+// read at each end (the query hints — the compiled policy's per-flow
+// static key analysis). Facts from hosts that have not proven they push
+// updates carry a lease when leases are configured.
+func (c *Controller) registerDeps(s *decisionScratch) {
+	five := s.five
+	g := &s.gather
+	facts := make([]revoke.Fact, 0, 2+len(g.qs.Keys)+len(g.qd.Keys))
+	facts = append(facts, revoke.Fact{Host: five.SrcIP}, revoke.Fact{Host: five.DstIP})
+	for _, k := range g.qs.Keys {
+		facts = append(facts, revoke.Fact{Host: five.SrcIP, Key: k})
+	}
+	for _, k := range g.qd.Keys {
+		facts = append(facts, revoke.Fact{Host: five.DstIP, Key: k})
+	}
+	var lease time.Time
+	if c.leaseTTL > 0 && (!c.revoker.PushCapable(five.SrcIP) || !c.revoker.PushCapable(five.DstIP)) {
+		lease = c.clock().Add(c.leaseTTL)
+	}
+	c.revoker.Register(revoke.Registration{
+		Flow:  five,
+		Facts: facts,
+		Paths: append([]uint64(nil), s.pathIDs...),
+		Lease: lease,
+	})
+}
+
+// RevocationIndexStats exposes the index's occupancy for operators and
+// tests: live registrations plus lifetime register/drop totals. Zeros when
+// revocation is disabled.
+func (c *Controller) RevocationIndexStats() (live int, registered, dropped int64) {
+	if c.revoker == nil {
+		return 0, 0, 0
+	}
+	return c.revoker.Stats()
+}
+
+// appendPathID appends id if absent (paths are short; linear scan wins).
+func appendPathID(ids []uint64, id uint64) []uint64 {
+	for _, x := range ids {
+		if x == id {
+			return ids
+		}
+	}
+	return append(ids, id)
+}

@@ -30,6 +30,17 @@ type decisionScratch struct {
 	mods []openflow.FlowMod
 	hops []Hop
 
+	// pathIDs collects the datapath IDs this decision installed entries on
+	// (forward and reverse, deduplicated), for the revocation plane's
+	// dependency registration: teardown later deletes along exactly this
+	// path. Only populated when revocation is enabled.
+	pathIDs []uint64
+
+	// revSeq is the flow's shard revocation sequence captured when the
+	// decision claimed the flow; finishDecision re-checks it before
+	// publishing (see shard.rev).
+	revSeq uint64
+
 	// srcKeys/dstKeys are the per-flow key-hint scratch the pre-pass
 	// appends into: the program's per-rule key sets for the rules this
 	// flow could still match, per end. The strings are interned in the
@@ -87,6 +98,8 @@ func (s *decisionScratch) release() {
 		s.mods[i] = openflow.FlowMod{}
 	}
 	s.mods = s.mods[:0]
+	s.pathIDs = s.pathIDs[:0]
+	s.revSeq = 0
 	s.sh = nil
 	s.dp = nil
 	s.ev = openflow.PacketIn{}

@@ -3,6 +3,7 @@ package core
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"identxx/internal/flow"
@@ -47,6 +48,17 @@ type shard struct {
 	respCache map[flow.Five]cacheEntry
 	pending   map[flow.Five][]parked
 	lastSweep time.Time
+
+	// rev counts revocations that touched this shard. A decision captures
+	// the value when it claims its flow and re-checks before publishing
+	// (cache store + install): a bump in between means an endpoint-state
+	// update raced the decision, whose gathered responses may predate the
+	// change — the decision voids itself instead of installing possibly
+	// stale state, and the packet's retransmission re-decides under current
+	// facts. Per-shard granularity means an unrelated same-shard revocation
+	// occasionally voids a healthy decision; that costs one re-decision,
+	// never correctness.
+	rev atomic.Uint64
 }
 
 // shardTable is the full sharded state. Size is fixed at construction, so
@@ -122,9 +134,20 @@ func (s *shard) lookup(five flow.Five, now time.Time, epoch uint64) (cacheEntry,
 // shard: at most once per TTL it walks its own map and drops expired
 // entries, so expiry cost is bounded, per shard, and off every other
 // shard's lock.
-func (s *shard) store(five flow.Five, e cacheEntry, now time.Time, ttl time.Duration) {
+//
+// revSeq is the revocation sequence the storing decision captured at
+// claim time; the write is refused (ok=false) if a revocation has touched
+// the shard since. The check happens under the shard lock, and teardown
+// bumps rev before taking that lock to drop: so either this store sees
+// the bump and refuses, or the store commits strictly before the
+// teardown's drop, which then removes it. In neither interleaving can a
+// pre-revocation response survive in the cache.
+func (s *shard) store(five flow.Five, e cacheEntry, now time.Time, ttl time.Duration, revSeq uint64) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.rev.Load() != revSeq {
+		return false
+	}
 	if s.lastSweep.IsZero() {
 		s.lastSweep = now
 	} else if now.Sub(s.lastSweep) >= ttl {
@@ -136,13 +159,26 @@ func (s *shard) store(five flow.Five, e cacheEntry, now time.Time, ttl time.Dura
 		s.lastSweep = now
 	}
 	s.respCache[five] = e
+	return true
 }
 
-// drop removes one flow's cached responses (per-flow revocation).
-func (s *shard) drop(five flow.Five) {
+// drop removes one flow's cached responses (per-flow revocation),
+// reporting whether an entry was present.
+func (s *shard) drop(five flow.Five) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	_, ok := s.respCache[five]
 	delete(s.respCache, five)
+	return ok
+}
+
+// has reports whether a cache entry (of any epoch/expiry) exists for five;
+// a diagnostics helper.
+func (s *shard) has(five flow.Five) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.respCache[five]
+	return ok
 }
 
 // flushAll clears every shard's cache. Sequential on purpose: dropping a

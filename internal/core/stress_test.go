@@ -125,13 +125,16 @@ func TestStressConcurrentPipeline(t *testing.T) {
 		t.Fatal("stress run wedged")
 	}
 
-	// Conservation: every packet-in was either decided or parked behind a
-	// decision; nothing is lost or double-counted.
+	// Conservation: every packet-in was decided, parked behind a decision,
+	// or voided by a revocation racing its shard (the packet is released
+	// for retransmission rather than decided from possibly-stale facts);
+	// nothing is lost or double-counted.
 	snap := c.Counters.Snapshot()
 	decided := snap["flows_allowed"] + snap["flows_denied"]
-	if decided+snap["duplicate_packet_ins"] != workers*eventsPerW {
-		t.Errorf("decided=%d duplicates=%d, want sum %d; counters: %s",
-			decided, snap["duplicate_packet_ins"], workers*eventsPerW, c.Counters)
+	if decided+snap["duplicate_packet_ins"]+snap["revocations_inflight"] != workers*eventsPerW {
+		t.Errorf("decided=%d duplicates=%d voided=%d, want sum %d; counters: %s",
+			decided, snap["duplicate_packet_ins"], snap["revocations_inflight"],
+			workers*eventsPerW, c.Counters)
 	}
 	if c.Audit.Total() != decided {
 		t.Errorf("audit total = %d, want %d (one entry per decision)", c.Audit.Total(), decided)

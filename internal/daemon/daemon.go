@@ -19,25 +19,69 @@ type ForgeFunc func(q wire.Query, honest *wire.Response) *wire.Response
 
 // Daemon answers ident++ queries for one host. It is safe for concurrent
 // use; controllers may query while applications register flow pairs.
+//
+// Beyond answering, the daemon participates in the revocation plane (see
+// push.go): it remembers the facts it asserted per answered flow (bounded
+// by answeredCap), listens for its host's OS-state changes, and publishes
+// wire.Update messages to subscribers when a previously-given answer stops
+// being true.
 type Daemon struct {
 	host *hostinfo.Host
 
-	mu        sync.RWMutex
-	userApps  map[string]*AppConfig // user-writable config, by exe path
-	sysApps   map[string]*AppConfig // system config (/etc/identxx), by exe path
-	hostPairs []wire.KV             // host-level static pairs (system)
-	dynamic   map[flow.Five][]wire.KV
-	forge     ForgeFunc
+	mu              sync.RWMutex
+	userApps        map[string]*AppConfig // user-writable config, by exe path
+	sysApps         map[string]*AppConfig // system config (/etc/identxx), by exe path
+	hostPairs       []wire.KV             // host-level static pairs (system)
+	dynamic         map[flow.Five][]wire.KV
+	dynamicCap      int   // bound on dynamic (0 = DefaultDynamicCap)
+	dynamicEvicted  int64 // lifetime dynamic evictions
+	forge           ForgeFunc
+	answered        map[flow.Five]map[string]string // facts asserted per flow
+	answeredCap     int                             // bound on answered (0 = DefaultAnsweredCap)
+	answeredEvicted int64                           // lifetime memo evictions
+
+	// Publication side (push.go). pubMu owns the serial sequence and the
+	// subscriber set; it is never held while d.mu is taken for writing by
+	// the same goroutine's caller, and subscribers run under it so updates
+	// are delivered in serial order.
+	pubMu   sync.Mutex
+	serial  uint64
+	subs    map[int]func(wire.Update)
+	nextSub int
+	// dirty records that assertions may have changed while nobody was
+	// subscribed; the next Subscribe burns a serial so the subscriber's
+	// transport detects the lapse and resyncs.
+	dirty bool
 }
 
-// New creates a daemon serving queries about h.
+// New creates a daemon serving queries about h. The daemon registers
+// itself as a change listener on the host, so OS-state mutations
+// re-derive the facts it has asserted and publish updates to subscribers.
 func New(h *hostinfo.Host) *Daemon {
-	return &Daemon{
+	d := &Daemon{
 		host:     h,
 		userApps: make(map[string]*AppConfig),
 		sysApps:  make(map[string]*AppConfig),
 		dynamic:  make(map[flow.Five][]wire.KV),
 	}
+	h.AddChangeListener(d.onHostChange)
+	return d
+}
+
+// SetAnsweredCap overrides the answered-facts memo bound (0 restores the
+// default). Intended for tests and small-footprint deployments.
+func (d *Daemon) SetAnsweredCap(n int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.answeredCap = n
+}
+
+// SetDynamicCap overrides the dynamic flow-pair bound (0 restores the
+// default).
+func (d *Daemon) SetDynamicCap(n int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.dynamicCap = n
 }
 
 // Host returns the host this daemon serves.
@@ -49,7 +93,6 @@ func (d *Daemon) Host() *hostinfo.Host { return d.host }
 // override) user-writable configuration.
 func (d *Daemon) InstallConfig(cf *ConfigFile, system bool) {
 	d.mu.Lock()
-	defer d.mu.Unlock()
 	for _, app := range cf.Apps {
 		if system {
 			d.sysApps[app.Path] = app
@@ -60,22 +103,51 @@ func (d *Daemon) InstallConfig(cf *ConfigFile, system bool) {
 	if system {
 		d.hostPairs = append(d.hostPairs, cf.HostPairs...)
 	}
+	d.mu.Unlock()
+	// New configuration changes what the daemon asserts for flows of the
+	// affected applications; re-derive and publish.
+	d.rescan()
 }
 
 // ProvideFlowPairs registers application-supplied pairs for a flow — the
 // run-time channel the paper routes over a Unix domain socket, used e.g. by
-// a browser to distinguish user-initiated flows (§3.5).
+// a browser to distinguish user-initiated flows (§3.5). The map is bounded
+// (SetDynamicCap / DefaultDynamicCap): past the cap an arbitrary other
+// flow's pairs are evicted, counted in FlowPairStats, and — since eviction
+// changes what the daemon would answer — published like any other change.
 func (d *Daemon) ProvideFlowPairs(f flow.Five, pairs ...wire.KV) {
 	d.mu.Lock()
-	defer d.mu.Unlock()
+	limit := d.dynamicCap
+	if limit <= 0 {
+		limit = DefaultDynamicCap
+	}
+	_, existed := d.dynamic[f]
+	var evicted flow.Five
+	haveEvicted := false
+	if !existed && len(d.dynamic) >= limit {
+		for victim := range d.dynamic {
+			if victim != f {
+				delete(d.dynamic, victim)
+				d.dynamicEvicted++
+				evicted, haveEvicted = victim, true
+				break
+			}
+		}
+	}
 	d.dynamic[f] = append(d.dynamic[f], pairs...)
+	d.mu.Unlock()
+	if haveEvicted {
+		d.rescanFlow(evicted)
+	}
+	d.rescanFlow(f)
 }
 
 // ClearFlowPairs drops the dynamic pairs for a flow (connection closed).
 func (d *Daemon) ClearFlowPairs(f flow.Five) {
 	d.mu.Lock()
-	defer d.mu.Unlock()
 	delete(d.dynamic, f)
+	d.mu.Unlock()
+	d.rescanFlow(f)
 }
 
 // SetForge installs (or, with nil, removes) a compromise hook.
@@ -100,6 +172,18 @@ func (d *Daemon) SetForge(f ForgeFunc) {
 // about yields a single section carrying an error pair, like the ident
 // protocol's NO-USER.
 func (d *Daemon) HandleQuery(q wire.Query) *wire.Response {
+	resp := d.buildResponse(q)
+	// Remember what was asserted (post-forge: the memo tracks what went on
+	// the wire) so a later OS change can be mapped back to this flow and
+	// published as an update.
+	d.remember(q.Flow, resp)
+	return resp
+}
+
+// buildResponse is HandleQuery without the answered-facts memo: the honest
+// response, passed through the compromise hook when one is installed. The
+// rescan path uses it to re-derive assertions without self-memoizing.
+func (d *Daemon) buildResponse(q wire.Query) *wire.Response {
 	honest := d.buildHonest(q)
 	d.mu.RLock()
 	forge := d.forge

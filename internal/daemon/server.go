@@ -20,17 +20,33 @@ const Port = 783
 // any number of query/response exchanges; each read is bounded by
 // ReadTimeout and the frame codec's size limit, so a slow or hostile client
 // cannot pin resources indefinitely.
+//
+// A connection that sends a FrameSubscribe control frame additionally
+// receives unsolicited FrameUpdate pushes whenever the daemon's assertions
+// change (the revocation plane). Responses and pushed updates share the
+// connection under a per-connection write lock; clients that never
+// subscribe never see an update frame, which is the whole back-compat
+// story — a legacy FIFO reader is never surprised.
 type Server struct {
 	Daemon *Daemon
 
 	// ReadTimeout bounds each query read; zero means DefaultReadTimeout.
+	// It also bounds each update push's write.
 	ReadTimeout time.Duration
 
 	mu       sync.Mutex
 	listener net.Listener
-	conns    map[net.Conn]struct{}
+	conns    map[net.Conn]*servedConn
 	closed   bool
 	wg       sync.WaitGroup
+}
+
+// servedConn is the per-connection state: the write lock serializing
+// responses against pushed updates, and the subscription's cancel.
+type servedConn struct {
+	conn    net.Conn
+	writeMu sync.Mutex
+	cancel  func() // non-nil once subscribed
 }
 
 // DefaultReadTimeout is applied when Server.ReadTimeout is zero.
@@ -38,7 +54,7 @@ const DefaultReadTimeout = 5 * time.Second
 
 // NewServer wraps a daemon in a TCP server.
 func NewServer(d *Daemon) *Server {
-	return &Server{Daemon: d, conns: make(map[net.Conn]struct{})}
+	return &Server{Daemon: d, conns: make(map[net.Conn]*servedConn)}
 }
 
 // Listen starts listening on addr (e.g. "127.0.0.1:0") and serving in a
@@ -76,7 +92,8 @@ func (s *Server) acceptLoop(l net.Listener) {
 			conn.Close()
 			return
 		}
-		s.conns[conn] = struct{}{}
+		sc := &servedConn{conn: conn}
+		s.conns[conn] = sc
 		s.mu.Unlock()
 		s.wg.Add(1)
 		go func() {
@@ -85,32 +102,75 @@ func (s *Server) acceptLoop(l net.Listener) {
 				s.mu.Lock()
 				delete(s.conns, conn)
 				s.mu.Unlock()
+				if sc.cancel != nil {
+					sc.cancel()
+				}
 				conn.Close()
 			}()
-			s.serveConn(conn)
+			s.serveConn(sc)
 		}()
 	}
 }
 
-func (s *Server) serveConn(conn net.Conn) {
+func (s *Server) serveConn(sc *servedConn) {
+	conn := sc.conn
 	timeout := s.ReadTimeout
 	if timeout == 0 {
 		timeout = DefaultReadTimeout
 	}
 	for {
-		if err := conn.SetReadDeadline(time.Now().Add(timeout)); err != nil {
+		// An unsubscribed connection is a transient client: bound each read
+		// so a slow or hostile peer cannot pin the goroutine. A subscribed
+		// connection is a controller's long-lived push channel — it is
+		// legitimately silent between queries, so idle reads must not kill
+		// it; failed pushes tear it down instead.
+		deadline := time.Now().Add(timeout)
+		if sc.cancel != nil {
+			deadline = time.Time{}
+		}
+		if err := conn.SetReadDeadline(deadline); err != nil {
 			return
 		}
-		q, err := wire.ReadQuery(conn)
+		f, err := wire.ReadFrame(conn)
 		if err != nil {
 			return // EOF, timeout, or garbage: drop the connection
 		}
-		resp := s.Daemon.HandleQuery(q)
-		if err := conn.SetWriteDeadline(time.Now().Add(timeout)); err != nil {
-			return
-		}
-		if err := wire.WriteResponse(conn, resp); err != nil {
-			return
+		switch f.Type {
+		case wire.FrameSubscribe:
+			if sc.cancel != nil {
+				continue // idempotent: already subscribed
+			}
+			// Subscribe delivers the hello (and every later update) under
+			// the daemon's publication lock, so the hello is on the wire
+			// before any subsequent update and serials arrive in order.
+			// Updates are pushed from the publishing goroutine; the write
+			// lock keeps them whole against this goroutine's responses. A
+			// push that cannot complete within the timeout abandons the
+			// connection (closing it), making the client reconnect and
+			// resync rather than silently miss updates.
+			sc.cancel = s.Daemon.Subscribe(func(u wire.Update) {
+				sc.writeMu.Lock()
+				defer sc.writeMu.Unlock()
+				conn.SetWriteDeadline(time.Now().Add(timeout))
+				if err := wire.WriteUpdate(conn, u); err != nil {
+					conn.Close()
+				}
+			})
+		case wire.FrameQuery:
+			q, err := wire.DecodeQuery(f.Payload, f.SrcIP, f.DstIP)
+			if err != nil {
+				return
+			}
+			resp := s.Daemon.HandleQuery(q)
+			sc.writeMu.Lock()
+			conn.SetWriteDeadline(time.Now().Add(timeout))
+			err = wire.WriteResponse(conn, resp)
+			sc.writeMu.Unlock()
+			if err != nil {
+				return
+			}
+		default:
+			return // a client must not send response/update frames
 		}
 	}
 }

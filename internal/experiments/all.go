@@ -23,6 +23,7 @@ var All = []Runner{
 	{"E6", RunE6},
 	{"E7", RunE7},
 	{"E8", RunE8},
+	{"E9", RunE9},
 }
 
 // RunAll executes every experiment, printing tables to w, and returns them.

@@ -84,6 +84,7 @@ type Host struct {
 	listeners map[sockKey]int   // bound port -> pid
 	conns     map[flow.Five]int // active outbound/accepted flows -> pid
 	patches   []string          // installed OS patches (Figure 8)
+	watchers  []func(Change)    // change listeners (AddChangeListener)
 	nextPID   int
 	nextUID   int
 	nextPort  netaddr.Port
@@ -103,6 +104,63 @@ func New(name string, ip netaddr.IP, mac netaddr.MAC) *Host {
 		nextUID:   1000,
 		nextPort:  32768,
 	}
+}
+
+// Change scopes one OS-state mutation for change listeners. Flows names
+// the flows whose query answers can have changed; All marks mutations
+// whose blast radius the host cannot enumerate (a listener binding or
+// dying changes the answer for destination-side flows the host never
+// tracked in conns; a patch install changes every answer) — the listener
+// must then re-derive everything it has asserted. The scope keeps the
+// common churn (connections opening and closing, processes exiting)
+// O(affected) on the daemon side instead of O(everything-remembered).
+type Change struct {
+	Flows []flow.Five
+	All   bool
+}
+
+// AddChangeListener registers fn to be called — outside the host's lock,
+// on the mutating goroutine — after any OS-state change that can alter
+// the answer to a flow-ownership or fact query: a process exiting, a flow
+// opening or closing, a listener binding, a user logging out or changing
+// groups, a patch installing. Listeners must not mutate the host
+// synchronously from the callback.
+func (h *Host) AddChangeListener(fn func(Change)) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.watchers = append(h.watchers, fn)
+}
+
+// notify invokes the registered change listeners. Callers must NOT hold
+// h.mu: listeners re-enter the host's read side (OwnerOf) to re-derive
+// facts.
+func (h *Host) notify(ch Change) {
+	h.mu.RLock()
+	ws := h.watchers
+	h.mu.RUnlock()
+	for _, fn := range ws {
+		fn(ch)
+	}
+}
+
+// scopeOfPIDLocked collects the change scope of removing pid: its tracked
+// flows, escalating to All when the pid owns a listener (listener-resolved
+// destination flows are not in conns, so their extent is unknowable).
+func (h *Host) scopeOfPIDLocked(pid int, ch Change) Change {
+	if ch.All {
+		return ch
+	}
+	for _, owner := range h.listeners {
+		if owner == pid {
+			return Change{All: true}
+		}
+	}
+	for f, owner := range h.conns {
+		if owner == pid {
+			ch.Flows = append(ch.Flows, f)
+		}
+	}
+	return ch
 }
 
 // AddUser creates an account. The first group, if any, is the primary group.
@@ -147,7 +205,13 @@ func (h *Host) Exec(user *User, exe Executable) *Process {
 // Kill terminates a process, releasing its sockets and connections.
 func (h *Host) Kill(pid int) {
 	h.mu.Lock()
-	defer h.mu.Unlock()
+	ch := h.scopeOfPIDLocked(pid, Change{})
+	h.killLocked(pid)
+	h.mu.Unlock()
+	h.notify(ch)
+}
+
+func (h *Host) killLocked(pid int) {
 	delete(h.procs, pid)
 	for k, owner := range h.listeners {
 		if owner == pid {
@@ -161,24 +225,79 @@ func (h *Host) Kill(pid int) {
 	}
 }
 
+// Logout terminates every process the named user owns — the session
+// ending. The account itself survives (logging out is not deprovisioning);
+// what changes is that no flow can resolve to this user any more, which is
+// exactly the fact the revocation plane must propagate.
+func (h *Host) Logout(name string) {
+	h.mu.Lock()
+	u := h.users[name]
+	var ch Change
+	if u != nil {
+		for pid, p := range h.procs {
+			if p.User == u || p.User.Name == name {
+				ch = h.scopeOfPIDLocked(pid, ch)
+				h.killLocked(pid)
+			}
+		}
+	}
+	h.mu.Unlock()
+	if u != nil {
+		h.notify(ch)
+	}
+}
+
+// SetUserGroups replaces the named user's group memberships — an
+// administrator moving an account between roles. The user and the
+// processes referring to it are replaced copy-on-write, never mutated:
+// readers that resolved a process before the change keep a consistent
+// (stale) view, and the change listeners propagate the new one.
+func (h *Host) SetUserGroups(name string, groups ...string) bool {
+	h.mu.Lock()
+	old, ok := h.users[name]
+	if !ok {
+		h.mu.Unlock()
+		return false
+	}
+	nu := &User{Name: old.Name, UID: old.UID, Groups: groups}
+	h.users[name] = nu
+	var ch Change
+	for pid, p := range h.procs {
+		if p.User == old {
+			ch = h.scopeOfPIDLocked(pid, ch)
+			h.procs[pid] = &Process{PID: p.PID, User: nu, Exe: p.Exe}
+		}
+	}
+	h.mu.Unlock()
+	h.notify(ch)
+	return true
+}
+
 // Listen binds a process to a local port. Binding below 1024 requires a
 // UID < 1000, mirroring the superuser-endorsement convention §5.4 discusses.
 func (h *Host) Listen(pid int, proto netaddr.Proto, port netaddr.Port) error {
 	h.mu.Lock()
-	defer h.mu.Unlock()
 	p, ok := h.procs[pid]
 	if !ok {
+		h.mu.Unlock()
 		return fmt.Errorf("hostinfo: no such process %d", pid)
 	}
 	if port < 1024 && p.User.UID >= 1000 {
+		h.mu.Unlock()
 		return fmt.Errorf("hostinfo: pid %d (uid %d) may not bind privileged port %d",
 			pid, p.User.UID, port)
 	}
 	k := sockKey{proto, port}
 	if _, busy := h.listeners[k]; busy {
+		h.mu.Unlock()
 		return fmt.Errorf("%w: %s/%d", ErrPortInUse, proto, port)
 	}
 	h.listeners[k] = pid
+	h.mu.Unlock()
+	// A fresh listener changes the answer for destination-side flows the
+	// host was never tracking (the OwnerOf listener fallback): scope
+	// unknowable, re-derive everything.
+	h.notify(Change{All: true})
 	return nil
 }
 
@@ -187,8 +306,8 @@ func (h *Host) Listen(pid int, proto netaddr.Proto, port netaddr.Port) error {
 // SrcPort is used when non-zero.
 func (h *Host) Connect(pid int, f flow.Five) (flow.Five, error) {
 	h.mu.Lock()
-	defer h.mu.Unlock()
 	if _, ok := h.procs[pid]; !ok {
+		h.mu.Unlock()
 		return f, fmt.Errorf("hostinfo: no such process %d", pid)
 	}
 	if f.SrcPort == 0 {
@@ -196,6 +315,8 @@ func (h *Host) Connect(pid int, f flow.Five) (flow.Five, error) {
 	}
 	f.SrcIP = h.IP
 	h.conns[f] = pid
+	h.mu.Unlock()
+	h.notify(Change{Flows: []flow.Five{f}})
 	return f, nil
 }
 
@@ -203,20 +324,23 @@ func (h *Host) Connect(pid int, f flow.Five) (flow.Five, error) {
 // modelling a completed accept().
 func (h *Host) Accept(f flow.Five) error {
 	h.mu.Lock()
-	defer h.mu.Unlock()
 	pid, ok := h.listeners[sockKey{f.Proto, f.DstPort}]
 	if !ok {
+		h.mu.Unlock()
 		return fmt.Errorf("hostinfo: no listener on %s/%d", f.Proto, f.DstPort)
 	}
 	h.conns[f] = pid
+	h.mu.Unlock()
+	h.notify(Change{Flows: []flow.Five{f}})
 	return nil
 }
 
 // Close removes a registered flow.
 func (h *Host) Close(f flow.Five) {
 	h.mu.Lock()
-	defer h.mu.Unlock()
 	delete(h.conns, f)
+	h.mu.Unlock()
+	h.notify(Change{Flows: []flow.Five{f}})
 }
 
 func (h *Host) allocPortLocked() netaddr.Port {
@@ -289,14 +413,16 @@ func (h *Host) OwnerOf(f flow.Five, role Role) (*Process, bool) {
 // InstallPatch records an installed OS patch id (e.g. "MS08-067").
 func (h *Host) InstallPatch(id string) {
 	h.mu.Lock()
-	defer h.mu.Unlock()
 	for _, p := range h.patches {
 		if p == id {
+			h.mu.Unlock()
 			return
 		}
 	}
 	h.patches = append(h.patches, id)
 	sort.Strings(h.patches)
+	h.mu.Unlock()
+	h.notify(Change{All: true})
 }
 
 // Patches returns the installed patch ids as the space-joined token list

@@ -75,6 +75,55 @@ func (t *Transport) Query(host netaddr.IP, q wire.Query) (*wire.Response, time.D
 	return resp, rtt, nil
 }
 
+// SetUpdateHandler subscribes fn to every daemon-enabled host's update
+// stream, delivering each update after the one-way network latency from
+// the host to the controller's home switch — the simulator's equivalent of
+// the pool's demuxed update frames. Subscription is taken at call time:
+// hosts added afterwards do not push (mirroring a deployment where a
+// controller subscribes as it connects). Hosts with DaemonEnabled=false
+// are skipped — they are the honest-but-legacy case the controller covers
+// with TTL leases.
+func (t *Transport) SetUpdateHandler(fn func(host netaddr.IP, u wire.Update)) {
+	t.n.mu.Lock()
+	hosts := make([]*Host, 0, len(t.n.hosts))
+	for _, h := range t.n.hosts {
+		hosts = append(hosts, h)
+	}
+	t.n.mu.Unlock()
+	for _, h := range hosts {
+		if !h.DaemonEnabled {
+			continue
+		}
+		ip := h.Info.IP
+		delay := t.oneWay(ip)
+		h.Daemon.Subscribe(func(u wire.Update) {
+			t.n.Schedule(delay, func() { fn(ip, u) })
+		})
+	}
+}
+
+// oneWay computes the host→controller-home-switch latency for update
+// delivery, mirroring the Query path's RTT computation.
+func (t *Transport) oneWay(host netaddr.IP) time.Duration {
+	t.n.mu.Lock()
+	defer t.n.mu.Unlock()
+	h, ok := t.n.hosts[host]
+	if !ok {
+		return t.n.DefaultLinkLatency
+	}
+	var oneWay time.Duration
+	if swPath, err := t.n.switchPathLocked(t.home, h.attachSW); err == nil {
+		for i, swID := range swPath {
+			if i+1 < len(swPath) {
+				if port, ok := portToward(t.n.switches[swID], swPath[i+1]); ok {
+					oneWay += t.n.switches[swID].links[port].latency
+				}
+			}
+		}
+	}
+	return oneWay + h.linkLatency
+}
+
 // PlaneTransport wraps the simulator transport in the production
 // query-plane engine (internal/query), so simulator experiments run the
 // same coalescing, negative-cache, and breaker machinery as a real

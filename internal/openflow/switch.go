@@ -254,12 +254,30 @@ func (s *Switch) Apply(mod FlowMod) error {
 	s.Stats.FlowMods.Add(1)
 	now := s.Clock()
 	if mod.Delete {
-		removed := s.Table.DeleteWhere(func(e *Entry) bool {
+		pred := func(e *Entry) bool {
 			if mod.Cookie != 0 && e.Cookie != mod.Cookie {
 				return false
 			}
 			return mod.Match.Covers(e.Match.Tuple) || e.Match == mod.Match
-		})
+		}
+		var removed []Removed
+		if f, ok := fiveGranular(mod.Match); ok {
+			// Delete-by-flow: the common revocation shape hits the table's
+			// 5-tuple index in O(1). Entries at other granularities that the
+			// match would also cover are scanned only when any exist — in a
+			// controller-programmed table there are none.
+			removed = s.Table.DeleteFlow(f, mod.Cookie)
+			if s.Table.OtherGranularities() > 0 {
+				removed = append(removed, s.Table.DeleteWhere(func(e *Entry) bool {
+					if _, isFive := fiveGranular(e.Match); isFive {
+						return false // the indexed path handled these
+					}
+					return pred(e)
+				})...)
+			}
+		} else {
+			removed = s.Table.DeleteWhere(pred)
+		}
 		s.notifyRemoved(removed, mod.NotifyRemoved)
 		return nil
 	}

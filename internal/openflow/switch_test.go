@@ -255,3 +255,39 @@ func BenchmarkSwitchCachedForwarding(b *testing.B) {
 type nullTransmitter struct{}
 
 func (nullTransmitter) Transmit(*Switch, uint16, []byte) {}
+
+// TestFiveIndexRespectsWildcardPriority pins the precedence contract after
+// the five-granularity index: a higher-priority wildcard entry still beats
+// an indexed flow entry, a lower-priority one does not.
+func TestFiveIndexRespectsWildcardPriority(t *testing.T) {
+	tb := NewTable(0)
+	now := time.Now()
+	var ten flow.Ten
+	ten.EthType = flow.EthTypeIPv4
+	ten.Proto = netaddr.ProtoTCP
+	ten.SrcIP = netaddr.MustParseIP("10.0.0.1")
+	ten.DstIP = netaddr.MustParseIP("10.0.0.2")
+	ten.SrcPort, ten.DstPort = 1234, 80
+
+	flowEntry := &Entry{Match: flow.FiveMatch(ten.Five()), Priority: 100, Actions: Output(1)}
+	if err := tb.Insert(flowEntry, now); err != nil {
+		t.Fatal(err)
+	}
+	low := &Entry{Match: flow.MatchAll(), Priority: 1, Actions: Output(2)}
+	if err := tb.Insert(low, now); err != nil {
+		t.Fatal(err)
+	}
+	if got := tb.Lookup(ten, 64, now); got != flowEntry {
+		t.Fatalf("low-priority wildcard shadowed the flow entry: %+v", got)
+	}
+	high := &Entry{Match: flow.MatchAll(), Priority: 1 << 15, Actions: Output(3)}
+	if err := tb.Insert(high, now); err != nil {
+		t.Fatal(err)
+	}
+	if got := tb.Lookup(ten, 64, now); got != high {
+		t.Fatalf("high-priority wildcard did not override the flow entry: %+v", got)
+	}
+	if got := tb.Peek(ten); got != high {
+		t.Fatalf("Peek disagrees with Lookup: %+v", got)
+	}
+}

@@ -94,27 +94,48 @@ type Removed struct {
 	Reason RemovedReason
 }
 
-// Table is a switch's flow table: exact-match entries in a hash map with a
-// priority-ordered wildcard list behind it — the standard OpenFlow 1.0
-// software-switch layout. All methods are safe for concurrent use.
+// Table is a switch's flow table: exact-match entries in a hash map, flow-
+// granularity entries (the ident++ controller's 5-tuple caches, L2 fields
+// wildcarded) in a second hash map keyed by the 5-tuple, and a priority-
+// ordered wildcard list behind both — the standard OpenFlow 1.0 software-
+// switch layout, with the dominant entry class indexed instead of scanned.
+// The five map is what makes delete-by-flow O(1): revoking one flow's
+// cached verdict no longer walks the whole table. All methods are safe for
+// concurrent use.
 type Table struct {
 	mu       sync.RWMutex
 	exact    map[flow.Ten]*Entry
-	wild     []*Entry // sorted by Priority descending, stable
+	five     map[flow.Five]*Entry // 5-tuple-granularity entries (FiveMatch)
+	wild     []*Entry             // sorted by Priority descending, stable
 	capacity int
 }
 
 // NewTable creates a table. capacity bounds the number of entries (0 means
 // unbounded); hardware tables are finite and E6/M5 exercise eviction.
 func NewTable(capacity int) *Table {
-	return &Table{exact: make(map[flow.Ten]*Entry), capacity: capacity}
+	return &Table{
+		exact:    make(map[flow.Ten]*Entry),
+		five:     make(map[flow.Five]*Entry),
+		capacity: capacity,
+	}
+}
+
+// fiveGranular reports whether m is exactly the controller's flow-cache
+// shape: all five tuple fields matched exactly, everything else
+// wildcarded (flow.FiveMatch's output).
+func fiveGranular(m flow.Match) (flow.Five, bool) {
+	const l2Wild = flow.WInPort | flow.WMACSrc | flow.WMACDst | flow.WEthType | flow.WVLAN
+	if m.Wild != l2Wild || m.SrcBits < 32 || m.DstBits < 32 {
+		return flow.Five{}, false
+	}
+	return m.Tuple.Five(), true
 }
 
 // Len returns the number of installed entries.
 func (t *Table) Len() int {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	return len(t.exact) + len(t.wild)
+	return len(t.exact) + len(t.five) + len(t.wild)
 }
 
 // ErrTableFull is returned when inserting into a full table.
@@ -122,8 +143,9 @@ type ErrTableFull struct{ Capacity int }
 
 func (e ErrTableFull) Error() string { return "openflow: flow table full" }
 
-// Insert installs an entry at now. An exact-match entry replaces any
-// previous entry with the identical tuple; wildcard entries accumulate.
+// Insert installs an entry at now. An exact-match or flow-granularity
+// entry replaces any previous entry with the identical tuple; wildcard
+// entries accumulate.
 func (t *Table) Insert(e *Entry, now time.Time) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -136,6 +158,13 @@ func (t *Table) Insert(e *Entry, now time.Time) error {
 		t.exact[e.Match.Tuple] = e
 		return nil
 	}
+	if f, ok := fiveGranular(e.Match); ok {
+		if _, exists := t.five[f]; !exists && t.full() {
+			return ErrTableFull{t.capacity}
+		}
+		t.five[f] = e
+		return nil
+	}
 	if t.full() {
 		return ErrTableFull{t.capacity}
 	}
@@ -145,11 +174,16 @@ func (t *Table) Insert(e *Entry, now time.Time) error {
 }
 
 func (t *Table) full() bool {
-	return t.capacity > 0 && len(t.exact)+len(t.wild) >= t.capacity
+	return t.capacity > 0 && len(t.exact)+len(t.five)+len(t.wild) >= t.capacity
 }
 
 // Lookup finds the matching entry for a tuple, updating its counters and
-// idle timer. It returns nil on a table miss.
+// idle timer. It returns nil on a table miss. Match order: exact first
+// (the OpenFlow convention that exact entries beat wildcards, unchanged
+// from before the five index), then the flow-granularity index — unless a
+// strictly higher-priority wildcard entry also covers the tuple, which
+// preserves the priority semantics the scan-only table had — then the
+// wildcard scan.
 func (t *Table) Lookup(ten flow.Ten, size int, now time.Time) *Entry {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -157,9 +191,33 @@ func (t *Table) Lookup(ten flow.Ten, size int, now time.Time) *Entry {
 		e.hit(size, now)
 		return e
 	}
+	if e, ok := t.five[ten.Five()]; ok {
+		if w := t.wildAboveLocked(e.Priority, ten); w != nil {
+			w.hit(size, now)
+			return w
+		}
+		e.hit(size, now)
+		return e
+	}
 	for _, e := range t.wild {
 		if e.Match.Covers(ten) {
 			e.hit(size, now)
+			return e
+		}
+	}
+	return nil
+}
+
+// wildAboveLocked returns the first wildcard entry covering ten with
+// Priority strictly above p. The wild list is priority-sorted descending,
+// so the scan stops at the first entry at or below p — free when the list
+// is empty (the controller-programmed common case) and cheap otherwise.
+func (t *Table) wildAboveLocked(p int, ten flow.Ten) *Entry {
+	for _, e := range t.wild {
+		if e.Priority <= p {
+			return nil
+		}
+		if e.Match.Covers(ten) {
 			return e
 		}
 	}
@@ -179,6 +237,12 @@ func (t *Table) Peek(ten flow.Ten) *Entry {
 	if e, ok := t.exact[ten]; ok {
 		return e
 	}
+	if e, ok := t.five[ten.Five()]; ok {
+		if w := t.wildAboveLocked(e.Priority, ten); w != nil {
+			return w
+		}
+		return e
+	}
 	for _, e := range t.wild {
 		if e.Match.Covers(ten) {
 			return e
@@ -196,6 +260,12 @@ func (t *Table) Expire(now time.Time) []Removed {
 	for k, e := range t.exact {
 		if reason, expired := e.expired(now); expired {
 			delete(t.exact, k)
+			out = append(out, Removed{Entry: e, Reason: reason})
+		}
+	}
+	for k, e := range t.five {
+		if reason, expired := e.expired(now); expired {
+			delete(t.five, k)
 			out = append(out, Removed{Entry: e, Reason: reason})
 		}
 	}
@@ -234,6 +304,12 @@ func (t *Table) DeleteWhere(pred func(*Entry) bool) []Removed {
 			out = append(out, Removed{Entry: e, Reason: RemovedDelete})
 		}
 	}
+	for k, e := range t.five {
+		if pred(e) {
+			delete(t.five, k)
+			out = append(out, Removed{Entry: e, Reason: RemovedDelete})
+		}
+	}
 	kept := t.wild[:0]
 	for _, e := range t.wild {
 		if pred(e) {
@@ -246,12 +322,41 @@ func (t *Table) DeleteWhere(pred func(*Entry) bool) []Removed {
 	return out
 }
 
+// DeleteFlow removes the flow-granularity entry for f (when cookie is
+// non-zero, only if the entry carries it) in O(1) — the revocation plane's
+// delete-by-flow, which must not scan a production-size table per revoked
+// flow. Entries at other granularities that a FiveMatch(f) delete would
+// also cover are the caller's (Switch.Apply's) concern; it scans them only
+// when any exist.
+func (t *Table) DeleteFlow(f flow.Five, cookie uint64) []Removed {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	e, ok := t.five[f]
+	if !ok || (cookie != 0 && e.Cookie != cookie) {
+		return nil
+	}
+	delete(t.five, f)
+	return []Removed{{Entry: e, Reason: RemovedDelete}}
+}
+
+// OtherGranularities returns how many entries live outside the five map —
+// the Switch's cue that a flow-granularity delete cannot stop at the O(1)
+// path.
+func (t *Table) OtherGranularities() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.exact) + len(t.wild)
+}
+
 // Entries returns a snapshot of all entries (stats requests).
 func (t *Table) Entries() []*Entry {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	out := make([]*Entry, 0, len(t.exact)+len(t.wild))
+	out := make([]*Entry, 0, len(t.exact)+len(t.five)+len(t.wild))
 	for _, e := range t.exact {
+		out = append(out, e)
+	}
+	for _, e := range t.five {
 		out = append(out, e)
 	}
 	out = append(out, t.wild...)

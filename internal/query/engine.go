@@ -30,6 +30,14 @@ type deadlineLower interface {
 	Exchange(host netaddr.IP, q wire.Query, deadline time.Time) (*wire.Response, time.Duration, error)
 }
 
+// updateSource is the optional push face of a Lower: transports that can
+// deliver daemon-pushed endpoint-state updates (*Pool over TCP,
+// netsim.Transport in the simulator) implement it. Lowers without it are
+// the honest-but-legacy case — the controller falls back to TTL leases.
+type updateSource interface {
+	SetUpdateHandler(fn func(host netaddr.IP, u wire.Update))
+}
+
 // Config parameterizes an Engine. The zero value of every field except
 // Lower is a sensible default.
 type Config struct {
@@ -200,6 +208,21 @@ func NewEngine(cfg Config) *Engine {
 	e.hot.breakerFastfails = e.Counters.Cell("engine_breaker_fastfails")
 	e.hot.timeoutsC = e.Counters.Cell("engine_timeouts")
 	return e
+}
+
+// SetUpdateHandler threads the revocation plane's update sink through to
+// the lower transport. It returns false when the lower cannot push (no
+// subscription support): the caller then knows every host is lease-only.
+// The handler runs on transport goroutines (the pool's connection readers,
+// the simulator's event loop); it must be quick and must not re-enter the
+// engine.
+func (e *Engine) SetUpdateHandler(fn func(host netaddr.IP, u wire.Update)) bool {
+	us, ok := e.lower.(updateSource)
+	if !ok {
+		return false
+	}
+	us.SetUpdateHandler(fn)
+	return true
 }
 
 // Query implements core.QueryTransport: it blocks until the result is

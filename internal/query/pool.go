@@ -66,6 +66,13 @@ type Pool struct {
 	// Conns gauges currently established connections.
 	Conns metrics.Gauge
 
+	// onUpdate receives daemon-pushed endpoint-state updates (revocation
+	// plane). When set, every dialed connection subscribes; the reader
+	// demuxes update frames out of the FIFO correlation path and delivers
+	// them here with the daemon's host identity. See SetUpdateHandler.
+	updMu    sync.RWMutex
+	onUpdate func(host netaddr.IP, u wire.Update)
+
 	mu     sync.Mutex
 	hosts  map[netaddr.IP]*hostConn
 	closed bool
@@ -97,6 +104,31 @@ func NewPool(cfg PoolConfig) *Pool {
 		p.Counters = metrics.NewCounter()
 	}
 	return p
+}
+
+// SetUpdateHandler installs the sink for daemon-pushed endpoint-state
+// updates. Connections dialed while a handler is installed subscribe to
+// their daemon's update stream; per-host serial numbers are checked on the
+// reader, and a gap — missed updates, a daemon restart, a reconnection
+// that skipped over pushes — is surfaced to the handler as a synthetic
+// resync update (zero flow, empty key) before the real one, so the caller
+// can invalidate everything it believes about the host. The handler runs
+// on the connection's reader goroutine: it must not block for long and
+// must not call back into the Pool.
+//
+// Install the handler before the first query; already-established
+// connections do not retroactively subscribe (they will on reconnect).
+func (p *Pool) SetUpdateHandler(fn func(host netaddr.IP, u wire.Update)) {
+	p.updMu.Lock()
+	p.onUpdate = fn
+	p.updMu.Unlock()
+}
+
+func (p *Pool) updateFn() func(host netaddr.IP, u wire.Update) {
+	p.updMu.RLock()
+	fn := p.onUpdate
+	p.updMu.RUnlock()
+	return fn
 }
 
 // Query implements core.QueryTransport with the pool's default deadline.
@@ -133,7 +165,7 @@ func (p *Pool) host(host netaddr.IP) (*hostConn, error) {
 		// in the pool (the resolver is the cache); cheap either way.
 		return nil, fmt.Errorf("query: no daemon address for %s: %w", host, core.ErrNoDaemon)
 	}
-	hc := &hostConn{pool: p, addr: addr}
+	hc := &hostConn{pool: p, host: host, addr: addr}
 	p.hosts[host] = hc
 	return hc, nil
 }
@@ -202,6 +234,7 @@ func releaseCall(c *call) {
 // hostConn owns the single pipelined connection to one daemon.
 type hostConn struct {
 	pool *Pool
+	host netaddr.IP
 	addr string
 
 	// sendMu serializes enqueue+write pairs so the pending queue's order
@@ -216,6 +249,14 @@ type hostConn struct {
 	dialErr  error     // last dial failure, served during backoff
 	nextDial time.Time
 	backoff  time.Duration
+
+	// Update-stream serial tracking, across connections: lastSerial is the
+	// serial of the last update (or hello) seen from this daemon, ever.
+	// The reader compares each arrival against it; any discontinuity —
+	// including a hello after reconnect whose serial says pushes happened
+	// while we were away — forces a resync.
+	lastSerial uint64
+	haveSerial bool
 }
 
 // exchange writes one query and waits for its response or the deadline.
@@ -338,6 +379,23 @@ func (hc *hostConn) dialLocked(deadline time.Time) error {
 	hc.pool.Counters.Add("pool_dials", 1)
 	hc.pool.Conns.Inc()
 	go hc.readLoop(conn, hc.gen)
+	if hc.pool.updateFn() != nil {
+		// Opt this connection into the daemon's update stream before any
+		// query goes out (the caller holds sendMu, so nothing interleaves).
+		// The daemon acknowledges with a hello update the reader demuxes;
+		// a subscribe the daemon cannot take breaks the connection and
+		// surfaces as an ordinary exchange failure.
+		conn.SetWriteDeadline(deadline)
+		if err := wire.WriteSubscribe(conn); err != nil {
+			gen := hc.gen
+			hc.mu.Unlock()
+			err = fmt.Errorf("query: subscribe %s: %w", hc.addr, err)
+			hc.teardown(gen, err)
+			hc.mu.Lock()
+			return err
+		}
+		hc.pool.Counters.Add("pool_subscribes", 1)
+	}
 	return nil
 }
 
@@ -358,12 +416,27 @@ func classifyDial(addr string, err error) error {
 }
 
 // readLoop is the connection's single reader: it pops the pending queue in
-// FIFO order, matching daemon.Server's in-order responses.
+// FIFO order, matching daemon.Server's in-order responses. Update frames —
+// which the daemon pushes unsolicited, so they carry no pipeline slot —
+// are demuxed out of the correlation path and handed to the pool's update
+// handler before the loop returns to the stream.
 func (hc *hostConn) readLoop(conn net.Conn, gen uint64) {
 	for {
-		resp, err := wire.ReadResponse(conn)
+		frame, err := wire.ReadFrame(conn)
 		if err != nil {
 			hc.teardown(gen, fmt.Errorf("query: read %s: %w", hc.addr, err))
+			return
+		}
+		if frame.Type == wire.FrameUpdate {
+			if !hc.handleUpdate(frame) {
+				hc.teardown(gen, fmt.Errorf("query: %s: malformed update", hc.addr))
+				return
+			}
+			continue
+		}
+		resp, err := wire.DecodeResponse(frame.Payload, frame.SrcIP, frame.DstIP)
+		if frame.Type != wire.FrameResponse || err != nil {
+			hc.teardown(gen, fmt.Errorf("query: read %s: unexpected frame %#02x: %v", hc.addr, frame.Type, err))
 			return
 		}
 		hc.mu.Lock()
@@ -394,6 +467,43 @@ func (hc *hostConn) readLoop(conn net.Conn, gen uint64) {
 		}
 		deliver(c, callResult{resp: resp})
 	}
+}
+
+// handleUpdate decodes and delivers one pushed update, enforcing serial
+// continuity. It returns false on a decode failure (the connection is no
+// longer trustworthy). Serial discontinuities do not kill the connection:
+// they deliver a synthetic resync first — the receiver invalidates its
+// whole view of the host — and then adopt the new serial, because the
+// stream itself is intact, only our knowledge lapsed.
+func (hc *hostConn) handleUpdate(frame wire.Frame) bool {
+	u, err := wire.DecodeUpdateFrame(frame)
+	if err != nil {
+		hc.pool.Counters.Add("pool_update_decode_errors", 1)
+		return false
+	}
+	fn := hc.pool.updateFn()
+	hc.mu.Lock()
+	resync := false
+	if u.Hello {
+		// A hello re-baselines the stream. After a reconnect, a serial
+		// other than the one we left off at means updates were pushed (or
+		// the daemon restarted) while we were away.
+		resync = hc.haveSerial && u.Serial != hc.lastSerial
+	} else {
+		resync = !hc.haveSerial || u.Serial != hc.lastSerial+1
+	}
+	hc.lastSerial, hc.haveSerial = u.Serial, true
+	hc.mu.Unlock()
+	if fn == nil {
+		return true
+	}
+	if resync {
+		hc.pool.Counters.Add("pool_update_resyncs", 1)
+		fn(hc.host, wire.Update{Serial: u.Serial})
+	}
+	hc.pool.Counters.Add("pool_updates", 1)
+	fn(hc.host, u)
+	return true
 }
 
 // deliver completes a call under the state protocol; abandoned slots are

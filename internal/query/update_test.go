@@ -1,0 +1,293 @@
+package query
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"identxx/internal/daemon"
+	"identxx/internal/flow"
+	"identxx/internal/hostinfo"
+	"identxx/internal/netaddr"
+	"identxx/internal/wire"
+)
+
+// updateSink collects pushed updates with their host attribution.
+type updateSink struct {
+	mu  sync.Mutex
+	got []struct {
+		host netaddr.IP
+		u    wire.Update
+	}
+}
+
+func (s *updateSink) fn(host netaddr.IP, u wire.Update) {
+	s.mu.Lock()
+	s.got = append(s.got, struct {
+		host netaddr.IP
+		u    wire.Update
+	}{host, u})
+	s.mu.Unlock()
+}
+
+func (s *updateSink) snapshot() []wire.Update {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]wire.Update, len(s.got))
+	for i, g := range s.got {
+		out[i] = g.u
+	}
+	return out
+}
+
+func (s *updateSink) waitLen(t *testing.T, n int) []wire.Update {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		got := s.snapshot()
+		if len(got) >= n {
+			return got
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %d updates, have %+v", n, got)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestPoolReceivesDaemonPushes runs the real stack: pool with an update
+// handler against daemon.Server; a host mutation mid-connection arrives as
+// an update, attributed to the right host, without disturbing the query
+// FIFO.
+func TestPoolReceivesDaemonPushes(t *testing.T) {
+	hostIP := netaddr.MustParseIP("10.8.0.1")
+	h := hostinfo.New("pc", hostIP, 1)
+	alice := h.AddUser("alice", "users")
+	proc := h.Exec(alice, hostinfo.Executable{Path: "/usr/bin/skype", Name: "skype"})
+	d := daemon.New(h)
+	srv := daemon.NewServer(d)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	five, err := h.Connect(proc.PID, flow.Five{
+		DstIP: netaddr.MustParseIP("10.8.0.2"), Proto: netaddr.ProtoTCP, DstPort: 5060,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pool := NewPool(PoolConfig{Resolver: StaticResolver{hostIP: addr.String()}})
+	defer pool.Close()
+	sink := &updateSink{}
+	pool.SetUpdateHandler(sink.fn)
+
+	// The first query dials and subscribes; the hello arrives on the reader.
+	resp, _, err := pool.Query(hostIP, wire.Query{Flow: five, Keys: []string{wire.KeyUserID}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := resp.Latest(wire.KeyUserID); v != "alice" {
+		t.Fatalf("userID = %q", v)
+	}
+	got := sink.waitLen(t, 1)
+	if !got[0].Hello {
+		t.Fatalf("first update = %+v, want hello", got[0])
+	}
+
+	// Mid-connection endpoint-state change: process exits.
+	h.Kill(proc.PID)
+	got = sink.waitLen(t, 2)
+	u := got[1]
+	if u.Flow != five {
+		t.Errorf("update flow = %v, want %v", u.Flow, five)
+	}
+	if u.Serial != got[0].Serial+1 {
+		t.Errorf("serial = %d after hello %d: not continuous", u.Serial, got[0].Serial)
+	}
+	sink.mu.Lock()
+	attributed := sink.got[1].host
+	sink.mu.Unlock()
+	if attributed != hostIP {
+		t.Errorf("update attributed to %v, want %v", attributed, hostIP)
+	}
+
+	// The connection still answers queries after pushes.
+	if _, _, err := pool.Query(hostIP, wire.Query{Flow: five}); err != nil {
+		t.Fatal(err)
+	}
+	if n := pool.Counters.Get("pool_update_resyncs"); n != 0 {
+		t.Errorf("continuous stream produced %d resyncs", n)
+	}
+}
+
+// frameScript is a hand-rolled daemon endpoint that speaks raw frames, for
+// forcing protocol situations (serial gaps) a healthy daemon never
+// produces.
+type frameScript struct {
+	t    *testing.T
+	l    net.Listener
+	addr string
+}
+
+func newFrameScript(t *testing.T) *frameScript {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	return &frameScript{t: t, l: l, addr: l.Addr().String()}
+}
+
+// TestSerialGapForcesResync: a daemon whose update stream skips serials —
+// lost pushes — must surface a synthetic resync to the handler before the
+// out-of-sequence update.
+func TestSerialGapForcesResync(t *testing.T) {
+	hostIP := netaddr.MustParseIP("10.8.1.1")
+	fs := newFrameScript(t)
+	five := flow.Five{
+		SrcIP: hostIP, DstIP: netaddr.MustParseIP("10.8.1.2"),
+		Proto: netaddr.ProtoTCP, SrcPort: 40000, DstPort: 80,
+	}
+
+	serverDone := make(chan error, 1)
+	go func() {
+		conn, err := fs.l.Accept()
+		if err != nil {
+			serverDone <- err
+			return
+		}
+		defer conn.Close()
+		conn.SetDeadline(time.Now().Add(10 * time.Second))
+		// Expect the subscribe, ack with hello at serial 5.
+		f, err := wire.ReadFrame(conn)
+		if err != nil || f.Type != wire.FrameSubscribe {
+			serverDone <- err
+			return
+		}
+		wire.WriteUpdate(conn, wire.Update{Hello: true, Serial: 5})
+		// Answer the query that opened the connection.
+		if _, err := wire.ReadFrame(conn); err != nil {
+			serverDone <- err
+			return
+		}
+		wire.WriteResponse(conn, wire.NewResponse(five))
+		// Continuous update, then a gap: 6, then 9.
+		wire.WriteUpdate(conn, wire.Update{Flow: five, Key: "userID", Serial: 6})
+		wire.WriteUpdate(conn, wire.Update{Flow: five, Key: "userID", Serial: 9})
+		serverDone <- nil
+	}()
+
+	pool := NewPool(PoolConfig{Resolver: StaticResolver{hostIP: fs.addr}})
+	defer pool.Close()
+	sink := &updateSink{}
+	pool.SetUpdateHandler(sink.fn)
+
+	if _, _, err := pool.Query(hostIP, wire.Query{Flow: five}); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-serverDone; err != nil {
+		t.Fatal(err)
+	}
+	// hello(5), update(6), resync, update(9).
+	got := sink.waitLen(t, 4)
+	if !got[0].Hello || got[0].Serial != 5 {
+		t.Errorf("got[0] = %+v, want hello serial 5", got[0])
+	}
+	if got[1].Serial != 6 || got[1].Key != "userID" {
+		t.Errorf("got[1] = %+v, want continuous update 6", got[1])
+	}
+	if !got[2].Resync() {
+		t.Errorf("got[2] = %+v, want synthetic resync before the gap", got[2])
+	}
+	if got[3].Serial != 9 {
+		t.Errorf("got[3] = %+v, want the real update 9 after the resync", got[3])
+	}
+	if n := pool.Counters.Get("pool_update_resyncs"); n != 1 {
+		t.Errorf("pool_update_resyncs = %d, want 1", n)
+	}
+}
+
+// TestReconnectHelloMismatchForcesResync: updates pushed while the
+// connection was down are detected by the reconnect hello's serial and
+// surfaced as a resync.
+func TestReconnectHelloMismatchForcesResync(t *testing.T) {
+	hostIP := netaddr.MustParseIP("10.8.2.1")
+	fs := newFrameScript(t)
+	five := flow.Five{
+		SrcIP: hostIP, DstIP: netaddr.MustParseIP("10.8.2.2"),
+		Proto: netaddr.ProtoTCP, SrcPort: 40001, DstPort: 80,
+	}
+
+	serve := func(helloSerial uint64) chan error {
+		done := make(chan error, 1)
+		go func() {
+			conn, err := fs.l.Accept()
+			if err != nil {
+				done <- err
+				return
+			}
+			conn.SetDeadline(time.Now().Add(10 * time.Second))
+			f, err := wire.ReadFrame(conn)
+			if err != nil || f.Type != wire.FrameSubscribe {
+				conn.Close()
+				done <- err
+				return
+			}
+			wire.WriteUpdate(conn, wire.Update{Hello: true, Serial: helloSerial})
+			if _, err := wire.ReadFrame(conn); err != nil {
+				conn.Close()
+				done <- err
+				return
+			}
+			wire.WriteResponse(conn, wire.NewResponse(five))
+			// Give the reader a moment to drain the frames before the close
+			// tears the connection down.
+			time.Sleep(50 * time.Millisecond)
+			conn.Close()
+			done <- nil
+		}()
+		return done
+	}
+
+	pool := NewPool(PoolConfig{Resolver: StaticResolver{hostIP: fs.addr}})
+	defer pool.Close()
+	sink := &updateSink{}
+	pool.SetUpdateHandler(sink.fn)
+
+	first := serve(3)
+	if _, _, err := pool.Query(hostIP, wire.Query{Flow: five}); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-first; err != nil {
+		t.Fatal(err)
+	}
+	sink.waitLen(t, 1)
+
+	// Second connection: the daemon pushed to serial 7 while we were away.
+	second := serve(7)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, _, err := pool.Query(hostIP, wire.Query{Flow: five}); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("reconnect never succeeded")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err := <-second; err != nil {
+		t.Fatal(err)
+	}
+	// hello(3), then on reconnect: resync + hello(7).
+	got := sink.waitLen(t, 3)
+	if !got[1].Resync() {
+		t.Errorf("got[1] = %+v, want resync for the missed window", got[1])
+	}
+	if !got[2].Hello || got[2].Serial != 7 {
+		t.Errorf("got[2] = %+v, want the reconnect hello", got[2])
+	}
+}

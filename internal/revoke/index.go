@@ -1,0 +1,272 @@
+// Package revoke implements the controller side of the revocation plane's
+// bookkeeping: a sharded fact-dependency index mapping endpoint facts —
+// (host, key) pairs a verdict actually read — to the flows whose cached
+// decisions and installed entries depend on them.
+//
+// The controller registers a dependency record when it installs or caches
+// a decision; the facts come from the compiled policy's per-flow static
+// key analysis (the same analysis behind query-key hints and the
+// header-only pre-pass), so an endpoint-state update resolves to the exact
+// set of affected flows in O(affected) — never a table scan across every
+// cached flow.
+//
+// Hosts whose daemons never push updates (the honest-but-legacy case) get
+// no revocation channel; their registrations carry a lease deadline
+// instead, and the controller periodically tears down expired leases —
+// the short-lived-credential workaround the delegation literature reaches
+// for when no revocation channel exists, honored by the same index and
+// the same teardown pipeline.
+package revoke
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"identxx/internal/flow"
+	"identxx/internal/netaddr"
+)
+
+// Fact names one endpoint fact a decision depended on. Key "" is the
+// host-scope marker every registration carries for each end: it resolves
+// host-wide invalidations (serial-gap resyncs, daemon restarts, operator
+// "revoke everything about this host") without a separate host table.
+type Fact struct {
+	Host netaddr.IP
+	Key  string
+}
+
+// Registration records one flow's dependencies: the facts its verdict
+// read, the datapaths its entries were installed on (so teardown deletes
+// along the installed path only), and an optional lease deadline for
+// facts served by non-pushing daemons (zero = no lease).
+type Registration struct {
+	Flow  flow.Five
+	Facts []Fact
+	Paths []uint64
+	Lease time.Time
+}
+
+// flowEntry is the per-flow record held by the flow-sharded side.
+type flowEntry struct {
+	facts []Fact
+	paths []uint64
+	lease time.Time
+}
+
+// factShard is one lock domain of the fact→flows side.
+type factShard struct {
+	mu    sync.Mutex
+	flows map[Fact]map[flow.Five]struct{}
+}
+
+// flowShard is one lock domain of the flow→facts side.
+type flowShard struct {
+	mu    sync.Mutex
+	flows map[flow.Five]flowEntry
+}
+
+// Index is the sharded fact-dependency index. All methods are safe for
+// concurrent use. The two sides (fact→flows, flow→facts) are sharded and
+// locked independently; no operation holds two shard locks at once, so
+// cross-shard operations are lock-ordering-free. The consequence is a
+// benign asymmetry under races: a Resolve may name a flow whose
+// registration a concurrent Drop already removed — the caller's teardown
+// of an unregistered flow is a no-op.
+type Index struct {
+	factShards []factShard
+	flowShards []flowShard
+	mask       uint64
+
+	registered atomic.Int64 // lifetime registrations
+	dropped    atomic.Int64 // lifetime drops
+
+	pushMu sync.RWMutex
+	push   map[netaddr.IP]bool // hosts whose daemons push updates
+}
+
+// NewIndex creates an index with n shards per side (rounded up to a power
+// of two; n <= 0 picks 16).
+func NewIndex(n int) *Index {
+	if n <= 0 {
+		n = 16
+	}
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	ix := &Index{
+		factShards: make([]factShard, p),
+		flowShards: make([]flowShard, p),
+		mask:       uint64(p - 1),
+		push:       make(map[netaddr.IP]bool),
+	}
+	for i := range ix.factShards {
+		ix.factShards[i].flows = make(map[Fact]map[flow.Five]struct{})
+	}
+	for i := range ix.flowShards {
+		ix.flowShards[i].flows = make(map[flow.Five]flowEntry)
+	}
+	return ix
+}
+
+func (ix *Index) factShard(f Fact) *factShard {
+	h := uint64(f.Host)
+	for i := 0; i < len(f.Key); i++ {
+		h = h*131 + uint64(f.Key[i])
+	}
+	return &ix.factShards[h&ix.mask]
+}
+
+func (ix *Index) flowShard(f flow.Five) *flowShard {
+	return &ix.flowShards[f.Hash()&ix.mask]
+}
+
+// Register records a flow's dependencies, replacing any previous
+// registration for the same flow (re-decided flows re-register; the old
+// fact links are unlinked first so the index never accretes).
+func (ix *Index) Register(r Registration) {
+	ix.drop(r.Flow, false)
+	fs := ix.flowShard(r.Flow)
+	fs.mu.Lock()
+	fs.flows[r.Flow] = flowEntry{facts: r.Facts, paths: r.Paths, lease: r.Lease}
+	fs.mu.Unlock()
+	for _, fact := range r.Facts {
+		sh := ix.factShard(fact)
+		sh.mu.Lock()
+		set := sh.flows[fact]
+		if set == nil {
+			set = make(map[flow.Five]struct{})
+			sh.flows[fact] = set
+		}
+		set[r.Flow] = struct{}{}
+		sh.mu.Unlock()
+	}
+	ix.registered.Add(1)
+}
+
+// Drop removes a flow's registration and unlinks its fact dependencies,
+// returning the registration for the caller's teardown (the installed
+// paths, chiefly). ok is false when the flow was not registered.
+func (ix *Index) Drop(f flow.Five) (Registration, bool) {
+	return ix.drop(f, true)
+}
+
+func (ix *Index) drop(f flow.Five, count bool) (Registration, bool) {
+	fs := ix.flowShard(f)
+	fs.mu.Lock()
+	e, ok := fs.flows[f]
+	if ok {
+		delete(fs.flows, f)
+	}
+	fs.mu.Unlock()
+	if !ok {
+		return Registration{}, false
+	}
+	for _, fact := range e.facts {
+		sh := ix.factShard(fact)
+		sh.mu.Lock()
+		if set := sh.flows[fact]; set != nil {
+			delete(set, f)
+			if len(set) == 0 {
+				delete(sh.flows, fact)
+			}
+		}
+		sh.mu.Unlock()
+	}
+	if count {
+		ix.dropped.Add(1)
+	}
+	return Registration{Flow: f, Facts: e.facts, Paths: e.paths, Lease: e.lease}, true
+}
+
+// Registered reports whether the flow has a live registration.
+func (ix *Index) Registered(f flow.Five) bool {
+	fs := ix.flowShard(f)
+	fs.mu.Lock()
+	_, ok := fs.flows[f]
+	fs.mu.Unlock()
+	return ok
+}
+
+// ResolveFact returns the flows depending on (host, key), appended to dst.
+// Key "" resolves the host-scope marker: every flow with any dependency on
+// the host.
+func (ix *Index) ResolveFact(host netaddr.IP, key string, dst []flow.Five) []flow.Five {
+	fact := Fact{Host: host, Key: key}
+	sh := ix.factShard(fact)
+	sh.mu.Lock()
+	for f := range sh.flows[fact] {
+		dst = append(dst, f)
+	}
+	sh.mu.Unlock()
+	return dst
+}
+
+// ResolveHost returns every flow with any dependency on the host.
+func (ix *Index) ResolveHost(host netaddr.IP, dst []flow.Five) []flow.Five {
+	return ix.ResolveFact(host, "", dst)
+}
+
+// ExpiredLeases returns flows whose lease deadline has passed at now,
+// appended to dst. The walk is per-shard under that shard's lock only;
+// callers tear the returned flows down through the normal pipeline (which
+// Drops them).
+func (ix *Index) ExpiredLeases(now time.Time, dst []flow.Five) []flow.Five {
+	for i := range ix.flowShards {
+		fs := &ix.flowShards[i]
+		fs.mu.Lock()
+		for f, e := range fs.flows {
+			if !e.lease.IsZero() && now.After(e.lease) {
+				dst = append(dst, f)
+			}
+		}
+		fs.mu.Unlock()
+	}
+	return dst
+}
+
+// MarkPush records that host's daemon pushes updates (its hello arrived):
+// future registrations touching only pushing hosts need no lease.
+func (ix *Index) MarkPush(host netaddr.IP) {
+	ix.pushMu.Lock()
+	ix.push[host] = true
+	ix.pushMu.Unlock()
+}
+
+// PushCapable reports whether host's daemon has said hello.
+func (ix *Index) PushCapable(host netaddr.IP) bool {
+	ix.pushMu.RLock()
+	ok := ix.push[host]
+	ix.pushMu.RUnlock()
+	return ok
+}
+
+// FlushAll drops every registration (policy swap: the flows' entries and
+// cache lines are being flushed wholesale anyway). Push-capability marks
+// survive — they describe daemons, not decisions.
+func (ix *Index) FlushAll() {
+	for i := range ix.flowShards {
+		fs := &ix.flowShards[i]
+		fs.mu.Lock()
+		fs.flows = make(map[flow.Five]flowEntry)
+		fs.mu.Unlock()
+	}
+	for i := range ix.factShards {
+		sh := &ix.factShards[i]
+		sh.mu.Lock()
+		sh.flows = make(map[Fact]map[flow.Five]struct{})
+		sh.mu.Unlock()
+	}
+}
+
+// Stats reports resident registrations and lifetime register/drop counts.
+func (ix *Index) Stats() (live int, registered, dropped int64) {
+	for i := range ix.flowShards {
+		fs := &ix.flowShards[i]
+		fs.mu.Lock()
+		live += len(fs.flows)
+		fs.mu.Unlock()
+	}
+	return live, ix.registered.Load(), ix.dropped.Load()
+}

@@ -8,10 +8,28 @@ import (
 	"identxx/internal/netaddr"
 )
 
-// Framed message types.
+// Framed message kinds. The kind byte discriminates the three message
+// shapes of the protocol — request, response, and the revocation plane's
+// unsolicited update — plus the subscription control frame that opts a
+// connection into updates.
+//
+// Back-compat: peers predating the revocation plane ("untagged" peers in
+// the sense that they tag only the original two kinds) interoperate
+// unchanged — their Q/R frames decode exactly as before, and a daemon
+// never pushes FrameUpdate at a connection that has not sent
+// FrameSubscribe, so a legacy reader's FIFO correlation is never broken
+// by a frame kind it does not know.
 const (
 	FrameQuery    byte = 'Q'
 	FrameResponse byte = 'R'
+	// FrameUpdate is an unsolicited daemon→controller endpoint-state
+	// update (see Update). It is only ever sent on connections that
+	// subscribed.
+	FrameUpdate byte = 'U'
+	// FrameSubscribe is a client→daemon control frame with an empty
+	// payload: "push me updates on this connection". The daemon
+	// acknowledges with a hello update carrying its current serial.
+	FrameSubscribe byte = 'S'
 )
 
 // frameHeaderLen is: 1 type byte, 4+4 IP addresses, 4 payload length.
@@ -57,7 +75,9 @@ func ReadFrame(r io.Reader) (Frame, error) {
 		SrcIP: netaddr.IP(binary.BigEndian.Uint32(hdr[1:5])),
 		DstIP: netaddr.IP(binary.BigEndian.Uint32(hdr[5:9])),
 	}
-	if f.Type != FrameQuery && f.Type != FrameResponse {
+	switch f.Type {
+	case FrameQuery, FrameResponse, FrameUpdate, FrameSubscribe:
+	default:
 		return Frame{}, fmt.Errorf("wire: unknown frame type %#02x", f.Type)
 	}
 	n := binary.BigEndian.Uint32(hdr[9:13])
@@ -101,6 +121,29 @@ func WriteResponse(w io.Writer, resp *Response) error {
 		DstIP:   resp.Flow.DstIP,
 		Payload: EncodeResponse(resp),
 	})
+}
+
+// WriteUpdate frames and writes an unsolicited endpoint-state update.
+func WriteUpdate(w io.Writer, u Update) error {
+	return WriteFrame(w, Frame{
+		Type:    FrameUpdate,
+		SrcIP:   u.Flow.SrcIP,
+		DstIP:   u.Flow.DstIP,
+		Payload: EncodeUpdate(u),
+	})
+}
+
+// WriteSubscribe writes the empty subscription control frame.
+func WriteSubscribe(w io.Writer) error {
+	return WriteFrame(w, Frame{Type: FrameSubscribe})
+}
+
+// DecodeUpdateFrame decodes an already-read FrameUpdate.
+func DecodeUpdateFrame(f Frame) (Update, error) {
+	if f.Type != FrameUpdate {
+		return Update{}, fmt.Errorf("wire: expected update frame, got %#02x", f.Type)
+	}
+	return DecodeUpdate(f.Payload, f.SrcIP, f.DstIP)
 }
 
 // ReadResponse reads and decodes a framed response.

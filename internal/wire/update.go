@@ -1,0 +1,148 @@
+package wire
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"identxx/internal/flow"
+	"identxx/internal/netaddr"
+)
+
+// This file defines the revocation plane's wire message: the unsolicited
+// Update a daemon pushes when an endpoint fact it previously asserted stops
+// being true (a process exited, a user logged out, new configuration was
+// installed). The paper's verdicts are computed from facts that are only
+// checked at flow-setup time; updates close that loop, making delegated
+// decisions revocable instead of merely expirable (the delegation
+// literature's requirement that revocation propagate promptly).
+//
+// An update payload reuses the line-oriented §3.2 text format:
+//
+//	<PROTO> <SRC PORT> <DST PORT>
+//	serial: <n>
+//	[hello: 1]
+//	[key: <key>]
+//	[old: <value>]
+//	[new: <value>]
+//
+// The tuple line is all zeros (and the frame envelope's addresses are
+// zero) when the update is not scoped to one flow. Which daemon the update
+// is about is implicit in the connection it arrives on — exactly as with
+// responses, host identity belongs to the transport, not the payload.
+
+// Update is one daemon-pushed endpoint-state change.
+//
+// Scoping, most to least specific:
+//
+//   - Flow set (non-zero): the facts the daemon asserted for exactly that
+//     flow changed (or stopped being tracked). Key/Old/New name the first
+//     changed fact for the audit trail; the controller revokes the flow
+//     whatever the key.
+//   - Flow zero, Key set: every flow whose verdict read Key from this host
+//     is affected (operator-initiated revocations use this shape).
+//   - Flow zero, Key empty: resync — everything the controller believes
+//     about this host is suspect (serial gap, reconnection, daemon
+//     restart). Transports also synthesize this form locally.
+//
+// Serial is the daemon's per-host monotonically increasing update number;
+// a receiver seeing a gap knows it missed updates and must resync. Hello
+// marks the subscription acknowledgement: it carries the daemon's current
+// serial and asserts nothing, but its arrival proves the daemon pushes
+// updates at all (hosts that never say hello fall back to TTL leases on
+// the controller).
+type Update struct {
+	Flow   flow.Five
+	Key    string
+	Old    string
+	New    string
+	Serial uint64
+	Hello  bool
+}
+
+// FlowScoped reports whether the update names one flow.
+func (u Update) FlowScoped() bool { return u.Flow != (flow.Five{}) }
+
+// Resync reports whether the update invalidates everything known about the
+// host: not a hello, no flow, no key.
+func (u Update) Resync() bool { return !u.Hello && !u.FlowScoped() && u.Key == "" }
+
+// EncodeUpdate renders the update payload.
+func EncodeUpdate(u Update) []byte {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d %d %d\n", u.Flow.Proto, u.Flow.SrcPort, u.Flow.DstPort)
+	fmt.Fprintf(&b, "serial: %d\n", u.Serial)
+	if u.Hello {
+		b.WriteString("hello: 1\n")
+	}
+	if u.Key != "" {
+		b.WriteString("key: ")
+		b.WriteString(sanitizeValue(strings.TrimSpace(u.Key)))
+		b.WriteByte('\n')
+	}
+	if u.Old != "" {
+		b.WriteString("old: ")
+		b.WriteString(sanitizeValue(u.Old))
+		b.WriteByte('\n')
+	}
+	if u.New != "" {
+		b.WriteString("new: ")
+		b.WriteString(sanitizeValue(u.New))
+		b.WriteByte('\n')
+	}
+	return []byte(b.String())
+}
+
+// DecodeUpdate parses an update payload. As with queries and responses, the
+// flow's IP addresses come from the transport envelope.
+func DecodeUpdate(payload []byte, srcIP, dstIP netaddr.IP) (Update, error) {
+	if len(payload) > MaxMessageSize {
+		return Update{}, fmt.Errorf("wire: update exceeds %d bytes", MaxMessageSize)
+	}
+	lines := strings.Split(string(payload), "\n")
+	if len(lines) == 0 || strings.TrimSpace(lines[0]) == "" {
+		return Update{}, fmt.Errorf("wire: empty update")
+	}
+	f, err := parseTupleLine(lines[0])
+	if err != nil {
+		return Update{}, err
+	}
+	f.SrcIP, f.DstIP = srcIP, dstIP
+	u := Update{Flow: f}
+	sawSerial := false
+	for _, l := range lines[1:] {
+		trimmed := strings.TrimSpace(strings.TrimRight(l, "\r"))
+		if trimmed == "" {
+			continue
+		}
+		colon := strings.Index(trimmed, ":")
+		if colon < 0 {
+			return Update{}, fmt.Errorf("wire: malformed update line %q", trimmed)
+		}
+		key := strings.TrimSpace(trimmed[:colon])
+		val := strings.TrimSpace(trimmed[colon+1:])
+		switch key {
+		case "serial":
+			n, err := strconv.ParseUint(val, 10, 64)
+			if err != nil {
+				return Update{}, fmt.Errorf("wire: bad update serial %q", val)
+			}
+			u.Serial = n
+			sawSerial = true
+		case "hello":
+			u.Hello = val == "1"
+		case "key":
+			u.Key = val
+		case "old":
+			u.Old = val
+		case "new":
+			u.New = val
+		default:
+			// Unknown lines are skipped: future daemons may say more.
+		}
+	}
+	if !sawSerial {
+		return Update{}, fmt.Errorf("wire: update without serial")
+	}
+	return u, nil
+}

@@ -1,0 +1,110 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+
+	"identxx/internal/flow"
+	"identxx/internal/netaddr"
+)
+
+func updFlow() flow.Five {
+	return flow.Five{
+		SrcIP: netaddr.MustParseIP("10.0.0.1"), DstIP: netaddr.MustParseIP("10.0.0.2"),
+		Proto: netaddr.ProtoTCP, SrcPort: 40000, DstPort: 5060,
+	}
+}
+
+func TestUpdateRoundTrip(t *testing.T) {
+	cases := []Update{
+		{Flow: updFlow(), Key: "userID", Old: "alice", New: "", Serial: 7},
+		{Flow: updFlow(), Key: "name", Old: "skype", New: "notskype", Serial: 8},
+		{Key: "userID", Serial: 9},    // key-scoped, no flow
+		{Serial: 10},                  // resync
+		{Hello: true, Serial: 11},     // subscription ack
+		{Flow: updFlow(), Serial: 12}, // flow-scoped, no key
+		{Flow: updFlow(), Key: "v", Old: "a b", New: "c\nd", Serial: 13}, // newline sanitized
+	}
+	for i, u := range cases {
+		payload := EncodeUpdate(u)
+		got, err := DecodeUpdate(payload, u.Flow.SrcIP, u.Flow.DstIP)
+		if err != nil {
+			t.Fatalf("case %d: decode: %v", i, err)
+		}
+		want := u
+		want.New = sanitizeValue(want.New)
+		want.Old = sanitizeValue(want.Old)
+		if got != want {
+			t.Errorf("case %d: round trip %+v != %+v", i, got, want)
+		}
+	}
+}
+
+func TestUpdateScopePredicates(t *testing.T) {
+	if !(Update{Flow: updFlow(), Serial: 1}).FlowScoped() {
+		t.Error("flow-scoped update not recognized")
+	}
+	if (Update{Key: "k", Serial: 1}).FlowScoped() {
+		t.Error("key-scoped update claims a flow")
+	}
+	if !(Update{Serial: 1}).Resync() {
+		t.Error("bare update should be a resync")
+	}
+	if (Update{Hello: true, Serial: 1}).Resync() {
+		t.Error("hello is not a resync")
+	}
+	if (Update{Key: "k", Serial: 1}).Resync() {
+		t.Error("key-scoped update is not a resync")
+	}
+}
+
+func TestUpdateDecodeErrors(t *testing.T) {
+	if _, err := DecodeUpdate([]byte("6 1 2\nkey: x\n"), 0, 0); err == nil {
+		t.Error("update without serial accepted")
+	}
+	if _, err := DecodeUpdate(nil, 0, 0); err == nil {
+		t.Error("empty update accepted")
+	}
+	if _, err := DecodeUpdate([]byte("6 1 2\nserial: banana\n"), 0, 0); err == nil {
+		t.Error("bad serial accepted")
+	}
+	if _, err := DecodeUpdate([]byte("6 1 2\ngarbage\n"), 0, 0); err == nil {
+		t.Error("line without colon accepted")
+	}
+}
+
+func TestUpdateFrameRoundTrip(t *testing.T) {
+	u := Update{Flow: updFlow(), Key: "userID", Old: "alice", Serial: 3}
+	var buf bytes.Buffer
+	if err := WriteUpdate(&buf, u); err != nil {
+		t.Fatal(err)
+	}
+	f, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeUpdateFrame(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != u {
+		t.Errorf("frame round trip: %+v != %+v", got, u)
+	}
+}
+
+func TestSubscribeFrame(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSubscribe(&buf); err != nil {
+		t.Fatal(err)
+	}
+	f, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Type != FrameSubscribe {
+		t.Fatalf("type = %#02x, want subscribe", f.Type)
+	}
+	if len(f.Payload) != 0 {
+		t.Errorf("subscribe payload = %q, want empty", f.Payload)
+	}
+}
