@@ -60,12 +60,15 @@ bench:
 bench-m7:
 	$(GO) test -run=NONE -bench=BenchmarkM7 -benchtime=2s .
 
-# Compare the steady-state benchmarks (M7/M8) against a base ref and
+# Compare the steady-state benchmarks (M7-M12) against a base ref and
 # enforce the allocation budget, exactly as CI's bench-compare job does.
 # Requires a clean-enough tree for `git worktree add` of BASE (default
 # main). benchstat (golang.org/x/perf) enriches the report when installed;
 # the budget gate itself is the in-repo cmd/benchdiff, so no network or
-# extra tools are needed to run the check.
+# extra tools are needed to run the check. Besides the text report, the
+# run leaves BENCH_$(BENCH_COUNT).json in the repo root — the full
+# comparison serialized by benchdiff -json, written even when the gate
+# fails; CI uploads the same file as the job's artifact.
 BASE ?= main
 BENCH_COUNT ?= 3
 BENCH_TIME ?= 20000x
@@ -76,9 +79,9 @@ bench-compare:
 	git worktree add --detach $$tmp/base $(BASE) >/dev/null; \
 	trap 'git worktree remove --force '"$$tmp"'/base >/dev/null 2>&1; rm -rf '"$$tmp" EXIT; \
 	echo "== base ($(BASE)) =="; \
-	(cd $$tmp/base && $(GO) test -run=NONE -bench='M7_|M8_|M9_|M10_|M11_' -benchmem -count=$(BENCH_COUNT) -benchtime=$(BENCH_TIME) .) | tee $$tmp/base.txt; \
+	(cd $$tmp/base && $(GO) test -run=NONE -bench='M7_|M8_|M9_|M10_|M11_|M12_' -benchmem -count=$(BENCH_COUNT) -benchtime=$(BENCH_TIME) .) | tee $$tmp/base.txt; \
 	echo "== head =="; \
-	$(GO) test -run=NONE -bench='M7_|M8_|M9_|M10_|M11_' -benchmem -count=$(BENCH_COUNT) -benchtime=$(BENCH_TIME) . | tee $$tmp/head.txt; \
+	$(GO) test -run=NONE -bench='M7_|M8_|M9_|M10_|M11_|M12_' -benchmem -count=$(BENCH_COUNT) -benchtime=$(BENCH_TIME) . | tee $$tmp/head.txt; \
 	if command -v benchstat >/dev/null 2>&1; then benchstat $$tmp/base.txt $$tmp/head.txt || true; fi; \
 	$(GO) run ./cmd/benchdiff \
 		-max-allocs 'BenchmarkM7_ShardedHandleEvent=2' \
@@ -86,6 +89,8 @@ bench-compare:
 		-max-allocs 'BenchmarkM9_QueryPlane/hit=2' \
 		-max-allocs 'BenchmarkM10_PolicyEval/compiled=2' \
 		-max-allocs 'BenchmarkM11_Revocation/no-subscribers=2' \
+		-max-allocs 'BenchmarkM12_Megaflow/member-hit=2' \
+		-json BENCH_$(BENCH_COUNT).json \
 		$$tmp/base.txt $$tmp/head.txt
 
 # Short bursts of every fuzz target; regression seeds live in testdata/.

@@ -59,6 +59,51 @@ func TestAllocBudgetCacheHit(t *testing.T) {
 	}
 }
 
+// TestAllocBudgetMegaflowHit pins the megaflow member-hit path — one
+// class-table probe resolving the verdict, install under the class
+// cookie, path publication to the entry's teardown set — to the same
+// budget as the exact-cache hit. Each measured event is a different
+// member tuple (cycling source ports), so the probe, not a per-tuple
+// cache line, is what serves it.
+func TestAllocBudgetMegaflowHit(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool sheds entries randomly under -race; allocation counts are nondeterministic")
+	}
+	srcIP := netaddr.MustParseIP("10.0.0.1")
+	dstIP := netaddr.MustParseIP("10.0.0.2")
+	tr := &m7Transport{responses: map[netaddr.IP]map[string]string{
+		srcIP: {"name": "skype"},
+		dstIP: {"name": "skype"},
+	}}
+	ctl := core.New(core.Config{
+		Name:             "budget",
+		Policy:           pf.MustCompile("budget", m12Policy),
+		Transport:        tr,
+		Topology:         &m7Topo{hops: []core.Hop{{Datapath: 1, OutPort: 2}}},
+		InstallEntries:   true,
+		ResponseCacheTTL: time.Hour,
+		Revocation:       true,
+		Megaflow:         true,
+	})
+	ctl.AddDatapath(&m7Datapath{id: 1})
+
+	const class = 512
+	for i := 0; i < class; i++ { // founder decision + one warm lap
+		ctl.HandleEvent(m12Event(srcIP, dstIP, i))
+	}
+	sp := 0
+	got := allocsPerEvent(ctl, func() {
+		ctl.HandleEvent(m12Event(srcIP, dstIP, sp%class))
+		sp++
+	})
+	if got > allocBudget {
+		t.Fatalf("megaflow-hit HandleEvent allocates %.1f objects/op, budget is %d", got, allocBudget)
+	}
+	if _, hits, _, _ := ctl.MegaflowStats(); hits == 0 {
+		t.Fatal("megaflow-hit path not exercised")
+	}
+}
+
 // TestAllocBudgetMissLocalAnswer pins the cache-miss path where both ends
 // are answered from the controller's answer-on-behalf table: the full
 // two-ended query fan-out, pooled response-view construction, evaluation,

@@ -800,3 +800,99 @@ func itoa(n int) string {
 	}
 	return string(buf[i:])
 }
+
+// m12Policy reads endpoint state from the destination only, so the
+// field-use trace masks SrcIP/SrcPort away and every client of the
+// service lands in one traffic equivalence class.
+const m12Policy = "block all\npass from any to any port 5060 with eq(@dst[name], skype)"
+
+// m12Event is one member of the M12 class: fixed service tuple, varying
+// source port.
+func m12Event(srcIP, dstIP netaddr.IP, sp int) openflow.PacketIn {
+	return openflow.PacketIn{
+		SwitchID: 1, BufferID: openflow.BufferNone, InPort: 1,
+		Tuple: flow.Ten{
+			EthType: flow.EthTypeIPv4,
+			SrcIP:   srcIP, DstIP: dstIP, Proto: netaddr.ProtoTCP,
+			SrcPort: netaddr.Port(10000 + sp), DstPort: 5060,
+		},
+	}
+}
+
+// BenchmarkM12_Megaflow measures the megaflow wildcard cache (PR 6):
+//
+//   - member-hit: steady-state decision cost for flows inside an
+//     already-widened class, cycling 512 distinct source ports — one
+//     class-table probe instead of query+eval, and no exact-cache line
+//     per member. CI enforces ≤ 2 allocs/op on this path.
+//   - exact-baseline: the same 512-tuple workload with the megaflow
+//     layer off — every distinct tuple pays one full decision, then
+//     exact-cache hits; the per-tuple cache footprint this PR removes.
+//   - widen-install: the founder path — traced evaluation plus class
+//     insert and wide registration — against the plain decision above.
+func BenchmarkM12_Megaflow(b *testing.B) {
+	srcIP := netaddr.MustParseIP("10.0.0.1")
+	dstIP := netaddr.MustParseIP("10.0.0.2")
+	mkCtl := func(mega bool) *core.Controller {
+		tr := &m7Transport{responses: map[netaddr.IP]map[string]string{
+			srcIP: {"name": "skype"},
+			dstIP: {"name": "skype"},
+		}}
+		ctl := core.New(core.Config{
+			Name:             "m12",
+			Policy:           pf.MustCompile("m12", m12Policy),
+			Transport:        tr,
+			Topology:         &m7Topo{hops: []core.Hop{{Datapath: 1, OutPort: 2}}},
+			InstallEntries:   true,
+			ResponseCacheTTL: time.Hour,
+			Revocation:       true,
+			Megaflow:         mega,
+		})
+		ctl.AddDatapath(&m7Datapath{id: 1})
+		return ctl
+	}
+	eventAt := func(sp int) openflow.PacketIn { return m12Event(srcIP, dstIP, sp) }
+	const class = 512
+
+	b.Run("member-hit", func(b *testing.B) {
+		ctl := mkCtl(true)
+		for i := 0; i < class; i++ { // founder + one warm lap
+			ctl.HandleEvent(eventAt(i))
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ctl.HandleEvent(eventAt(i % class))
+		}
+		b.StopTimer()
+		if _, hits, _, _ := ctl.MegaflowStats(); hits < int64(b.N) {
+			b.Fatalf("megaflow hits = %d, want >= %d", hits, b.N)
+		}
+	})
+
+	b.Run("exact-baseline", func(b *testing.B) {
+		ctl := mkCtl(false)
+		for i := 0; i < class; i++ {
+			ctl.HandleEvent(eventAt(i))
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ctl.HandleEvent(eventAt(i % class))
+		}
+	})
+
+	b.Run("widen-install", func(b *testing.B) {
+		ctl := mkCtl(true)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ctl.HandleEvent(eventAt(i % class))
+			if i%class == class-1 {
+				b.StopTimer()
+				ctl.SetPolicy(pf.MustCompile("m12", m12Policy)) // flush: next lap re-widens
+				b.StartTimer()
+			}
+		}
+	})
+}

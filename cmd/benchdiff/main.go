@@ -7,7 +7,13 @@
 //
 // Usage:
 //
-//	benchdiff [-ns-warn pct] [-max-allocs regex=N ...] base.txt head.txt
+//	benchdiff [-ns-warn pct] [-max-allocs regex=N ...] [-json file] base.txt head.txt
+//
+// -json serializes the whole comparison — per-benchmark base/head
+// measurements, deltas, and every gate outcome — to a machine-readable
+// report, written even when the gate fails; CI uploads it as the run's
+// artifact so regressions can be charted across PRs without re-parsing
+// benchmark text.
 //
 // With -count > 1 runs in the inputs, the minimum per benchmark is used:
 // minima are noise-robust for both time and allocation measurements.
@@ -18,6 +24,7 @@ package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -61,6 +68,35 @@ func (b *budgetFlags) Set(s string) error {
 	}
 	*b = append(*b, budget{re: re, max: max})
 	return nil
+}
+
+// jsonMeasure is one side's aggregated measurements in the -json report.
+type jsonMeasure struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	HasMem      bool    `json:"has_mem"`
+}
+
+// jsonBench is one benchmark's comparison row in the -json report.
+type jsonBench struct {
+	Name            string       `json:"name"`
+	Base            *jsonMeasure `json:"base,omitempty"`
+	Head            jsonMeasure  `json:"head"`
+	AllocsRegressed bool         `json:"allocs_regressed,omitempty"`
+	BudgetExceeded  bool         `json:"budget_exceeded,omitempty"`
+	NsRegressed     bool         `json:"ns_regressed,omitempty"`
+}
+
+// jsonReport is the full serialized comparison -json writes.
+type jsonReport struct {
+	Benchmarks      []jsonBench `json:"benchmarks"`
+	MissingFromHead []string    `json:"missing_from_head,omitempty"`
+	Failed          bool        `json:"failed"`
+}
+
+func measureOf(r *result) jsonMeasure {
+	return jsonMeasure{NsPerOp: r.ns, BytesPerOp: r.bytes, AllocsPerOp: r.allocs, HasMem: r.hasMem}
 }
 
 // cpuSuffix strips the trailing -<GOMAXPROCS> go test appends to names.
@@ -119,6 +155,7 @@ func main() {
 	var budgets budgetFlags
 	nsWarn := flag.Float64("ns-warn", 10, "warn when head ns/op exceeds base by more than this percentage")
 	flag.Var(&budgets, "max-allocs", "regex=N absolute allocs/op budget for matching benchmarks (repeatable)")
+	jsonOut := flag.String("json", "", "write the full comparison (measurements and gate outcomes) as JSON to this file")
 	flag.Parse()
 	if flag.NArg() != 2 {
 		fmt.Fprintln(os.Stderr, "usage: benchdiff [flags] base.txt head.txt")
@@ -159,9 +196,15 @@ func main() {
 		fmt.Printf("::warning::%s present in base but missing from head (renamed or deleted?)\n", n)
 	}
 	budgetMatched := make([]bool, len(budgets))
+	report := jsonReport{Benchmarks: make([]jsonBench, 0, len(names)), MissingFromHead: baseOnly}
 	for _, name := range names {
 		h := head[name]
 		b, inBase := base[name]
+		row := jsonBench{Name: name, Head: measureOf(h)}
+		if inBase {
+			m := measureOf(b)
+			row.Base = &m
+		}
 		switch {
 		case inBase && b.hasMem && h.hasMem:
 			fmt.Printf("%-60s allocs %5.0f -> %-5.0f ns %9.1f -> %-9.1f\n",
@@ -175,6 +218,7 @@ func main() {
 
 		if inBase && b.hasMem && h.hasMem && h.allocs > b.allocs {
 			fmt.Printf("FAIL: %s allocs/op regressed %.0f -> %.0f\n", name, b.allocs, h.allocs)
+			row.AllocsRegressed = true
 			failed = true
 		}
 		for i, bd := range budgets {
@@ -184,13 +228,16 @@ func main() {
 			budgetMatched[i] = true
 			if h.hasMem && h.allocs > bd.max {
 				fmt.Printf("FAIL: %s allocs/op %.0f exceeds budget %.0f\n", name, h.allocs, bd.max)
+				row.BudgetExceeded = true
 				failed = true
 			}
 		}
 		if inBase && b.ns > 0 && h.ns > b.ns*(1+*nsWarn/100) {
 			fmt.Printf("::warning::%s ns/op regressed %.1f -> %.1f (>%g%% slack; timing-only, not failing)\n",
 				name, b.ns, h.ns, *nsWarn)
+			row.NsRegressed = true
 		}
+		report.Benchmarks = append(report.Benchmarks, row)
 	}
 	// A budget rule that matched nothing is a gate checking air — the
 	// benchmark was renamed or the regex typo'd. Fail loudly rather than
@@ -199,6 +246,21 @@ func main() {
 		if !budgetMatched[i] {
 			fmt.Printf("FAIL: -max-allocs rule %q matched no benchmark in head output\n", bd.re)
 			failed = true
+		}
+	}
+	// Write the report before the gate exits: a failed gate is exactly
+	// when the artifact is most wanted.
+	report.Failed = failed
+	if *jsonOut != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchdiff: marshal report:", err)
+			os.Exit(2)
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(*jsonOut, data, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "benchdiff:", err)
+			os.Exit(2)
 		}
 	}
 	if failed {

@@ -52,9 +52,15 @@ func main() {
 	queryTimeout := flag.Duration("query-timeout", 2*time.Second, "ident++ query timeout")
 	adminAddr := flag.String("admin", "127.0.0.1:7833", "admin listen address for `identctl revoke` (empty disables)")
 	leaseTTL := flag.Duration("revocation-lease", 5*time.Minute, "fact lease for daemons that do not push updates (0 disables)")
+	cacheTTL := flag.Duration("cache-ttl", 0, "response-cache TTL for repeated flow setups (0 disables caching)")
+	megaflow := flag.Bool("megaflow", false, "widen cached verdicts into wildcard megaflows (requires -cache-ttl)")
 	flag.Parse()
 	if *policyDir == "" || *topoFile == "" {
 		fmt.Fprintln(os.Stderr, "identctl: -policy and -topology are required")
+		os.Exit(2)
+	}
+	if *megaflow && *cacheTTL <= 0 {
+		fmt.Fprintln(os.Stderr, "identctl: -megaflow requires -cache-ttl > 0 (widened entries share the cache's TTL)")
 		os.Exit(2)
 	}
 	policy, err := pf.LoadControlDir(*policyDir)
@@ -94,6 +100,8 @@ func main() {
 		AsyncQueries:       true,
 		Revocation:         true,
 		RevocationLeaseTTL: *leaseTTL,
+		ResponseCacheTTL:   *cacheTTL,
+		Megaflow:           *megaflow,
 	})
 	// Close the revocation loop: daemon pushes demuxed by the pool land in
 	// the controller's teardown pipeline.

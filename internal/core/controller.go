@@ -146,6 +146,15 @@ type Config struct {
 	// disables the cache.
 	ResponseCacheTTL time.Duration
 
+	// Megaflow adds the wildcard decision cache in front of the exact
+	// response cache (megaflow.go): each full decision runs under the
+	// field-use trace and its verdict is widened to the traffic
+	// equivalence class that shares the header fields the decision
+	// actually consumed, so a new flow in a decided class resolves in one
+	// table probe — no query, no evaluation. Requires ResponseCacheTTL
+	// (widened entries live for the same TTL under the same epoch pin).
+	Megaflow bool
+
 	// Revocation enables the revocation plane: every cache-missing decision
 	// registers the (host, key) facts its verdict read in a fact-dependency
 	// index, and HandleUpdate — fed daemon-pushed endpoint-state updates by
@@ -225,6 +234,7 @@ type Controller struct {
 	state   atomic.Pointer[ctlState] // read-mostly snapshot; fast path loads once
 	writeMu sync.Mutex               // serializes snapshot writers only
 	flows   *shardTable              // sharded per-flow state (shard.go)
+	mega    *megaTable               // wildcard decision cache (nil unless Config.Megaflow)
 
 	// revoker is the revocation plane's fact-dependency index (nil unless
 	// Config.Revocation); leaseTTL the legacy-daemon lease fallback.
@@ -247,6 +257,8 @@ type Controller struct {
 		queryErrors, queryTimeouts          *atomic.Int64
 		answeredOnBehalf, headerOnly        *atomic.Int64
 		revUpdates, revFlows, revInflight   *atomic.Int64
+		megaHits, megaInstalls              *atomic.Int64
+		megaTeardowns                       *atomic.Int64
 	}
 }
 
@@ -316,6 +328,15 @@ func New(cfg Config) *Controller {
 	c.hot.revUpdates = c.Counters.Cell("revocations_updates")
 	c.hot.revFlows = c.Counters.Cell("revocations_flows")
 	c.hot.revInflight = c.Counters.Cell("revocations_inflight")
+	c.hot.megaHits = c.Counters.Cell("megaflow_hits")
+	c.hot.megaInstalls = c.Counters.Cell("megaflow_installs")
+	c.hot.megaTeardowns = c.Counters.Cell("megaflow_teardowns")
+	if cfg.Megaflow {
+		if cfg.ResponseCacheTTL <= 0 {
+			panic("core: Config.Megaflow requires ResponseCacheTTL > 0 (widened entries share the cache TTL)")
+		}
+		c.mega = newMegaTable(shards)
+	}
 	if cfg.Revocation {
 		c.revoker = revoke.NewIndex(shards)
 		c.leaseTTL = cfg.RevocationLeaseTTL
@@ -379,6 +400,12 @@ func (c *Controller) SetPolicy(p *pf.Policy) {
 	})
 
 	c.flows.flushAll()
+	if c.mega != nil {
+		// Widened verdicts are old-policy decisions too; flushing also
+		// kills each entry so member hits in flight self-clean instead of
+		// appending paths to an unreachable entry.
+		c.mega.flushAll()
+	}
 	if c.revoker != nil {
 		// Every registration described a decision of the old policy; the
 		// table flush below removes the entries wholesale.
@@ -515,6 +542,19 @@ func (c *Controller) HandleEvent(ev openflow.PacketIn) {
 	g := &s.gather
 	g.c, g.st = c, st
 
+	// Megaflow probe first: a flow inside an already-decided traffic
+	// equivalence class takes that class's verdict directly — no query,
+	// no evaluation, no exact-cache line of its own. The exact cache is
+	// consulted second so class-mates never accrete per-tuple entries.
+	if c.mega != nil {
+		if e := c.mega.lookup(five, c.clock(), st.epoch); e != nil {
+			c.hot.megaHits.Add(1)
+			g.mega = e
+			c.finishDecision(s)
+			return
+		}
+	}
+
 	// Cache probe first: for a cached key-dependent flow the decision is
 	// one shard lookup away, and header-only flows never store entries
 	// (see below), so the probe can never return a verdict the pre-pass
@@ -523,6 +563,9 @@ func (c *Controller) HandleEvent(ev openflow.PacketIn) {
 		if e, ok := sh.lookup(five, c.clock(), st.epoch); ok {
 			c.hot.cacheHits.Add(1)
 			g.src, g.dst = e.src, e.dst
+			// The lookup retained the entry's view refcount; the deferred
+			// cleanup in finishDecision releases the borrow.
+			g.cacheLife = e.life
 			g.fromCache = true
 			c.finishDecision(s)
 			return
@@ -623,7 +666,7 @@ func (c *Controller) finishDecision(s *decisionScratch) {
 		s.dp.ReleaseBuffer(s.ev.BufferID)
 		return
 	}
-	if !g.fromCache && !g.preDecided && c.cacheTTL > 0 && !g.srcTransient && !g.dstTransient {
+	if !g.fromCache && !g.preDecided && g.mega == nil && c.cacheTTL > 0 && !g.srcTransient && !g.dstTransient {
 		// Cache only decisions whose information is as good as it gets: a
 		// verdict shaped by a transient transport failure (timeout, reset,
 		// open breaker) must not pin its no-info view of the host for the
@@ -636,10 +679,26 @@ func (c *Controller) finishDecision(s *decisionScratch) {
 		// decision-owned and the post-publication re-check below settles
 		// the rest.
 		now := c.clock()
-		if sh.store(five, cacheEntry{src: g.src, dst: g.dst, expires: now.Add(c.cacheTTL), epoch: st.epoch}, now, c.cacheTTL, s.revSeq) {
+		// Controller-built views get a refcounted life: the cache holds
+		// one reference, each concurrent borrower (lookup) another, and
+		// the last release — on any eviction path or the final borrower's
+		// finish — returns the views to the pf pool. Daemon-returned
+		// responses are GC-owned and need no life.
+		var life *entryLife
+		if g.srcBuilt || g.dstBuilt {
+			life = &entryLife{}
+			if g.srcBuilt {
+				life.src = g.src
+			}
+			if g.dstBuilt {
+				life.dst = g.dst
+			}
+			life.refs.Store(1)
+		}
+		if sh.store(five, cacheEntry{src: g.src, dst: g.dst, expires: now.Add(c.cacheTTL), epoch: st.epoch, life: life}, now, c.cacheTTL, s.revSeq) {
 			// The cache owns the responses now (decisions across goroutines
-			// may borrow them until eviction); they must never return to the
-			// pool.
+			// may borrow them until eviction); the shard releases the life
+			// when the entry leaves.
 			g.srcBuilt, g.dstBuilt = false, false
 		}
 	}
@@ -648,11 +707,25 @@ func (c *Controller) finishDecision(s *decisionScratch) {
 	bd.QuerySrc, bd.QueryDst = g.qsrc, g.qdst
 
 	var d pf.Decision
-	if g.preDecided {
+	var tr pf.Trace
+	traced := false
+	switch {
+	case g.preDecided:
 		// The header-only pre-pass already decided (and timed itself into
 		// bd.Eval); evaluating again would just re-derive it.
 		d = g.pre
-	} else {
+	case g.mega != nil:
+		// Megaflow hit: the class verdict is the flow's verdict. Installs
+		// below carry the class cookie so one wildcard delete tears every
+		// member's entries down with the class.
+		d = pf.Decision{Action: g.mega.action, Rule: g.mega.rule, Matched: g.mega.matched, KeepState: g.mega.keepState}
+		s.cookie = g.mega.cookie
+	case c.mega != nil && !g.fromCache:
+		evalStart := time.Now()
+		d, tr = st.policy.EvaluateTraced(pf.Input{Flow: five, Src: g.src, Dst: g.dst})
+		bd.Eval = time.Since(evalStart)
+		traced = true
+	default:
 		evalStart := time.Now()
 		d = st.policy.Evaluate(pf.Input{Flow: five, Src: g.src, Dst: g.dst})
 		bd.Eval = time.Since(evalStart)
@@ -682,12 +755,32 @@ func (c *Controller) finishDecision(s *decisionScratch) {
 		c.hot.evalDiags.Add(int64(len(d.Diags)))
 	}
 
+	if g.mega != nil {
+		// Publish this member's installed datapaths to the class's
+		// teardown set. Refusal means the class was torn down while this
+		// hit was installing: its entries postdate the teardown's path
+		// snapshot, so the hit deletes its own installs — the self-clean
+		// half of the teardown handshake (megaflow.go).
+		if !g.mega.addPaths(s.pathIDs) {
+			c.deleteMegaAt(st, g.mega.cookie, s.pathIDs)
+			c.Counters.Add("megaflow_hit_raced", 1)
+		}
+	} else if traced && !g.preDecided && !g.srcTransient && !g.dstTransient && !tr.CoversAllFields() {
+		// Widen the verdict to its traffic equivalence class. Skipped when
+		// the trace consumed every field (the class is one flow — the
+		// exact cache already covers it) and for transient-trouble
+		// decisions (same reason they are not cached). Insertion happens
+		// before the publication re-check below, closing the race with a
+		// concurrent fact update (see megaInstall).
+		c.megaInstall(s, st, d, tr)
+	}
+
 	// Revocation plane: record which endpoint facts this verdict read, so
 	// a daemon-pushed update resolves straight to this flow. Cache hits
 	// keep the registration their original miss created, and header-only
 	// decisions read no endpoint facts at all; neither touches the index —
 	// the hot paths stay exactly as fast as without revocation.
-	if c.revoker != nil && !g.fromCache && !g.preDecided && (c.install || c.cacheTTL > 0) {
+	if c.revoker != nil && !g.fromCache && !g.preDecided && g.mega == nil && (c.install || c.cacheTTL > 0) {
 		c.registerDeps(s)
 		// Publication re-check: a revocation that landed after the entry
 		// check at the top resolved to nothing (neither the cache entry
@@ -916,7 +1009,12 @@ func (c *Controller) installPath(st *ctlState, ingress openflow.Datapath, ev ope
 		ingress.ReleaseBuffer(ev.BufferID)
 		return
 	}
-	cookie := five.Hash() | 1 // non-zero so delete-by-cookie can target it
+	cookie := five.Hash() | 1 // non-zero (odd) so delete-by-cookie can target it
+	if s.cookie != 0 {
+		// Megaflow member: entries carry the class cookie (even, disjoint
+		// from the exact space) so one wildcard delete tears the class down.
+		cookie = s.cookie
+	}
 	s.dps, s.mods = c.pathMods(st, hops, five, cookie, true, ev.SwitchID, ev.BufferID, s.dps[:0], s.mods[:0])
 	c.applyMods(s, s.dps, s.mods)
 	c.hot.installs.Add(int64(len(hops)))
@@ -937,11 +1035,12 @@ func (c *Controller) installPath(st *ctlState, ingress openflow.Datapath, ev ope
 	}
 }
 
-// collectPathIDs records the datapaths the just-applied batch touched, for
-// the revocation plane's teardown-along-path. Skipped entirely when
-// revocation is off: the hot path pays one nil check.
+// collectPathIDs records the datapaths the just-applied batch touched,
+// for the revocation plane's teardown-along-path and the megaflow
+// layer's per-class path set. Skipped entirely when both are off: the
+// hot path pays two nil checks.
 func (c *Controller) collectPathIDs(s *decisionScratch) {
-	if c.revoker == nil {
+	if c.revoker == nil && c.mega == nil {
 		return
 	}
 	for _, dp := range s.dps {
@@ -965,11 +1064,15 @@ func (c *Controller) installDrop(dp openflow.Datapath, ev openflow.PacketIn, fiv
 	if !c.install {
 		return
 	}
+	cookie := five.Hash() | 1
+	if s.cookie != 0 {
+		cookie = s.cookie
+	}
 	mod := openflow.FlowMod{
 		Match:       flow.FiveMatch(five),
 		Priority:    100,
 		Actions:     openflow.Drop,
-		Cookie:      five.Hash() | 1,
+		Cookie:      cookie,
 		IdleTimeout: c.idle,
 		HardTimeout: c.hard,
 		BufferID:    openflow.BufferNone,
@@ -977,7 +1080,7 @@ func (c *Controller) installDrop(dp openflow.Datapath, ev openflow.PacketIn, fiv
 	if err := dp.Apply(mod); err != nil {
 		c.hot.installErrors.Add(1)
 	}
-	if c.revoker != nil {
+	if c.revoker != nil || c.mega != nil {
 		// A deny entry is as revocable as a pass entry: a fact change can
 		// flip the verdict, and the drop entry must not outlive its facts.
 		s.pathIDs = appendPathID(s.pathIDs, ev.SwitchID)

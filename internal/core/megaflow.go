@@ -1,0 +1,447 @@
+package core
+
+import (
+	"math/bits"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"identxx/internal/flow"
+	"identxx/internal/openflow"
+	"identxx/internal/pf"
+	"identxx/internal/revoke"
+)
+
+// The megaflow layer caches one verdict per traffic equivalence class
+// instead of one per exact 5-tuple — the Open vSwitch megaflow insight
+// applied to the paper's controller. A full decision run under the
+// field-use trace (pf.EvaluateTraced) reports which header fields the
+// matched path actually consumed; every flow agreeing with the decided
+// flow on exactly those fields takes the same path through the program
+// and gets the same verdict, so finishDecision installs one widened
+// entry keyed by the masked tuple and every member of the class resolves
+// in a single table probe — no query, no evaluation, no exact-cache
+// line per member.
+//
+// Correctness leans on three invariants:
+//
+//   - Entries are pinned to the policy epoch and the response-cache TTL,
+//     exactly like exact entries, so SetPolicy and expiry invalidate them
+//     identically.
+//   - Entries whose verdict read endpoint facts register those facts in
+//     the revocation index's wide side (one entry ↔ many installed
+//     paths), so a daemon-pushed update tears the whole class down in
+//     O(affected). The trace forces a queried end's IP and port into the
+//     mask, so every member of a class shares the traced end — the facts
+//     of one member are the facts of all.
+//   - A teardown racing a member's in-flight hit is settled by the dead
+//     flag: the teardown's path snapshot is taken under the entry lock,
+//     and a hit that installed entries after the snapshot finds
+//     addPaths refused and deletes its own installs (the hit self-
+//     cleans). Either the teardown saw the paths or the hit cleans up;
+//     no switch entry survives unaccounted.
+
+// megaKey identifies one equivalence class: the founder's tuple with
+// untraced fields zeroed, plus the mask itself (the same masked bytes
+// under different masks are different classes).
+type megaKey struct {
+	masked flow.Five
+	mask   uint8
+}
+
+// megaEntry is one widened verdict. The verdict fields are copies — no
+// response views are retained, so the entry never pins pooled memory.
+type megaEntry struct {
+	id      uint64
+	cookie  uint64 // id<<1: even, disjoint from exact cookies (hash|1, odd)
+	founder flow.Five
+	masked  flow.Five
+	mask    uint8
+	epoch   uint64
+	expires time.Time
+
+	action    pf.Action
+	rule      *pf.Rule
+	matched   bool
+	keepState bool
+
+	hits atomic.Int64
+
+	// dead flips exactly once, under mu, when the entry is retired;
+	// lookup reads it lock-free (a stale read is settled by addPaths).
+	// paths accumulates every datapath a member's install touched, so
+	// teardown deletes everywhere the class left state.
+	dead  atomic.Bool
+	mu    sync.Mutex
+	paths []uint64
+}
+
+// addPaths merges a member decision's installed datapaths into the
+// entry's teardown set. ok=false means the entry was retired first: the
+// member's installs postdate the teardown's path snapshot and the
+// caller must delete them itself.
+func (e *megaEntry) addPaths(ids []uint64) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.dead.Load() {
+		return false
+	}
+	for _, id := range ids {
+		e.paths = appendPathID(e.paths, id)
+	}
+	return true
+}
+
+// kill retires the entry, returning its path snapshot. ok=false means
+// another retirer won; exactly one caller performs the teardown.
+func (e *megaEntry) kill() ([]uint64, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.dead.Load() {
+		return nil, false
+	}
+	e.dead.Store(true)
+	return e.paths, true
+}
+
+// megaShard is one lock domain of the class table.
+type megaShard struct {
+	mu        sync.Mutex
+	entries   map[megaKey]*megaEntry
+	lastSweep time.Time
+}
+
+// megaTable is the sharded megaflow cache. Lookup probes one map per
+// active mask: the mask census (maskCounts/active) tracks which of the
+// 16 possible field masks have resident entries, so a probe costs
+// popcount(active) map reads — in practice one or two, since a policy
+// produces few distinct masks — instead of 16.
+type megaTable struct {
+	shards []megaShard
+	mask   uint64
+	nextID atomic.Uint64
+
+	byIDMu sync.Mutex
+	byID   map[uint64]*megaEntry
+
+	maskMu     sync.Mutex
+	maskCounts [16]int
+	active     atomic.Uint32 // bitset over masks with resident entries
+}
+
+func newMegaTable(n int) *megaTable {
+	n = ceilPow2(n)
+	t := &megaTable{
+		shards: make([]megaShard, n),
+		mask:   uint64(n - 1),
+		byID:   make(map[uint64]*megaEntry),
+	}
+	for i := range t.shards {
+		t.shards[i].entries = make(map[megaKey]*megaEntry)
+	}
+	return t
+}
+
+func (t *megaTable) shardFor(k megaKey) *megaShard {
+	h := k.masked.Hash() ^ (uint64(k.mask) * 0x9e3779b97f4a7c15)
+	return &t.shards[h&t.mask]
+}
+
+func (t *megaTable) maskAcquire(m uint8) {
+	t.maskMu.Lock()
+	t.maskCounts[m]++
+	if t.maskCounts[m] == 1 {
+		t.active.Store(t.active.Load() | 1<<m)
+	}
+	t.maskMu.Unlock()
+}
+
+func (t *megaTable) maskRelease(m uint8) {
+	t.maskMu.Lock()
+	t.maskCounts[m]--
+	if t.maskCounts[m] == 0 {
+		t.active.Store(t.active.Load() &^ (1 << m))
+	}
+	t.maskMu.Unlock()
+}
+
+// lookup probes the active masks for a live, current-epoch, unexpired
+// entry covering f. The winning entry's hit counter is bumped here so
+// the caller's fast path stays load-only.
+func (t *megaTable) lookup(f flow.Five, now time.Time, epoch uint64) *megaEntry {
+	active := t.active.Load()
+	for active != 0 {
+		m := uint8(bits.TrailingZeros32(active))
+		active &= active - 1
+		k := megaKey{masked: pf.Trace{Fields: m}.Mask(f), mask: m}
+		sh := t.shardFor(k)
+		sh.mu.Lock()
+		e := sh.entries[k]
+		sh.mu.Unlock()
+		if e != nil && e.epoch == epoch && now.Before(e.expires) && !e.dead.Load() {
+			e.hits.Add(1)
+			return e
+		}
+	}
+	return nil
+}
+
+// insert publishes e unless a live entry for the same class is already
+// resident (a founder race: the caller keeps its own verdict and skips
+// the wide registration). A stale resident (dead, expired, old epoch) is
+// displaced and returned in swept, along with anything the opportunistic
+// per-shard TTL sweep collected; the caller retires swept entries and
+// drops their wide registrations. resident is nil when e went in.
+func (t *megaTable) insert(e *megaEntry, now time.Time, ttl time.Duration) (resident *megaEntry, swept []*megaEntry) {
+	k := megaKey{masked: e.masked, mask: e.mask}
+	sh := t.shardFor(k)
+	sh.mu.Lock()
+	if sh.lastSweep.IsZero() {
+		sh.lastSweep = now
+	} else if now.Sub(sh.lastSweep) >= ttl {
+		for ok, old := range sh.entries {
+			if ok != k && !now.Before(old.expires) {
+				delete(sh.entries, ok)
+				swept = append(swept, old)
+			}
+		}
+		sh.lastSweep = now
+	}
+	if res, ok := sh.entries[k]; ok {
+		if res.epoch == e.epoch && now.Before(res.expires) && !res.dead.Load() {
+			sh.mu.Unlock()
+			return res, swept
+		}
+		swept = append(swept, res)
+	}
+	sh.entries[k] = e
+	sh.mu.Unlock()
+	t.byIDMu.Lock()
+	t.byID[e.id] = e
+	t.byIDMu.Unlock()
+	t.maskAcquire(e.mask)
+	return nil, swept
+}
+
+// get resolves a wide-registration id back to its entry.
+func (t *megaTable) get(id uint64) *megaEntry {
+	t.byIDMu.Lock()
+	e := t.byID[id]
+	t.byIDMu.Unlock()
+	return e
+}
+
+// retire kills e and unlinks it from the id map and the mask census,
+// returning its installed-path snapshot. Exactly one caller gets
+// ok=true per entry; the shard-map removal is separate (remove) because
+// sweep paths have already unmapped the entry.
+func (t *megaTable) retire(e *megaEntry) ([]uint64, bool) {
+	paths, ok := e.kill()
+	if !ok {
+		return nil, false
+	}
+	t.byIDMu.Lock()
+	delete(t.byID, e.id)
+	t.byIDMu.Unlock()
+	t.maskRelease(e.mask)
+	return paths, true
+}
+
+// remove unmaps e from its class slot if it is still the resident entry.
+func (t *megaTable) remove(e *megaEntry) {
+	k := megaKey{masked: e.masked, mask: e.mask}
+	sh := t.shardFor(k)
+	sh.mu.Lock()
+	if sh.entries[k] == e {
+		delete(sh.entries, k)
+	}
+	sh.mu.Unlock()
+}
+
+// covering returns the live entries whose class contains f, across all
+// active masks — the teardown-side dual of lookup, indifferent to epoch
+// and expiry (a stale covering entry must still be torn down: its
+// switch entries are live until someone deletes them).
+func (t *megaTable) covering(f flow.Five, dst []*megaEntry) []*megaEntry {
+	active := t.active.Load()
+	for active != 0 {
+		m := uint8(bits.TrailingZeros32(active))
+		active &= active - 1
+		k := megaKey{masked: pf.Trace{Fields: m}.Mask(f), mask: m}
+		sh := t.shardFor(k)
+		sh.mu.Lock()
+		e := sh.entries[k]
+		sh.mu.Unlock()
+		if e != nil && !e.dead.Load() {
+			dst = append(dst, e)
+		}
+	}
+	return dst
+}
+
+// flushAll empties the table and kills every resident entry, so member
+// hits in flight across a policy swap find addPaths refused and clean
+// up after themselves instead of appending to an unreachable entry.
+func (t *megaTable) flushAll() {
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.Lock()
+		old := sh.entries
+		sh.entries = make(map[megaKey]*megaEntry)
+		sh.lastSweep = time.Time{}
+		sh.mu.Unlock()
+		for _, e := range old {
+			e.kill()
+		}
+	}
+	t.byIDMu.Lock()
+	t.byID = make(map[uint64]*megaEntry)
+	t.byIDMu.Unlock()
+	t.maskMu.Lock()
+	t.maskCounts = [16]int{}
+	t.active.Store(0)
+	t.maskMu.Unlock()
+}
+
+// live counts resident entries; a diagnostics helper.
+func (t *megaTable) live() int {
+	n := 0
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.Lock()
+		n += len(sh.entries)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// megaInstall widens a freshly decided verdict into the class table and
+// registers its fact dependencies in the revocation index's wide side.
+// Runs on the decision path after install, before the publication
+// re-check: a fact update racing this insert either finds the entry
+// (its covering probe runs after its rev bump, which the re-check
+// observes) or the re-check fires and tears the entry straight back
+// down — in neither interleaving does a widened verdict survive facts
+// it predates.
+func (c *Controller) megaInstall(s *decisionScratch, st *ctlState, d pf.Decision, tr pf.Trace) {
+	g := &s.gather
+	now := c.clock()
+	e := &megaEntry{
+		id:        c.mega.nextID.Add(1),
+		founder:   s.five,
+		masked:    tr.Mask(s.five),
+		mask:      tr.Fields,
+		epoch:     st.epoch,
+		expires:   now.Add(c.cacheTTL),
+		action:    d.Action,
+		rule:      d.Rule,
+		matched:   d.Matched,
+		keepState: d.KeepState,
+	}
+	e.cookie = e.id << 1
+	resident, swept := c.mega.insert(e, now, c.cacheTTL)
+	for _, old := range swept {
+		if _, ok := c.mega.retire(old); ok {
+			if c.revoker != nil {
+				c.revoker.DropWide(old.id)
+			}
+			c.Counters.Add("megaflow_expired", 1)
+		}
+	}
+	if resident != nil {
+		// Founder race: another decision widened this class first. Our
+		// own installs carry the exact cookie and our exact registration
+		// covers them; nothing to merge.
+		return
+	}
+	c.hot.megaInstalls.Add(1)
+	if c.revoker == nil {
+		return
+	}
+	facts := make([]revoke.Fact, 0, 2+len(g.qs.Keys)+len(g.qd.Keys))
+	leased := false
+	if tr.SrcRead {
+		facts = append(facts, revoke.Fact{Host: s.five.SrcIP})
+		for _, k := range g.qs.Keys {
+			facts = append(facts, revoke.Fact{Host: s.five.SrcIP, Key: k})
+		}
+		leased = leased || !c.revoker.PushCapable(s.five.SrcIP)
+	}
+	if tr.DstRead {
+		facts = append(facts, revoke.Fact{Host: s.five.DstIP})
+		for _, k := range g.qd.Keys {
+			facts = append(facts, revoke.Fact{Host: s.five.DstIP, Key: k})
+		}
+		leased = leased || !c.revoker.PushCapable(s.five.DstIP)
+	}
+	var lease time.Time
+	if c.leaseTTL > 0 && leased && len(facts) > 0 {
+		lease = now.Add(c.leaseTTL)
+	}
+	c.revoker.RegisterWide(e.id, facts, lease)
+}
+
+// teardownMega retires one widened entry and deletes the class's
+// installed entries at every datapath its members touched, by the
+// entry's cookie under an all-fields wildcard — one delete mod per
+// datapath covers every member tuple. deleteEntries=false is the TTL-
+// expiry case: switch entries idle out on their own, matching the exact
+// cache's expiry semantics.
+func (c *Controller) teardownMega(st *ctlState, e *megaEntry, reason string, deleteEntries bool) bool {
+	paths, ok := c.mega.retire(e)
+	if !ok {
+		return false
+	}
+	c.mega.remove(e)
+	if c.revoker != nil {
+		c.revoker.DropWide(e.id)
+	}
+	if deleteEntries {
+		c.deleteMegaAt(st, e.cookie, paths)
+	}
+	c.hot.megaTeardowns.Add(1)
+	c.Audit.Record(AuditEntry{
+		Time:    c.clock(),
+		Flow:    e.founder,
+		Action:  pf.Block,
+		Rule:    "(megaflow revoked: " + reason + ")",
+		Revoked: true,
+	})
+	return true
+}
+
+// deleteMegaAt issues one cookie-scoped wildcard delete per datapath,
+// through the shared install fan-out as installs and exact teardowns do.
+func (c *Controller) deleteMegaAt(st *ctlState, cookie uint64, paths []uint64) {
+	if len(paths) == 0 {
+		return
+	}
+	var wg sync.WaitGroup
+	ch := installCh()
+	for _, id := range paths {
+		dp := st.datapaths[id]
+		if dp == nil {
+			continue
+		}
+		m := openflow.FlowMod{Delete: true, Cookie: cookie, Match: flow.MatchAll(), BufferID: openflow.BufferNone}
+		wg.Add(1)
+		select {
+		case ch <- installJob{dp: dp, mod: m, wg: &wg, errs: c.hot.installErrors}:
+		default:
+			if err := dp.Apply(m); err != nil {
+				c.hot.installErrors.Add(1)
+			}
+			wg.Done()
+		}
+	}
+	wg.Wait()
+}
+
+// MegaflowStats reports the class table's occupancy and lifetime
+// hit/install/teardown totals. Zeros when the megaflow layer is off.
+func (c *Controller) MegaflowStats() (live int, hits, installs, teardowns int64) {
+	if c.mega == nil {
+		return 0, 0, 0, 0
+	}
+	return c.mega.live(), c.hot.megaHits.Load(), c.hot.megaInstalls.Load(), c.hot.megaTeardowns.Load()
+}

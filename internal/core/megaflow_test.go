@@ -1,0 +1,424 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"identxx/internal/flow"
+	"identxx/internal/netaddr"
+	"identxx/internal/openflow"
+	"identxx/internal/pf"
+	"identxx/internal/wire"
+)
+
+// megaPolicy reads endpoint state from the destination only: the matched
+// path consumes DstIP (key read pins the queried end) and DstPort (the
+// port guard), so every source talking to the same service is one traffic
+// equivalence class.
+const megaPolicy = "block all\npass from any to any port 5060 with eq(@dst[name], skype)"
+
+func newMegaController(t *testing.T, policy string, leaseTTL time.Duration, clock func() time.Time) (*Controller, *fakeTransport, *fakeDatapath, *fakeDatapath) {
+	t.Helper()
+	tr := &fakeTransport{responses: map[netaddr.IP]map[string]string{
+		hostA: {"name": "skype"},
+		hostB: {"name": "skype"},
+	}}
+	dp1 := &fakeDatapath{id: 1}
+	dp2 := &fakeDatapath{id: 2}
+	c := New(Config{
+		Name:               "mega",
+		Policy:             pf.MustCompile("mega", policy),
+		Transport:          tr,
+		Topology:           &fakeTopo{hops: []Hop{{Datapath: 1, OutPort: 2}, {Datapath: 2, OutPort: 3}}},
+		InstallEntries:     true,
+		ResponseCacheTTL:   time.Hour,
+		Revocation:         true,
+		RevocationLeaseTTL: leaseTTL,
+		Megaflow:           true,
+		Clock:              clock,
+	})
+	c.AddDatapath(dp1)
+	c.AddDatapath(dp2)
+	return c, tr, dp1, dp2
+}
+
+func megaFlow(src netaddr.IP, sp int) flow.Five {
+	return flow.Five{SrcIP: src, DstIP: hostB, Proto: netaddr.ProtoTCP,
+		SrcPort: netaddr.Port(sp), DstPort: 5060}
+}
+
+func (t *fakeTransport) queryCount() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.queries
+}
+
+// TestMegaflowClassHit is the tentpole's core contract: the first flow of
+// a class decides and widens; every later flow agreeing on the traced
+// fields resolves from the megaflow table — no query, no evaluation, no
+// exact-cache line of its own — and its installs carry the class cookie.
+func TestMegaflowClassHit(t *testing.T) {
+	c, tr, dp1, _ := newMegaController(t, megaPolicy, 0, nil)
+
+	founder := megaFlow(hostA, 40000)
+	c.HandleEvent(sampleEvent(founder, 1))
+	if got := c.Counters.Get("flows_allowed"); got != 1 {
+		t.Fatalf("founder not allowed; %s", c.Counters)
+	}
+	live, hits, installs, _ := c.MegaflowStats()
+	if live != 1 || installs != 1 || hits != 0 {
+		t.Fatalf("after founder: live=%d hits=%d installs=%d, want 1/0/1", live, hits, installs)
+	}
+	if c.CachedFlows() != 1 {
+		t.Fatalf("founder exact entry missing: cached=%d", c.CachedFlows())
+	}
+	queriesAfterFounder := tr.queryCount()
+	modsAfterFounder := dp1.modCount()
+
+	// Members: same destination service, different source port and even a
+	// different (daemon-less) source host — all inside the founder's class.
+	hostC := netaddr.MustParseIP("10.0.0.3")
+	members := []flow.Five{megaFlow(hostA, 40001), megaFlow(hostC, 12345)}
+	for _, f := range members {
+		c.HandleEvent(sampleEvent(f, 1))
+	}
+	if got := c.Counters.Get("flows_allowed"); got != 3 {
+		t.Fatalf("members not allowed; %s", c.Counters)
+	}
+	if got := tr.queryCount(); got != queriesAfterFounder {
+		t.Errorf("members queried daemons: %d -> %d queries", queriesAfterFounder, got)
+	}
+	_, hits, installs, _ = c.MegaflowStats()
+	if hits != 2 || installs != 1 {
+		t.Errorf("after members: hits=%d installs=%d, want 2/1", hits, installs)
+	}
+	if c.CachedFlows() != 1 {
+		t.Errorf("members accreted exact entries: cached=%d, want 1", c.CachedFlows())
+	}
+
+	// Member installs carry the even class cookie; the founder's carry its
+	// odd exact cookie. One wildcard delete per datapath can therefore
+	// tear the whole class without touching the founder's exact entries.
+	founderCookie := founder.Hash() | 1
+	dp1.mu.Lock()
+	memberMods := dp1.mods[modsAfterFounder:]
+	var classCookie uint64
+	for _, m := range memberMods {
+		if m.Cookie == founderCookie {
+			t.Errorf("member install reused the founder's exact cookie %#x", m.Cookie)
+		}
+		if m.Cookie&1 != 0 {
+			t.Errorf("member install cookie %#x is odd; class cookies are even", m.Cookie)
+		}
+		if classCookie == 0 {
+			classCookie = m.Cookie
+		} else if m.Cookie != classCookie {
+			t.Errorf("member installs disagree on class cookie: %#x vs %#x", m.Cookie, classCookie)
+		}
+	}
+	if len(memberMods) == 0 {
+		t.Error("member hits installed no entries")
+	}
+	dp1.mu.Unlock()
+}
+
+// TestMegaflowFactUpdateTearsDownClass: revoking a fact the widened
+// verdict read tears down the megaflow entry and deletes every member's
+// installed entries with one cookie-scoped wildcard per datapath.
+func TestMegaflowFactUpdateTearsDownClass(t *testing.T) {
+	c, tr, dp1, dp2 := newMegaController(t, megaPolicy, 0, nil)
+
+	c.HandleEvent(sampleEvent(megaFlow(hostA, 40000), 1)) // founder
+	c.HandleEvent(sampleEvent(megaFlow(hostA, 40001), 1)) // member
+	c.HandleEvent(sampleEvent(megaFlow(hostA, 40002), 1)) // member
+	_, hits, _, _ := c.MegaflowStats()
+	if hits != 2 {
+		t.Fatalf("setup: member hits = %d, want 2", hits)
+	}
+
+	c.HandleUpdate(hostB, wire.Update{Key: "name", Old: "skype", New: "", Serial: 1})
+
+	live, _, _, teardowns := c.MegaflowStats()
+	if live != 0 || teardowns != 1 {
+		t.Fatalf("after update: live=%d teardowns=%d, want 0/1", live, teardowns)
+	}
+	for _, dp := range []*fakeDatapath{dp1, dp2} {
+		found := false
+		for _, m := range dp.deleteMods() {
+			if m.Cookie&1 == 0 && m.Match == flow.MatchAll() {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("dp%d: no cookie-scoped wildcard delete for the class", dp.id)
+		}
+	}
+
+	// The next member packet finds no class and re-decides from scratch:
+	// daemons re-queried, a fresh widened entry installed.
+	before := tr.queryCount()
+	c.HandleEvent(sampleEvent(megaFlow(hostA, 40003), 1))
+	if got := tr.queryCount(); got == before {
+		t.Error("post-teardown member did not re-query")
+	}
+	live, _, installs, _ := c.MegaflowStats()
+	if live != 1 || installs != 2 {
+		t.Errorf("post-teardown re-widen: live=%d installs=%d, want 1/2", live, installs)
+	}
+}
+
+// TestMegaflowSetPolicyFlush: a policy swap empties the class table the
+// same way it flushes the exact cache; stale verdicts never survive into
+// the new epoch.
+func TestMegaflowSetPolicyFlush(t *testing.T) {
+	c, tr, _, _ := newMegaController(t, megaPolicy, 0, nil)
+	c.HandleEvent(sampleEvent(megaFlow(hostA, 40000), 1))
+	if live, _, _, _ := c.MegaflowStats(); live != 1 {
+		t.Fatalf("setup: live = %d", live)
+	}
+
+	c.SetPolicy(pf.MustCompile("mega2", megaPolicy))
+	if live, _, _, _ := c.MegaflowStats(); live != 0 {
+		t.Fatalf("after SetPolicy: live = %d, want 0", live)
+	}
+
+	before := tr.queryCount()
+	c.HandleEvent(sampleEvent(megaFlow(hostA, 40001), 1))
+	if tr.queryCount() == before {
+		t.Error("post-swap flow did not re-query")
+	}
+	_, hits, installs, _ := c.MegaflowStats()
+	if hits != 0 || installs != 2 {
+		t.Errorf("post-swap: hits=%d installs=%d, want 0/2", hits, installs)
+	}
+}
+
+// TestMegaflowTTLExpiry: widened entries share the response-cache TTL. An
+// expired class stops serving hits, and the displacing re-decision counts
+// it as expired without issuing deletes — switch entries idle out, exactly
+// like the exact cache's expiry semantics.
+func TestMegaflowTTLExpiry(t *testing.T) {
+	now := time.Unix(1000, 0)
+	var mu sync.Mutex
+	clock := func() time.Time { mu.Lock(); defer mu.Unlock(); return now }
+	c, tr, dp1, _ := newMegaController(t, megaPolicy, 0, clock)
+
+	c.HandleEvent(sampleEvent(megaFlow(hostA, 40000), 1))
+	deletesBefore := len(dp1.deleteMods())
+
+	mu.Lock()
+	now = now.Add(2 * time.Hour)
+	mu.Unlock()
+
+	before := tr.queryCount()
+	c.HandleEvent(sampleEvent(megaFlow(hostA, 40001), 1))
+	if tr.queryCount() == before {
+		t.Error("expired class still served a hit")
+	}
+	if got := c.Counters.Get("megaflow_expired"); got != 1 {
+		t.Errorf("megaflow_expired = %d, want 1", got)
+	}
+	if got := len(dp1.deleteMods()); got != deletesBefore {
+		t.Errorf("expiry issued deletes: %d -> %d; entries should idle out", deletesBefore, got)
+	}
+	live, _, installs, _ := c.MegaflowStats()
+	if live != 1 || installs != 2 {
+		t.Errorf("post-expiry: live=%d installs=%d, want 1/2", live, installs)
+	}
+}
+
+// TestMegaflowRevokeFlowMemberTearsClass: revoking one member tears down
+// the whole class — the member's installed entries carry the class
+// cookie, unreachable by exact-cookie deletes, so conservative class
+// teardown is the only correct answer.
+func TestMegaflowRevokeFlowMemberTearsClass(t *testing.T) {
+	c, _, dp1, _ := newMegaController(t, megaPolicy, 0, nil)
+	c.HandleEvent(sampleEvent(megaFlow(hostA, 40000), 1)) // founder
+	member := megaFlow(hostA, 40001)
+	c.HandleEvent(sampleEvent(member, 1))
+
+	c.RevokeFlow(member)
+
+	live, _, _, teardowns := c.MegaflowStats()
+	if live != 0 || teardowns != 1 {
+		t.Fatalf("after RevokeFlow(member): live=%d teardowns=%d, want 0/1", live, teardowns)
+	}
+	found := false
+	for _, m := range dp1.deleteMods() {
+		if m.Cookie&1 == 0 && m.Match == flow.MatchAll() {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("class entries not deleted after member revocation")
+	}
+}
+
+// TestMegaflowFullMaskNotWidened: a policy whose matched path reads both
+// ends consumes all four header fields, so the class is a single flow and
+// no megaflow entry is installed — the exact cache already covers it.
+func TestMegaflowFullMaskNotWidened(t *testing.T) {
+	c, _, _, _ := newMegaController(t, revPolicy, 0, nil)
+	c.HandleEvent(sampleEvent(megaFlow(hostA, 40000), 1))
+	if got := c.Counters.Get("flows_allowed"); got != 1 {
+		t.Fatalf("flow not allowed; %s", c.Counters)
+	}
+	live, _, installs, _ := c.MegaflowStats()
+	if live != 0 || installs != 0 {
+		t.Errorf("full-mask verdict was widened: live=%d installs=%d", live, installs)
+	}
+}
+
+// TestMegaflowUpdateRacingInstallVoidsDecision: a fact update arriving
+// while the founder is mid-gather bumps the shard's revocation sequence;
+// the decision voids itself and no widened entry is ever published on the
+// pre-update facts.
+func TestMegaflowUpdateRacingInstallVoidsDecision(t *testing.T) {
+	gate := make(chan struct{})
+	tr := &gatedTransport{gate: gate, inner: &fakeTransport{responses: map[netaddr.IP]map[string]string{
+		hostA: {"name": "skype"},
+		hostB: {"name": "skype"},
+	}}}
+	dp1 := &fakeDatapath{id: 1}
+	c := New(Config{
+		Name:             "mega-race",
+		Policy:           pf.MustCompile("mega", megaPolicy),
+		Transport:        tr,
+		Topology:         &fakeTopo{hops: []Hop{{Datapath: 1, OutPort: 2}}},
+		InstallEntries:   true,
+		ResponseCacheTTL: time.Hour,
+		Revocation:       true,
+		Megaflow:         true,
+	})
+	c.AddDatapath(dp1)
+
+	five := megaFlow(hostA, 40000)
+	decided := make(chan struct{})
+	go func() {
+		c.HandleEvent(sampleEvent(five, 1))
+		close(decided)
+	}()
+	tr.waitBlocked(t) // founder is mid-gather
+	c.HandleUpdate(hostB, wire.Update{Flow: five, Key: "name", Old: "skype", New: "", Serial: 1})
+	close(gate)
+	<-decided
+
+	if got := c.Counters.Get("revocations_inflight"); got != 1 {
+		t.Errorf("revocations_inflight = %d, want 1", got)
+	}
+	live, _, installs, _ := c.MegaflowStats()
+	if live != 0 || installs != 0 {
+		t.Errorf("voided decision published a megaflow: live=%d installs=%d", live, installs)
+	}
+	if dp1.modCount() != 0 {
+		t.Errorf("voided decision installed %d mods", dp1.modCount())
+	}
+}
+
+// gatedInstallDatapath wedges non-delete Apply calls once armed, so a
+// test can interleave a class teardown with a member hit that is mid-
+// install. Deletes pass through: the teardown side must stay live.
+type gatedInstallDatapath struct {
+	*fakeDatapath
+	armed   atomic.Bool
+	blocked atomic.Bool
+	gate    chan struct{}
+}
+
+func (d *gatedInstallDatapath) Apply(m openflow.FlowMod) error {
+	if !m.Delete && d.armed.Load() {
+		d.blocked.Store(true)
+		<-d.gate
+	}
+	return d.fakeDatapath.Apply(m)
+}
+
+func (d *gatedInstallDatapath) waitBlocked(t *testing.T) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !d.blocked.Load() {
+		if time.Now().After(deadline) {
+			t.Fatal("datapath never blocked")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestMegaflowHitRacingTeardownSelfCleans exercises the dead-flag half of
+// the teardown handshake: a member hit that is installing entries when
+// the class is torn down finds addPaths refused and deletes its own
+// installs, so no switch entry survives unaccounted.
+func TestMegaflowHitRacingTeardownSelfCleans(t *testing.T) {
+	tr := &fakeTransport{responses: map[netaddr.IP]map[string]string{
+		hostA: {"name": "skype"},
+		hostB: {"name": "skype"},
+	}}
+	dp1 := &gatedInstallDatapath{fakeDatapath: &fakeDatapath{id: 1}, gate: make(chan struct{})}
+	c := New(Config{
+		Name:             "mega-selfclean",
+		Policy:           pf.MustCompile("mega", megaPolicy),
+		Transport:        tr,
+		Topology:         &fakeTopo{hops: []Hop{{Datapath: 1, OutPort: 2}}},
+		InstallEntries:   true,
+		ResponseCacheTTL: time.Hour,
+		Revocation:       true,
+		Megaflow:         true,
+	})
+	c.AddDatapath(dp1)
+
+	c.HandleEvent(sampleEvent(megaFlow(hostA, 40000), 1)) // founder widens
+	if live, _, _, _ := c.MegaflowStats(); live != 1 {
+		t.Fatalf("setup: live = %d", live)
+	}
+
+	dp1.armed.Store(true)
+	memberDone := make(chan struct{})
+	go func() {
+		c.HandleEvent(sampleEvent(megaFlow(hostA, 40001), 1)) // member hit
+		close(memberDone)
+	}()
+	dp1.waitBlocked(t) // member is mid-install, paths not yet published
+
+	// Tear the class down while the member's installs are in flight. The
+	// teardown's path snapshot cannot include the member's datapath (it
+	// has not called addPaths yet), so the member must clean up itself.
+	c.HandleUpdate(hostB, wire.Update{Key: "name", Old: "skype", New: "", Serial: 1})
+	if _, _, _, teardowns := c.MegaflowStats(); teardowns != 1 {
+		t.Fatalf("teardowns = %d, want 1", teardowns)
+	}
+
+	close(dp1.gate)
+	<-memberDone
+
+	if got := c.Counters.Get("megaflow_hit_raced"); got != 1 {
+		t.Fatalf("megaflow_hit_raced = %d, want 1", got)
+	}
+	found := false
+	for _, m := range dp1.deleteMods() {
+		if m.Cookie&1 == 0 && m.Match == flow.MatchAll() {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("raced member hit did not delete its own installs")
+	}
+}
+
+// TestMegaflowRequiresCacheTTL: the megaflow layer leans on the response
+// cache's TTL for its own expiry; enabling it without one is a config
+// error caught at construction.
+func TestMegaflowRequiresCacheTTL(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(Megaflow without ResponseCacheTTL) did not panic")
+		}
+	}()
+	New(Config{
+		Name:      "bad",
+		Policy:    pf.MustCompile("p", "block all"),
+		Transport: &fakeTransport{},
+		Megaflow:  true,
+	})
+}

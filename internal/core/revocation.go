@@ -80,7 +80,18 @@ func (c *Controller) revokeHostFact(host netaddr.IP, key, reason string) int {
 	for _, f := range flows {
 		c.revokeResolved(f, reason, false)
 	}
-	return len(flows)
+	n := len(flows)
+	if c.mega != nil {
+		// Wide side: every megaflow whose verdict read the fact goes too —
+		// one teardown deletes the entries of every member of the class.
+		st := c.state.Load()
+		for _, id := range c.revoker.ResolveFactWide(host, key, nil) {
+			if e := c.mega.get(id); e != nil && c.teardownMega(st, e, reason, true) {
+				n++
+			}
+		}
+	}
+	return n
 }
 
 // SweepLeases tears down every flow whose lease has expired — the fallback
@@ -96,11 +107,24 @@ func (c *Controller) SweepLeases() int {
 	for _, f := range expired {
 		c.revokeResolved(f, "lease-expired", false)
 	}
-	if n := len(expired); n > 0 {
+	n := len(expired)
+	if n > 0 {
 		c.Counters.Add("revocations_lease_expired", int64(n))
-		return n
 	}
-	return 0
+	if c.mega != nil {
+		st := c.state.Load()
+		wide := 0
+		for _, id := range c.revoker.ExpiredWideLeases(c.clock(), nil) {
+			if e := c.mega.get(id); e != nil && c.teardownMega(st, e, "lease-expired", true) {
+				wide++
+			}
+		}
+		if wide > 0 {
+			c.Counters.Add("revocations_wide_lease_expired", int64(wide))
+			n += wide
+		}
+	}
+	return n
 }
 
 // revokeResolved tears one flow down. broadcast controls the no-
@@ -118,6 +142,24 @@ func (c *Controller) revokeResolved(five flow.Five, reason string, broadcast boo
 	// cannot publish after the drop without noticing.
 	sh.rev.Add(1)
 	dropped := sh.drop(five)
+	megaTorn := 0
+	if c.mega != nil {
+		// Any megaflow covering this flow falls with it: the class verdict
+		// may rest on the same facts this revocation invalidates (a daemon
+		// flow-scoped update names a member, not the class), and the
+		// member's installed entries carry the class cookie, unreachable
+		// by the exact-cookie deletes below. Tearing the whole class down
+		// is conservative and correct — members re-decide and re-widen.
+		// The probe runs after the rev bump above, completing the install
+		// handshake: a widened entry inserted before this probe is found
+		// here; one inserted after will see the bump at its publication
+		// re-check and tear itself down.
+		for _, e := range c.mega.covering(five, nil) {
+			if c.teardownMega(st, e, reason, true) {
+				megaTorn++
+			}
+		}
+	}
 	var paths []uint64
 	haveReg := false
 	if c.revoker != nil {
@@ -134,7 +176,9 @@ func (c *Controller) revokeResolved(five flow.Five, reason string, broadcast boo
 	if !haveReg && !broadcast && !dropped {
 		// Nothing known about this flow: no cache entry, no registration.
 		// The sequence bump above still voids any in-flight decision.
-		c.Counters.Add("revocations_noop", 1)
+		if megaTorn == 0 {
+			c.Counters.Add("revocations_noop", 1)
+		}
 		return
 	}
 	deleted := c.deleteAlongPath(st, five, paths)

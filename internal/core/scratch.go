@@ -41,6 +41,11 @@ type decisionScratch struct {
 	// publishing (see shard.rev).
 	revSeq uint64
 
+	// cookie, when non-zero, overrides the exact per-flow cookie on
+	// installed entries: megaflow member installs carry their class's
+	// cookie so one wildcard delete tears the whole class down.
+	cookie uint64
+
 	// srcKeys/dstKeys are the per-flow key-hint scratch the pre-pass
 	// appends into: the program's per-rule key sets for the rules this
 	// flow could still match, per end. The strings are interned in the
@@ -100,6 +105,7 @@ func (s *decisionScratch) release() {
 	s.mods = s.mods[:0]
 	s.pathIDs = s.pathIDs[:0]
 	s.revSeq = 0
+	s.cookie = 0
 	s.sh = nil
 	s.dp = nil
 	s.ev = openflow.PacketIn{}
@@ -144,6 +150,14 @@ type gatherState struct {
 	pre        pf.Decision
 	preDecided bool
 
+	// mega is the megaflow entry a class hit resolved to; finishDecision
+	// takes its verdict and publishes the member's installed paths to it.
+	mega *megaEntry
+
+	// cacheLife is the exact-cache entry's view refcount, retained by the
+	// hit lookup; released when the borrowing decision finishes.
+	cacheLife *entryLife
+
 	owner   *decisionScratch
 	pending atomic.Int32 // outstanding async ends; 2 → 0
 
@@ -185,6 +199,8 @@ func (g *gatherState) reset() {
 	g.srcTransient, g.dstTransient = false, false
 	g.fromCache = false
 	g.pre, g.preDecided = pf.Decision{}, false
+	g.mega = nil
+	g.cacheLife = nil
 	g.pending.Store(0)
 }
 
@@ -201,5 +217,12 @@ func (g *gatherState) releaseBuilt() {
 	if g.dstBuilt {
 		pf.ReleaseResponse(g.dst)
 		g.dstBuilt = false
+	}
+	if g.cacheLife != nil {
+		// End the borrow the cache-hit lookup retained; if the entry was
+		// evicted while this decision ran, this is the release that pools
+		// its views.
+		g.cacheLife.release()
+		g.cacheLife = nil
 	}
 }

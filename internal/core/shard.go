@@ -8,6 +8,7 @@ import (
 
 	"identxx/internal/flow"
 	"identxx/internal/openflow"
+	"identxx/internal/pf"
 	"identxx/internal/wire"
 )
 
@@ -18,15 +19,47 @@ import (
 // mutex, maps, and expiry sweep; nothing in a shard is touched without
 // that shard's lock.
 
+// entryLife refcounts a cache entry's controller-built response views.
+// The cache holds one reference for the entry's residency; each lookup
+// retains one for the borrowing decision (under the shard lock, so a
+// borrow can never race the entry's eviction) and releases it when the
+// decision finishes. The last release — eviction or final borrower,
+// whichever is later — returns the views to the pf pool. Entries whose
+// responses are all daemon-returned (GC-owned) carry no life at all, so
+// the common path pays one nil check.
+type entryLife struct {
+	src, dst *wire.Response
+	refs     atomic.Int32
+}
+
+func (l *entryLife) retain() {
+	if l != nil {
+		l.refs.Add(1)
+	}
+}
+
+func (l *entryLife) release() {
+	if l == nil {
+		return
+	}
+	if l.refs.Add(-1) == 0 {
+		pf.ReleaseResponse(l.src)
+		pf.ReleaseResponse(l.dst)
+	}
+}
+
 // cacheEntry caches the responses gathered for one flow. epoch pins the
 // entry to the policy snapshot it was computed under: SetPolicy bumps the
 // controller epoch, so entries cached by in-flight decisions racing a
 // policy swap can never satisfy a lookup under the new policy, even if
-// they land after the flush.
+// they land after the flush. life is non-nil when some of the responses
+// are controller-built pool views; every path that removes the entry
+// from the map must release it, or the views leak from the pool.
 type cacheEntry struct {
 	src, dst *wire.Response
 	expires  time.Time
 	epoch    uint64
+	life     *entryLife
 }
 
 // parked is a duplicate packet-in waiting for the first packet's verdict.
@@ -127,6 +160,10 @@ func (s *shard) lookup(five flow.Five, now time.Time, epoch uint64) (cacheEntry,
 	if !ok || e.epoch != epoch || !now.Before(e.expires) {
 		return cacheEntry{}, false
 	}
+	// Retain under the shard lock: eviction also runs under it, so the
+	// borrow is pinned before any eviction path can issue the cache's
+	// release.
+	e.life.retain()
 	return e, true
 }
 
@@ -154,9 +191,14 @@ func (s *shard) store(five flow.Five, e cacheEntry, now time.Time, ttl time.Dura
 		for f, old := range s.respCache {
 			if !now.Before(old.expires) {
 				delete(s.respCache, f)
+				old.life.release()
 			}
 		}
 		s.lastSweep = now
+	}
+	if old, ok := s.respCache[five]; ok {
+		// Overwrite is an eviction of the previous entry.
+		old.life.release()
 	}
 	s.respCache[five] = e
 	return true
@@ -167,8 +209,11 @@ func (s *shard) store(five flow.Five, e cacheEntry, now time.Time, ttl time.Dura
 func (s *shard) drop(five flow.Five) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	_, ok := s.respCache[five]
+	e, ok := s.respCache[five]
 	delete(s.respCache, five)
+	if ok {
+		e.life.release()
+	}
 	return ok
 }
 
@@ -189,9 +234,13 @@ func (t *shardTable) flushAll() {
 	for i := range t.shards {
 		s := &t.shards[i]
 		s.mu.Lock()
+		old := s.respCache
 		s.respCache = make(map[flow.Five]cacheEntry)
 		s.lastSweep = time.Time{}
 		s.mu.Unlock()
+		for _, e := range old {
+			e.life.release()
+		}
 	}
 }
 

@@ -157,6 +157,174 @@ func TestStressConcurrentPipeline(t *testing.T) {
 	}
 }
 
+// TestStressMegaflowRevocation hammers the megaflow layer's racy seams:
+// workers decide flows of one traffic equivalence class (plus bystander
+// classes) while a churn goroutine pushes fact updates for the traced
+// end — every update must void or tear down the widened entries its
+// facts reached, including entries whose install is racing the update.
+// Correctness is conservation over the counters: no packet lost, every
+// audit entry accounted, and after a final resync every install is
+// matched by a teardown or an expiry — no widened entry leaks past the
+// facts it read.
+func TestStressMegaflowRevocation(t *testing.T) {
+	tr := &fakeTransport{responses: map[netaddr.IP]map[string]string{
+		hostA: {"name": "skype"},
+		hostB: {"name": "skype"},
+	}}
+	topo := &fakeTopo{hops: []Hop{{Datapath: 1, OutPort: 2}, {Datapath: 2, OutPort: 3}}}
+	dp1 := &fakeDatapath{id: 1}
+	dp2 := &fakeDatapath{id: 2}
+	c := New(Config{
+		Name:             "mega-stress",
+		Policy:           pf.MustCompile("p", megaPolicy),
+		Transport:        tr,
+		Topology:         topo,
+		InstallEntries:   true,
+		ResponseCacheTTL: time.Minute,
+		Revocation:       true,
+		Megaflow:         true,
+		Shards:           8,
+	})
+	c.AddDatapath(dp1)
+	c.AddDatapath(dp2)
+
+	const (
+		workers    = 8
+		eventsPerW = 300
+	)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	// Churn: fact updates for the destination end (the end every widened
+	// verdict traced), flow-scoped updates naming class members, and
+	// lease sweeps.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		i := 0
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			switch i % 3 {
+			case 0:
+				c.HandleUpdate(hostB, wire.Update{Key: "name", Old: "skype", New: "skype", Serial: uint64(i)})
+			case 1:
+				c.HandleUpdate(hostA, wire.Update{
+					Flow: flow.Five{SrcIP: hostA, DstIP: hostB, Proto: netaddr.ProtoTCP,
+						SrcPort: netaddr.Port(1000 + i%32), DstPort: 5060},
+					Key: "name", Serial: uint64(i),
+				})
+			case 2:
+				c.SweepLeases()
+			}
+			i++
+			time.Sleep(time.Microsecond)
+		}
+	}()
+
+	// Readers of the new exported surfaces.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			c.MegaflowStats()
+			_ = c.Counters.Snapshot()
+			_ = c.CachedFlows()
+		}
+	}()
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < eventsPerW; i++ {
+				n := w*eventsPerW + i
+				// Mostly one big class (same dst service, varied src), a
+				// few bystander classes on other ports the pre-pass denies.
+				five := flow.Five{SrcIP: hostA, DstIP: hostB, Proto: netaddr.ProtoTCP,
+					SrcPort: netaddr.Port(1000 + n%32), DstPort: 5060}
+				if n%7 == 0 {
+					five.DstPort = netaddr.Port(6000 + n%4)
+				}
+				c.HandleEvent(sampleEvent(five, 1+uint64(n%2)))
+			}
+		}(w)
+	}
+
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	go func() {
+		for c.Counters.Get("packet_ins") < workers*eventsPerW {
+			time.Sleep(time.Millisecond)
+		}
+		close(stop)
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("megaflow stress run wedged")
+	}
+
+	// A final resync for the traced end tears down every widened entry
+	// still registered; with that, installs must balance teardowns and
+	// displacement expiries exactly — a leaked entry (torn from the index
+	// but resident, or resident but unregistered) breaks the equation.
+	c.HandleUpdate(hostB, wire.Update{Serial: 1 << 30})
+
+	snap := c.Counters.Snapshot()
+	decided := snap["flows_allowed"] + snap["flows_denied"]
+	if decided+snap["duplicate_packet_ins"]+snap["revocations_inflight"] != workers*eventsPerW {
+		t.Errorf("decided=%d duplicates=%d voided=%d, want sum %d; counters: %s",
+			decided, snap["duplicate_packet_ins"], snap["revocations_inflight"],
+			workers*eventsPerW, c.Counters)
+	}
+	if snap["waiters_resolved"]+snap["waiters_overflowed"] != snap["duplicate_packet_ins"] {
+		t.Errorf("waiters %d+%d != duplicates %d",
+			snap["waiters_resolved"], snap["waiters_overflowed"], snap["duplicate_packet_ins"])
+	}
+	// One audit entry per decision plus one per plane-driven teardown
+	// (exact and megaflow alike).
+	revoked := int64(len(c.Audit.Revocations()))
+	if c.Audit.Total() != decided+revoked {
+		t.Errorf("audit total = %d, want %d decisions + %d revocations",
+			c.Audit.Total(), decided, revoked)
+	}
+	live, hits, installs, teardowns := c.MegaflowStats()
+	if live != 0 {
+		t.Errorf("megaflow entries still live after final resync: %d", live)
+	}
+	if installs != teardowns+snap["megaflow_expired"] {
+		t.Errorf("megaflow conservation: installs=%d != teardowns=%d + expired=%d",
+			installs, teardowns, snap["megaflow_expired"])
+	}
+	if hits+installs == 0 {
+		t.Error("stress run never exercised the megaflow layer")
+	}
+	if wlive, _, _ := c.revoker.WideStats(); wlive != 0 {
+		t.Errorf("wide index still holds %d registrations after final resync", wlive)
+	}
+	for i := range c.flows.shards {
+		sh := &c.flows.shards[i]
+		sh.mu.Lock()
+		n := len(sh.pending)
+		sh.mu.Unlock()
+		if n != 0 {
+			t.Errorf("shard %d still has %d pending flows after quiescence", i, n)
+		}
+	}
+}
+
 // TestPolicySwapInvalidatesInFlightCacheWrite pins down the race the
 // cache-entry epoch exists for: a decision that started under the old
 // policy is still gathering responses when SetPolicy flushes the shards;

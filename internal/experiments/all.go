@@ -24,6 +24,7 @@ var All = []Runner{
 	{"E7", RunE7},
 	{"E8", RunE8},
 	{"E9", RunE9},
+	{"E10", RunE10},
 }
 
 // RunAll executes every experiment, printing tables to w, and returns them.

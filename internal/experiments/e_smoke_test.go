@@ -15,11 +15,12 @@ func TestRunE1(t *testing.T) {
 	}
 }
 
-func TestRunE2(t *testing.T) { checkNoMismatch(t, RunE2) }
-func TestRunE3(t *testing.T) { checkNoMismatch(t, RunE3) }
-func TestRunE4(t *testing.T) { checkNoMismatch(t, RunE4) }
-func TestRunE5(t *testing.T) { checkNoMismatch(t, RunE5) }
-func TestRunE9(t *testing.T) { checkNoMismatch(t, RunE9) }
+func TestRunE2(t *testing.T)  { checkNoMismatch(t, RunE2) }
+func TestRunE3(t *testing.T)  { checkNoMismatch(t, RunE3) }
+func TestRunE4(t *testing.T)  { checkNoMismatch(t, RunE4) }
+func TestRunE5(t *testing.T)  { checkNoMismatch(t, RunE5) }
+func TestRunE9(t *testing.T)  { checkNoMismatch(t, RunE9) }
+func TestRunE10(t *testing.T) { checkNoMismatch(t, RunE10) }
 
 func checkNoMismatch(t *testing.T, run func(w io.Writer) *Table) {
 	t.Helper()

@@ -297,9 +297,11 @@ func lowerArg(p *Policy, a Arg) progArg {
 // `allowed` arguments repeat across flows from the same application, so
 // the cache is essential on the hot path — but its keys arrive from the
 // network (a `requirements` value is whatever an end-host sends), so an
-// unbounded memo is a remotely-fillable memory leak. Past the cap, an
-// arbitrary resident entry is evicted per insertion: cheap, and any
-// legitimately hot entry is re-admitted on its next use.
+// unbounded memo is a remotely-fillable memory leak. Past the cap, CLOCK
+// eviction reclaims an entry not used since the hand's last sweep, so an
+// attacker churning cold keys cannot evict the deployment's hot entries
+// (arbitrary map-iteration eviction could, and re-admitting a hot entry
+// costs a full parse+lower on the decision path).
 const maxRuleCacheEntries = 1024
 
 // allowedEntry is one memoized embedded rule set, in both executable
@@ -312,13 +314,20 @@ type allowedEntry struct {
 	prog      []progRule
 	err       error
 	truncated bool
+
+	// used is the CLOCK reference bit: set on every cache hit, cleared by
+	// the sweeping hand, which evicts only entries it finds cleared — i.e.
+	// untouched for a full revolution.
+	used atomic.Bool
 }
 
 // embeddedEntry parses, lowers, and memoizes one embedded rule source.
 // depth bounds the static analysis recursion of nested `allowed` calls.
 func (p *Policy) embeddedEntry(origin, src string, depth int) *allowedEntry {
 	if cached, ok := p.ruleCache.Load(src); ok {
-		return cached.(*allowedEntry)
+		e := cached.(*allowedEntry)
+		e.used.Store(true)
+		return e
 	}
 	rules, err := ParseRules(origin, src)
 	e := &allowedEntry{rules: rules, err: err}
@@ -330,32 +339,59 @@ func (p *Policy) embeddedEntry(origin, src string, depth int) *allowedEntry {
 	if e.truncated {
 		return e // depth-dependent analysis; see allowedEntry
 	}
+	e.used.Store(true)
 	if prev, loaded := p.ruleCache.LoadOrStore(src, e); loaded {
-		return prev.(*allowedEntry)
+		pe := prev.(*allowedEntry)
+		pe.used.Store(true)
+		return pe
 	}
+	p.ruleCacheMu.Lock()
+	p.ruleCacheRing = append(p.ruleCacheRing, src)
+	p.ruleCacheMu.Unlock()
 	if p.ruleCacheN.Add(1) > maxRuleCacheEntries {
 		p.evictRuleCacheEntry(src)
 	}
 	return e
 }
 
-// evictRuleCacheEntry removes one resident entry other than keep.
-// LoadAndDelete makes concurrent evictors racing onto the same victim
-// decrement the size exactly once per actual removal — a plain Delete
-// would let both decrement and the counter would drift under the cap
-// while the map grows past it.
+// evictRuleCacheEntry reclaims one resident entry other than keep, by
+// CLOCK: the hand sweeps the insertion ring, clearing each live entry's
+// reference bit and evicting the first it finds already cleared — hot
+// entries (referenced since the previous sweep) get a second chance,
+// cold ones leave. Slots whose entry is already gone (a Register flush,
+// a concurrent evictor) are compacted out in passing. LoadAndDelete
+// makes concurrent evictors racing onto the same victim decrement the
+// size exactly once per actual removal — a plain Delete would let both
+// decrement and the counter would drift under the cap while the map
+// grows past it.
 func (p *Policy) evictRuleCacheEntry(keep string) {
-	p.ruleCache.Range(func(k, _ any) bool {
-		if k.(string) == keep {
-			return true
+	p.ruleCacheMu.Lock()
+	defer p.ruleCacheMu.Unlock()
+	// Two revolutions suffice: the first clears every reference bit, so
+	// the second's first live non-keep slot is evictable. The +1 absorbs
+	// the keep slot.
+	for spins := 2*len(p.ruleCacheRing) + 1; spins > 0 && len(p.ruleCacheRing) > 0; spins-- {
+		if p.ruleCacheHand >= len(p.ruleCacheRing) {
+			p.ruleCacheHand = 0
+		}
+		k := p.ruleCacheRing[p.ruleCacheHand]
+		v, ok := p.ruleCache.Load(k)
+		if !ok {
+			// Dangling slot: the entry left by another path. Compact.
+			p.ruleCacheRing = append(p.ruleCacheRing[:p.ruleCacheHand], p.ruleCacheRing[p.ruleCacheHand+1:]...)
+			continue
+		}
+		if k == keep || v.(*allowedEntry).used.Swap(false) {
+			p.ruleCacheHand++
+			continue
 		}
 		if _, loaded := p.ruleCache.LoadAndDelete(k); loaded {
 			p.ruleCacheN.Add(-1)
 			p.ruleCacheEvictions.Add(1)
-			return false
 		}
-		return true // another evictor beat us to this one; keep scanning
-	})
+		p.ruleCacheRing = append(p.ruleCacheRing[:p.ruleCacheHand], p.ruleCacheRing[p.ruleCacheHand+1:]...)
+		return
+	}
 }
 
 // RuleCacheStats reports the embedded-rules memo's resident entry count

@@ -49,6 +49,14 @@ type Policy struct {
 	ruleCache          sync.Map // string -> *allowedEntry
 	ruleCacheN         atomic.Int64
 	ruleCacheEvictions atomic.Int64
+
+	// ruleCacheRing/ruleCacheHand drive CLOCK eviction over the memo
+	// (compile.go): the ring holds insertion-ordered keys, the hand sweeps
+	// it granting second chances to entries used since the last sweep, so
+	// a hot `allowed` argument survives a churning cold one.
+	ruleCacheMu   sync.Mutex
+	ruleCacheRing []string
+	ruleCacheHand int
 }
 
 // Compile resolves the definitions of one or more parsed files (in order)
@@ -205,6 +213,10 @@ func (p *Policy) Register(name string, fn Func) {
 			}
 			return true
 		})
+		p.ruleCacheMu.Lock()
+		p.ruleCacheRing = nil
+		p.ruleCacheHand = 0
+		p.ruleCacheMu.Unlock()
 		p.prog.Store(lowerPolicy(p))
 	}
 }
@@ -243,6 +255,64 @@ type Decision struct {
 	// malformed embedded rules). A rule with a failing predicate does not
 	// match; diagnostics surface why.
 	Diags []string
+}
+
+// Field-use trace bits: the header fields an evaluation actually consulted.
+// Two flows identical in every traced field take the same path through the
+// compiled program and receive the same verdict — the OVS megaflow insight,
+// applied to policy decisions. The bits are set lazily during a traced
+// evaluation (EvaluateTraced): a guard that never ran, or that admits every
+// value alike (non-negated `any`), contributes nothing.
+const (
+	TraceSrcIP uint8 = 1 << iota
+	TraceSrcPort
+	TraceDstIP
+	TraceDstPort
+)
+
+// TraceAllFields is every traceable header field; a trace equal to it
+// describes an exact-tuple decision that cannot be widened.
+const TraceAllFields = TraceSrcIP | TraceSrcPort | TraceDstIP | TraceDstPort
+
+// Trace is the per-evaluation field-use record EvaluateTraced returns: which
+// header fields the verdict read, and whether it read endpoint keys from
+// each end. An endpoint-key read forces that end's IP and port into Fields —
+// a daemon's answer is a function of its own end's addressing (the daemon
+// resolves the owning process from its local socket), so two flows sharing
+// the queried end's IP and port are served the same answer. Proto is never
+// traced: it is always part of the equivalence class key (Mask keeps it).
+type Trace struct {
+	Fields uint8
+	// SrcRead/DstRead report that the verdict read at least one endpoint
+	// key (or the absence of a response) from that end; the megaflow layer
+	// registers fact dependencies only for ends actually read.
+	SrcRead, DstRead bool
+}
+
+// CoversAllFields reports whether the trace names every header field — an
+// exact decision with no wildcarding headroom.
+func (t Trace) CoversAllFields() bool { return t.Fields&TraceAllFields == TraceAllFields }
+
+// Mask returns f with every field the evaluation never consulted zeroed,
+// the canonical representative of f's traffic equivalence class under this
+// trace. Proto is always kept: PF+=2 header guards cannot test it, but
+// daemon answers for dynamic per-connection keys can differ across
+// protocols, so it is never wildcarded.
+func (t Trace) Mask(f flow.Five) flow.Five {
+	m := flow.Five{Proto: f.Proto}
+	if t.Fields&TraceSrcIP != 0 {
+		m.SrcIP = f.SrcIP
+	}
+	if t.Fields&TraceSrcPort != 0 {
+		m.SrcPort = f.SrcPort
+	}
+	if t.Fields&TraceDstIP != 0 {
+		m.DstIP = f.DstIP
+	}
+	if t.Fields&TraceDstPort != 0 {
+		m.DstPort = f.DstPort
+	}
+	return m
 }
 
 // Evaluate runs the ruleset over in with PF's last-match-wins semantics:
@@ -285,6 +355,35 @@ func (p *Policy) EvaluateCompiled(in Input) Decision {
 	d.Diags = c.diags
 	releaseEvalCtx(c)
 	return d
+}
+
+// EvaluateTraced executes the compiled program with field-use tracing on:
+// alongside the verdict it returns the trace of header fields and endpoint
+// reads the evaluation actually performed, preserving the engine's
+// short-circuit structure (a guard that never ran is not traced). The
+// verdict is identical to Evaluate's; the trace is what lets a caller cache
+// it for the whole traffic equivalence class instead of the exact tuple.
+// Differential mode cross-checks the traced execution against the
+// interpreter exactly as Evaluate does.
+func (p *Policy) EvaluateTraced(in Input) (Decision, Trace) {
+	prog := p.Program()
+	c := acquireEvalCtx(p, in, 0)
+	c.compiled = true
+	c.tracing = true
+	d := c.runProgram(prog.rules, Decision{Action: p.Default})
+	d.Diags = c.diags
+	tr := Trace{Fields: c.traceFields, SrcRead: c.traceSrcRead, DstRead: c.traceDstRead}
+	releaseEvalCtx(c)
+	if differential.Load() {
+		ref := p.EvaluateInterpreted(in)
+		if d.Action != ref.Action || d.Rule != ref.Rule ||
+			d.Matched != ref.Matched || d.KeepState != ref.KeepState {
+			panic(fmt.Sprintf(
+				"pf: traced program and interpreter disagree on %s:\n  compiled:    %+v\n  interpreted: %+v",
+				in.Flow, d, ref))
+		}
+	}
+	return d, tr
 }
 
 // EvaluateInterpreted walks the parsed rule AST — the original evaluator,
@@ -332,6 +431,14 @@ type evalCtx struct {
 	// than converging on shared embedded execution.
 	compiled bool
 
+	// tracing arms the field-use trace (EvaluateTraced); the VM and the
+	// argument resolver record into traceFields/traceSrcRead/traceDstRead
+	// as guards and reads actually execute. Off (the default), the trace
+	// hooks cost one predicted branch each.
+	tracing                    bool
+	traceFields                uint8
+	traceSrcRead, traceDstRead bool
+
 	// pub is the *Ctx handed to predicate functions, pointing back at this
 	// context; embedding it here keeps the per-call &Ctx{} off the heap.
 	pub Ctx
@@ -367,6 +474,9 @@ func releaseEvalCtx(c *evalCtx) {
 	c.depth = 0
 	c.diags = nil
 	c.compiled = false
+	c.tracing = false
+	c.traceFields = 0
+	c.traceSrcRead, c.traceDstRead = false, false
 	c.valBuf = [evalScratchArgs]Value{}
 	evalCtxPool.Put(c)
 }
@@ -511,7 +621,14 @@ type Ctx struct {
 }
 
 // Flow returns the flow under decision.
-func (x *Ctx) Flow() flow.Five { return x.c.in.Flow }
+func (x *Ctx) Flow() flow.Five {
+	if x.c.tracing {
+		// A policy function saw the raw tuple; anything it computed may
+		// depend on any field, so the verdict cannot be widened at all.
+		x.c.traceFields = TraceAllFields
+	}
+	return x.c.in.Flow
+}
 
 // LookupMacro returns a macro body by name.
 func (x *Ctx) LookupMacro(name string) (string, bool) {
@@ -535,6 +652,7 @@ func (x *Ctx) EvalEmbedded(origin, src string) (Decision, error) {
 	}
 	sub := acquireEvalCtx(x.c.p, x.c.in, x.c.depth+1)
 	sub.compiled = x.c.compiled
+	sub.tracing = x.c.tracing
 	// Embedded rule sets are default-deny.
 	var d Decision
 	if sub.compiled {
@@ -543,6 +661,9 @@ func (x *Ctx) EvalEmbedded(origin, src string) (Decision, error) {
 		d = sub.run(entry.rules, Decision{Action: Block})
 	}
 	x.c.diags = append(x.c.diags, sub.diags...)
+	x.c.traceFields |= sub.traceFields
+	x.c.traceSrcRead = x.c.traceSrcRead || sub.traceSrcRead
+	x.c.traceDstRead = x.c.traceDstRead || sub.traceDstRead
 	releaseEvalCtx(sub)
 	return d, nil
 }

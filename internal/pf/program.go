@@ -201,13 +201,57 @@ outer:
 	return hints
 }
 
+// examines reports whether the matcher's outcome can depend on the
+// candidate address at all. matchAny is constant by construction (and
+// stays constant under negation), and matchUndefined fails every address
+// unconditionally — neither constrains the flow, so a traced evaluation
+// must not pin the field they guard.
+func (m *addrMatcher) examines() bool {
+	switch m.kind {
+	case matchAny, matchUndefined:
+		return false
+	}
+	return true
+}
+
 // headerMatches applies only the from/to address and port guards — the
 // part of a rule decidable from the packet header.
+//
+// Under tracing, each guard marks its field consumed before evaluating:
+// if the guard passes, members of the equivalence class share the passing
+// value; if it fails (short-circuiting the rest), members fail it
+// identically — either way the verdict transfers. Guards never reached
+// contribute nothing, and guards with constant outcomes (any, undefined
+// tables, unbounded port ranges) examine nothing.
 func (r *progRule) headerMatches(c *evalCtx, f flow.Five) bool {
-	return r.from.matches(c, f.SrcIP) &&
-		r.fromPort.Matches(f.SrcPort) &&
-		r.to.matches(c, f.DstIP) &&
-		r.toPort.Matches(f.DstPort)
+	if c == nil || !c.tracing {
+		return r.from.matches(c, f.SrcIP) &&
+			r.fromPort.Matches(f.SrcPort) &&
+			r.to.matches(c, f.DstIP) &&
+			r.toPort.Matches(f.DstPort)
+	}
+	if r.from.examines() {
+		c.traceFields |= TraceSrcIP
+	}
+	if !r.from.matches(c, f.SrcIP) {
+		return false
+	}
+	if !r.fromPort.IsAny() {
+		c.traceFields |= TraceSrcPort
+	}
+	if !r.fromPort.Matches(f.SrcPort) {
+		return false
+	}
+	if r.to.examines() {
+		c.traceFields |= TraceDstIP
+	}
+	if !r.to.matches(c, f.DstIP) {
+		return false
+	}
+	if !r.toPort.IsAny() {
+		c.traceFields |= TraceDstPort
+	}
+	return r.toPort.Matches(f.DstPort)
 }
 
 // collectHints folds one key-requiring rule's requirements into the two

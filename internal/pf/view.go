@@ -2,6 +2,7 @@ package pf
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"identxx/internal/flow"
 	"identxx/internal/wire"
@@ -20,9 +21,16 @@ import (
 //   - Evaluate only ever borrows; acquiring caller stays the owner.
 //   - ReleaseResponse ends ownership. The caller must not release a
 //     response something else may still hold — in particular, a response
-//     stored into a cache is owned by the cache from that point on and is
-//     reclaimed by the GC on eviction, never released back to the pool.
+//     stored into a cache is owned by the cache from that point on, and
+//     the cache releases it when the entry leaves on any eviction path
+//     (the controller's cache refcounts borrows so a concurrent reader
+//     can outlive the entry safely).
 var respPool = sync.Pool{New: func() any { return new(wire.Response) }}
+
+// respAcquired/respReleased count pool traffic so tests can assert the
+// acquire/release ledger balances — a cached view dropped without a
+// matching release is a pool leak these counters make visible.
+var respAcquired, respReleased atomic.Int64
 
 // AcquireResponse returns an empty response for flow f, recycled (with its
 // section/pair capacity intact) when one is available. The caller owns it
@@ -30,6 +38,7 @@ var respPool = sync.Pool{New: func() any { return new(wire.Response) }}
 func AcquireResponse(f flow.Five) *wire.Response {
 	r := respPool.Get().(*wire.Response)
 	r.Reset(f)
+	respAcquired.Add(1)
 	return r
 }
 
@@ -41,5 +50,14 @@ func ReleaseResponse(r *wire.Response) {
 	if r == nil {
 		return
 	}
+	respReleased.Add(1)
 	respPool.Put(r)
+}
+
+// ResponseViewStats reports the lifetime acquire/release counts. In a
+// quiescent process the difference is the number of views currently owned
+// outside the pool (borrowed or cached); a difference that grows without
+// bound is a leak.
+func ResponseViewStats() (acquired, released int64) {
+	return respAcquired.Load(), respReleased.Load()
 }

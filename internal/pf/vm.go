@@ -83,18 +83,43 @@ func (c *evalCtx) resolveProgArg(a *progArg) Value {
 	case argConst:
 		return a.val
 	case argSrcKey:
+		c.traceSrcEndpointRead()
 		return latestValue(c.in.Src, a)
 	case argDstKey:
+		c.traceDstEndpointRead()
 		return latestValue(c.in.Dst, a)
 	case argSrcConcat:
+		c.traceSrcEndpointRead()
 		return concatValue(c.in.Src, a)
 	case argDstConcat:
+		c.traceDstEndpointRead()
 		return concatValue(c.in.Dst, a)
 	case argDiag:
 		c.diags = append(c.diags, a.diag)
 		return a.val
 	}
 	return Value{Arg: a.arg}
+}
+
+// traceSrcEndpointRead records that the verdict read the source end's
+// daemon answer. A daemon's answer is a function of its own end's
+// addressing (the daemon resolves the querying flow to a socket owner by
+// its local IP and port), so any flow sharing that end shares the answer
+// — the trace pins the end's IP and port, and SrcRead marks the widened
+// entry as depending on that endpoint's facts for revocation.
+func (c *evalCtx) traceSrcEndpointRead() {
+	if c.tracing {
+		c.traceFields |= TraceSrcIP | TraceSrcPort
+		c.traceSrcRead = true
+	}
+}
+
+// traceDstEndpointRead is traceSrcEndpointRead for the destination end.
+func (c *evalCtx) traceDstEndpointRead() {
+	if c.tracing {
+		c.traceFields |= TraceDstIP | TraceDstPort
+		c.traceDstRead = true
+	}
 }
 
 func latestValue(resp *wire.Response, a *progArg) Value {

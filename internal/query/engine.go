@@ -216,13 +216,47 @@ func NewEngine(cfg Config) *Engine {
 // The handler runs on transport goroutines (the pool's connection readers,
 // the simulator's event loop); it must be quick and must not re-enter the
 // engine.
+//
+// The engine interposes on the handler: a hello from a host is proof its
+// daemon is back (the subscription handshake completed), so the host's
+// negative-cache entry and breaker are cleared on the spot. Without
+// this, a recovered daemon kept fast-failing queries for the remainder
+// of the negative TTL — the fastFail gate never re-dialed, so the cache
+// could not learn of the recovery it was built to paper over.
 func (e *Engine) SetUpdateHandler(fn func(host netaddr.IP, u wire.Update)) bool {
 	us, ok := e.lower.(updateSource)
 	if !ok {
 		return false
 	}
-	us.SetUpdateHandler(fn)
+	if fn == nil {
+		us.SetUpdateHandler(nil)
+		return true
+	}
+	us.SetUpdateHandler(func(host netaddr.IP, u wire.Update) {
+		if u.Hello {
+			e.hostRecovered(host)
+		}
+		fn(host, u)
+	})
 	return true
+}
+
+// hostRecovered clears a host's failure state after its daemon proved
+// itself alive over the push channel: the negative cache stops serving
+// the stale dial error, the breaker closes, and the next query goes to
+// the wire immediately instead of after the TTL.
+func (e *Engine) hostRecovered(host netaddr.IP) {
+	hs := e.hostState(host)
+	hs.mu.Lock()
+	cleared := hs.negErr != nil || !hs.openTill.IsZero() || hs.fails > 0
+	hs.negErr = nil
+	hs.negUntil = time.Time{}
+	hs.fails = 0
+	hs.openTill = time.Time{}
+	hs.mu.Unlock()
+	if cleared {
+		e.Counters.Add("engine_host_recoveries", 1)
+	}
 }
 
 // Query implements core.QueryTransport: it blocks until the result is

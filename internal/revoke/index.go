@@ -54,10 +54,14 @@ type flowEntry struct {
 	lease time.Time
 }
 
-// factShard is one lock domain of the fact→flows side.
+// factShard is one lock domain of the fact→flows side. wide is the
+// parallel fact→wide-entry-ids map (wide.go): both resolve under the one
+// lock so a fact update reads a consistent shard snapshot of everything
+// depending on it.
 type factShard struct {
 	mu    sync.Mutex
 	flows map[Fact]map[flow.Five]struct{}
+	wide  map[Fact]map[uint64]struct{}
 }
 
 // flowShard is one lock domain of the flow→facts side.
@@ -76,10 +80,14 @@ type flowShard struct {
 type Index struct {
 	factShards []factShard
 	flowShards []flowShard
+	wideShards []wideShard
 	mask       uint64
 
 	registered atomic.Int64 // lifetime registrations
 	dropped    atomic.Int64 // lifetime drops
+
+	wideRegistered atomic.Int64 // lifetime wide registrations
+	wideDropped    atomic.Int64 // lifetime wide drops
 
 	pushMu sync.RWMutex
 	push   map[netaddr.IP]bool // hosts whose daemons push updates
@@ -98,14 +106,19 @@ func NewIndex(n int) *Index {
 	ix := &Index{
 		factShards: make([]factShard, p),
 		flowShards: make([]flowShard, p),
+		wideShards: make([]wideShard, p),
 		mask:       uint64(p - 1),
 		push:       make(map[netaddr.IP]bool),
 	}
 	for i := range ix.factShards {
 		ix.factShards[i].flows = make(map[Fact]map[flow.Five]struct{})
+		ix.factShards[i].wide = make(map[Fact]map[uint64]struct{})
 	}
 	for i := range ix.flowShards {
 		ix.flowShards[i].flows = make(map[flow.Five]flowEntry)
+	}
+	for i := range ix.wideShards {
+		ix.wideShards[i].entries = make(map[uint64]wideEntry)
 	}
 	return ix
 }
@@ -256,7 +269,14 @@ func (ix *Index) FlushAll() {
 		sh := &ix.factShards[i]
 		sh.mu.Lock()
 		sh.flows = make(map[Fact]map[flow.Five]struct{})
+		sh.wide = make(map[Fact]map[uint64]struct{})
 		sh.mu.Unlock()
+	}
+	for i := range ix.wideShards {
+		ws := &ix.wideShards[i]
+		ws.mu.Lock()
+		ws.entries = make(map[uint64]wideEntry)
+		ws.mu.Unlock()
 	}
 }
 

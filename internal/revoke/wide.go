@@ -1,0 +1,134 @@
+package revoke
+
+import (
+	"sync"
+	"time"
+
+	"identxx/internal/netaddr"
+)
+
+// Wide entries are the megaflow side of the dependency index: one widened
+// (masked-tuple) cache entry covers many concrete flows and many installed
+// paths, so it registers here under an opaque id rather than a five-tuple.
+// The contract mirrors the exact side — a fact update resolves to the ids
+// whose verdicts read it in O(affected) — but the id space is the
+// controller's megaflow table, which owns the entry's paths and performs
+// the teardown. Keeping the two sides separate (rather than inventing a
+// sentinel flow per wide entry) keeps ResolveFact's exact-flow semantics
+// intact for existing callers.
+
+// wideEntry is the per-id record held by the id-sharded side.
+type wideEntry struct {
+	facts []Fact
+	lease time.Time
+}
+
+// wideShard is one lock domain of the id→facts side.
+type wideShard struct {
+	mu      sync.Mutex
+	entries map[uint64]wideEntry
+}
+
+// RegisterWide records a wide entry's fact dependencies, replacing any
+// previous registration for the same id.
+func (ix *Index) RegisterWide(id uint64, facts []Fact, lease time.Time) {
+	ix.dropWide(id, false)
+	ws := &ix.wideShards[id&ix.mask]
+	ws.mu.Lock()
+	ws.entries[id] = wideEntry{facts: facts, lease: lease}
+	ws.mu.Unlock()
+	for _, fact := range facts {
+		sh := ix.factShard(fact)
+		sh.mu.Lock()
+		set := sh.wide[fact]
+		if set == nil {
+			set = make(map[uint64]struct{})
+			sh.wide[fact] = set
+		}
+		set[id] = struct{}{}
+		sh.mu.Unlock()
+	}
+	ix.wideRegistered.Add(1)
+}
+
+// DropWide removes a wide entry's registration and unlinks its fact
+// dependencies. ok is false when the id was not registered — concurrent
+// teardowns race benignly; exactly one caller gets true.
+func (ix *Index) DropWide(id uint64) bool {
+	return ix.dropWide(id, true)
+}
+
+func (ix *Index) dropWide(id uint64, count bool) bool {
+	ws := &ix.wideShards[id&ix.mask]
+	ws.mu.Lock()
+	e, ok := ws.entries[id]
+	if ok {
+		delete(ws.entries, id)
+	}
+	ws.mu.Unlock()
+	if !ok {
+		return false
+	}
+	for _, fact := range e.facts {
+		sh := ix.factShard(fact)
+		sh.mu.Lock()
+		if set := sh.wide[fact]; set != nil {
+			delete(set, id)
+			if len(set) == 0 {
+				delete(sh.wide, fact)
+			}
+		}
+		sh.mu.Unlock()
+	}
+	if count {
+		ix.wideDropped.Add(1)
+	}
+	return true
+}
+
+// ResolveFactWide returns the wide-entry ids depending on (host, key),
+// appended to dst. Key "" resolves the host-scope marker.
+func (ix *Index) ResolveFactWide(host netaddr.IP, key string, dst []uint64) []uint64 {
+	fact := Fact{Host: host, Key: key}
+	sh := ix.factShard(fact)
+	sh.mu.Lock()
+	for id := range sh.wide[fact] {
+		dst = append(dst, id)
+	}
+	sh.mu.Unlock()
+	return dst
+}
+
+// ResolveHostWide returns every wide-entry id with any dependency on the
+// host.
+func (ix *Index) ResolveHostWide(host netaddr.IP, dst []uint64) []uint64 {
+	return ix.ResolveFactWide(host, "", dst)
+}
+
+// ExpiredWideLeases returns wide-entry ids whose lease deadline has
+// passed at now, appended to dst.
+func (ix *Index) ExpiredWideLeases(now time.Time, dst []uint64) []uint64 {
+	for i := range ix.wideShards {
+		ws := &ix.wideShards[i]
+		ws.mu.Lock()
+		for id, e := range ws.entries {
+			if !e.lease.IsZero() && now.After(e.lease) {
+				dst = append(dst, id)
+			}
+		}
+		ws.mu.Unlock()
+	}
+	return dst
+}
+
+// WideStats reports resident wide registrations and lifetime
+// register/drop counts.
+func (ix *Index) WideStats() (live int, registered, dropped int64) {
+	for i := range ix.wideShards {
+		ws := &ix.wideShards[i]
+		ws.mu.Lock()
+		live += len(ws.entries)
+		ws.mu.Unlock()
+	}
+	return live, ix.wideRegistered.Load(), ix.wideDropped.Load()
+}
