@@ -4,7 +4,7 @@ GO ?= go
 # race detector on purpose: the allocation-budget guards (alloc_test.go)
 # skip themselves under -race, so both flavors are needed.
 .PHONY: ci
-ci: fmt-check vet build test race race-query bench-smoke check-examples
+ci: fmt-check vet build test race race-query bench-smoke check-examples check-docs
 
 .PHONY: fmt-check
 fmt-check:
@@ -92,6 +92,24 @@ bench-compare:
 		-max-allocs 'BenchmarkM12_Megaflow/member-hit=2' \
 		-json BENCH_$(BENCH_COUNT).json \
 		$$tmp/base.txt $$tmp/head.txt
+
+# Documentation gates. The drift tests pin docs/metrics.md to the wired
+# telemetry registry (and counter literals in source to the wiring
+# tables); the link check walks every relative markdown link in README.md
+# and docs/ and fails on targets that do not exist. No external tools.
+.PHONY: check-docs
+check-docs:
+	$(GO) test -run 'TestMetricsDocMatchesRegistry|TestSourceCountersAreDeclared' ./internal/telemetry/
+	@fail=0; \
+	for f in README.md docs/*.md; do \
+		dir=$$(dirname "$$f"); \
+		for link in $$(grep -oE '\]\([^)#[:space:]]+' "$$f" | sed 's/](//'); do \
+			case "$$link" in http://*|https://*) continue;; esac; \
+			if [ ! -e "$$dir/$$link" ]; then echo "$$f: broken link -> $$link"; fail=1; fi; \
+		done; \
+	done; \
+	if [ "$$fail" -ne 0 ]; then exit 1; fi; \
+	echo "check-docs: links ok"
 
 # Short bursts of every fuzz target; regression seeds live in testdata/.
 FUZZTIME ?= 30s

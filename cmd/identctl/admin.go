@@ -1,17 +1,27 @@
 package main
 
 // The admin channel: a line-oriented TCP listener on the serving
-// controller (enabled with -admin), and the `identctl revoke` subcommand
-// that speaks to it. This is what makes the revocation plane operable from
-// a shell: `identctl revoke 10.0.0.7` tears down every live flow admitted
-// on facts from that host; with a key, only the flows whose verdicts read
-// that key.
+// controller (enabled with -admin), and the `identctl revoke` / `identctl
+// admin` subcommands that speak to it. This is what makes the revocation
+// plane and the drill-down surface operable from a shell: `identctl revoke
+// 10.0.0.7` tears down every live flow admitted on facts from that host;
+// `identctl admin shards` dumps per-shard occupancy.
 //
-// Protocol (one request per line, one reply per line):
+// Protocol (one request per line). Single-valued commands reply with one
+// line; drill-down commands reply with a count line followed by exactly
+// that many detail lines:
 //
 //	revoke <host-ip> [key]   ->  ok <flows-torn-down> | err <message>
 //	sweep                    ->  ok <flows-torn-down>
 //	stats                    ->  ok live=<n> registered=<n> dropped=<n>
+//	stats megaflow           ->  ok live=<n> hits=<n> installs=<n> teardowns=<n>
+//	stats wide               ->  ok live=<n> registered=<n> dropped=<n>
+//	stats rulecache          ->  ok entries=<n> evictions=<n>
+//	status                   ->  ok epoch=<n> datapaths=<n> shards=<n> cached=<n> install_busy=<n> install_workers=<n>
+//	counters                 ->  ok <n>  then n lines  <name> <value>
+//	shards                   ->  ok <n>  then n lines  shard=<i> cached=<n> pending=<n> waiters=<n> revseq=<n>
+//	hosts                    ->  ok <n>  then n lines  host=<ip> flows=<n> wide=<n> push=<bool> queries=<n> rtt_mean=<dur> rtt_p99=<dur> fails=<n> breaker=<bool>
+//	rules                    ->  ok <n>  then n lines  rule=<q-string> total=<n> denied=<n> revoked=<n>
 
 import (
 	"bufio"
@@ -19,15 +29,26 @@ import (
 	"fmt"
 	"net"
 	"os"
+	"sort"
+	"strconv"
 	"strings"
 	"time"
 
 	"identxx/internal/core"
 	"identxx/internal/netaddr"
+	"identxx/internal/query"
+	"identxx/internal/revoke"
 )
 
+// adminState is everything the admin channel can drill into. eng may be
+// nil (tests that only exercise the controller).
+type adminState struct {
+	ctl *core.Controller
+	eng *query.Engine
+}
+
 // serveAdmin runs the admin listener until the listener is closed.
-func serveAdmin(l net.Listener, ctl *core.Controller) {
+func serveAdmin(l net.Listener, st adminState) {
 	for {
 		conn, err := l.Accept()
 		if err != nil {
@@ -38,15 +59,17 @@ func serveAdmin(l net.Listener, ctl *core.Controller) {
 			conn.SetDeadline(time.Now().Add(30 * time.Second))
 			sc := bufio.NewScanner(conn)
 			for sc.Scan() {
-				fmt.Fprintf(conn, "%s\n", adminCommand(ctl, sc.Text()))
+				fmt.Fprintf(conn, "%s\n", adminCommand(st, sc.Text()))
 				conn.SetDeadline(time.Now().Add(30 * time.Second))
 			}
 		}()
 	}
 }
 
-// adminCommand executes one admin line and renders the reply.
-func adminCommand(ctl *core.Controller, line string) string {
+// adminCommand executes one admin line and renders the reply (multi-line
+// for drill-down commands; the first line always starts "ok" or "err").
+func adminCommand(st adminState, line string) string {
+	ctl := st.ctl
 	f := strings.Fields(line)
 	if len(f) == 0 {
 		return "err empty command"
@@ -68,11 +91,99 @@ func adminCommand(ctl *core.Controller, line string) string {
 	case "sweep":
 		return fmt.Sprintf("ok %d", ctl.SweepLeases())
 	case "stats":
-		live, registered, dropped := ctl.RevocationIndexStats()
-		return fmt.Sprintf("ok live=%d registered=%d dropped=%d", live, registered, dropped)
+		if len(f) == 1 {
+			live, registered, dropped := ctl.RevocationIndexStats()
+			return fmt.Sprintf("ok live=%d registered=%d dropped=%d", live, registered, dropped)
+		}
+		switch f[1] {
+		case "megaflow":
+			live, hits, installs, teardowns := ctl.MegaflowStats()
+			return fmt.Sprintf("ok live=%d hits=%d installs=%d teardowns=%d", live, hits, installs, teardowns)
+		case "wide":
+			live, registered, dropped := ctl.WideStats()
+			return fmt.Sprintf("ok live=%d registered=%d dropped=%d", live, registered, dropped)
+		case "rulecache":
+			entries, evictions := ctl.PolicyRuleCacheStats()
+			return fmt.Sprintf("ok entries=%d evictions=%d", entries, evictions)
+		default:
+			return "err unknown stats scope " + f[1]
+		}
+	case "status":
+		busy, workers := core.InstallBacklog()
+		return fmt.Sprintf("ok epoch=%d datapaths=%d shards=%d cached=%d install_busy=%d install_workers=%d",
+			ctl.Epoch(), ctl.DatapathCount(), ctl.Shards(), ctl.CachedFlows(), busy, workers)
+	case "counters":
+		snap := ctl.Counters.Snapshot()
+		names := make([]string, 0, len(snap))
+		for n := range snap {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		var b strings.Builder
+		fmt.Fprintf(&b, "ok %d", len(names))
+		for _, n := range names {
+			fmt.Fprintf(&b, "\n%s %d", n, snap[n])
+		}
+		return b.String()
+	case "shards":
+		stats := ctl.ShardStats()
+		var b strings.Builder
+		fmt.Fprintf(&b, "ok %d", len(stats))
+		for i, s := range stats {
+			fmt.Fprintf(&b, "\nshard=%d cached=%d pending=%d waiters=%d revseq=%d",
+				i, s.Cached, s.Pending, s.Waiters, s.RevSeq)
+		}
+		return b.String()
+	case "hosts":
+		return hostsReply(st)
+	case "rules":
+		counts := ctl.Audit.RuleCounts()
+		var b strings.Builder
+		fmt.Fprintf(&b, "ok %d", len(counts))
+		for _, rc := range counts {
+			fmt.Fprintf(&b, "\nrule=%q total=%d denied=%d revoked=%d",
+				rc.Rule, rc.Total, rc.Denied, rc.Revoked)
+		}
+		return b.String()
 	default:
 		return "err unknown command " + f[0]
 	}
+}
+
+// hostsReply merges the revocation index's per-host dependency view with
+// the query engine's per-host availability view, keyed by IP: which hosts
+// the controller currently trusts for what, and how their daemons behave.
+func hostsReply(st adminState) string {
+	deps := st.ctl.HostDependencies()
+	depBy := make(map[netaddr.IP]revoke.HostStat, len(deps))
+	ips := make([]netaddr.IP, 0, len(deps))
+	for _, d := range deps {
+		depBy[d.Host] = d
+		ips = append(ips, d.Host)
+	}
+	var engBy map[netaddr.IP]query.HostStatus
+	if st.eng != nil {
+		hs := st.eng.HostStats()
+		engBy = make(map[netaddr.IP]query.HostStatus, len(hs))
+		for _, h := range hs {
+			engBy[h.Host] = h
+			if _, ok := depBy[h.Host]; !ok {
+				ips = append(ips, h.Host)
+			}
+		}
+	}
+	sort.Slice(ips, func(i, j int) bool { return ips[i] < ips[j] })
+	var b strings.Builder
+	fmt.Fprintf(&b, "ok %d", len(ips))
+	for _, ip := range ips {
+		d := depBy[ip]
+		e := engBy[ip]
+		fmt.Fprintf(&b, "\nhost=%s flows=%d wide=%d push=%t queries=%d rtt_mean=%s rtt_p99=%s fails=%d breaker=%t",
+			ip, d.Flows, d.Wide, d.Push, e.Queries,
+			e.RTTMean.Round(time.Microsecond), e.RTTP99.Round(time.Microsecond),
+			e.Fails, e.BreakerOpen)
+	}
+	return b.String()
 }
 
 // revokeMain is the `identctl revoke` subcommand: it connects to a serving
@@ -102,6 +213,67 @@ func revokeMain(args []string) {
 		fatal(fmt.Errorf("controller refused: %s", reply))
 	}
 	fmt.Printf("identctl: revoked %s flow(s) for %s\n", strings.TrimPrefix(reply, "ok "), rest[0])
+}
+
+// listCommands are the drill-down commands whose reply is a count line
+// followed by that many detail lines.
+var listCommands = map[string]bool{
+	"counters": true,
+	"shards":   true,
+	"hosts":    true,
+	"rules":    true,
+}
+
+// adminMain is the `identctl admin` subcommand: it sends one admin command
+// and prints the reply — the detail lines for drill-down commands, the
+// single reply line otherwise.
+func adminMain(args []string) {
+	fs := flag.NewFlagSet("admin", flag.ExitOnError)
+	admin := fs.String("admin", "127.0.0.1:7833", "admin address of the serving identctl")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: identctl admin [-admin addr] <command> [args]")
+		fmt.Fprintln(os.Stderr, "commands: status, stats [megaflow|wide|rulecache], counters, shards, hosts, rules, sweep")
+		fs.PrintDefaults()
+	}
+	fs.Parse(args)
+	rest := fs.Args()
+	if len(rest) == 0 {
+		fs.Usage()
+		os.Exit(2)
+	}
+	line := strings.Join(rest, " ")
+
+	conn, err := net.DialTimeout("tcp", *admin, 5*time.Second)
+	if err != nil {
+		fatal(fmt.Errorf("dial admin %s: %w", *admin, err))
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(10 * time.Second))
+	if _, err := fmt.Fprintf(conn, "%s\n", line); err != nil {
+		fatal(err)
+	}
+	sc := bufio.NewScanner(conn)
+	if !sc.Scan() {
+		fatal(fmt.Errorf("admin closed without a reply"))
+	}
+	head := sc.Text()
+	if !strings.HasPrefix(head, "ok") {
+		fatal(fmt.Errorf("controller refused: %s", head))
+	}
+	if listCommands[rest[0]] {
+		n, err := strconv.Atoi(strings.TrimSpace(strings.TrimPrefix(head, "ok")))
+		if err != nil {
+			fatal(fmt.Errorf("malformed count line %q", head))
+		}
+		for i := 0; i < n; i++ {
+			if !sc.Scan() {
+				fatal(fmt.Errorf("admin closed after %d of %d detail lines", i, n))
+			}
+			fmt.Println(sc.Text())
+		}
+		return
+	}
+	fmt.Println(head)
 }
 
 // adminRoundTrip sends one admin line and returns the one-line reply.

@@ -39,11 +39,16 @@ import (
 	"identxx/internal/openflow"
 	"identxx/internal/pf"
 	"identxx/internal/query"
+	"identxx/internal/telemetry"
 )
 
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "revoke" {
 		revokeMain(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "admin" {
+		adminMain(os.Args[2:])
 		return
 	}
 	listen := flag.String("listen", ":6633", "secure-channel listen address")
@@ -54,6 +59,8 @@ func main() {
 	leaseTTL := flag.Duration("revocation-lease", 5*time.Minute, "fact lease for daemons that do not push updates (0 disables)")
 	cacheTTL := flag.Duration("cache-ttl", 0, "response-cache TTL for repeated flow setups (0 disables caching)")
 	megaflow := flag.Bool("megaflow", false, "widen cached verdicts into wildcard megaflows (requires -cache-ttl)")
+	telemetryAddr := flag.String("telemetry", "", "HTTP listen address for /metrics, /healthz, /readyz (empty disables)")
+	auditLog := flag.String("audit-log", "", "structured audit stream destination: file path, or - for stdout (empty disables)")
 	flag.Parse()
 	if *policyDir == "" || *topoFile == "" {
 		fmt.Fprintln(os.Stderr, "identctl: -policy and -topology are required")
@@ -121,7 +128,41 @@ func main() {
 			fatal(err)
 		}
 		defer al.Close()
-		go serveAdmin(al, ctl)
+		go serveAdmin(al, adminState{ctl: ctl, eng: eng})
+	}
+	var auditSink *telemetry.AuditSink
+	if *auditLog != "" {
+		w := os.Stdout
+		if *auditLog != "-" {
+			f, err := os.OpenFile(*auditLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			w = f
+		}
+		auditSink = telemetry.NewAuditSink(w, 0)
+		ctl.Audit.SetStream(auditSink.Record)
+		// Detach before Close so no Record races the drain.
+		defer auditSink.Close()
+		defer ctl.Audit.SetStream(nil)
+	}
+	if *telemetryAddr != "" {
+		ts := telemetry.NewServer()
+		telemetry.RegisterController(ts.Registry, ctl)
+		telemetry.RegisterEngine(ts.Registry, eng)
+		telemetry.RegisterPool(ts.Registry, pool)
+		telemetry.RegisterControllerHealth(ts.Health, ctl)
+		telemetry.RegisterPoolHealth(ts.Health, pool)
+		if auditSink != nil {
+			telemetry.RegisterAuditSink(ts.Registry, auditSink)
+		}
+		taddr, err := ts.Start(*telemetryAddr)
+		if err != nil {
+			fatal(err)
+		}
+		defer ts.Close()
+		fmt.Printf("identctl: telemetry on http://%s/metrics\n", taddr)
 	}
 	handler := &channelHandler{ctl: ctl}
 	server := openflow.NewChannelServer(handler)

@@ -80,20 +80,20 @@ func TestAdminCommands(t *testing.T) {
 		},
 	})
 
-	if got := adminCommand(ctl, "stats"); got != "ok live=1 registered=1 dropped=0" {
+	if got := adminCommand(adminState{ctl: ctl}, "stats"); got != "ok live=1 registered=1 dropped=0" {
 		t.Errorf("stats = %q", got)
 	}
-	if got := adminCommand(ctl, "revoke 10.0.0.1 name"); got != "ok 1" {
+	if got := adminCommand(adminState{ctl: ctl}, "revoke 10.0.0.1 name"); got != "ok 1" {
 		t.Errorf("revoke = %q", got)
 	}
-	if got := adminCommand(ctl, "revoke 10.0.0.1"); got != "ok 0" {
+	if got := adminCommand(adminState{ctl: ctl}, "revoke 10.0.0.1"); got != "ok 0" {
 		t.Errorf("second revoke = %q", got)
 	}
-	if got := adminCommand(ctl, "sweep"); got != "ok 0" {
+	if got := adminCommand(adminState{ctl: ctl}, "sweep"); got != "ok 0" {
 		t.Errorf("sweep = %q", got)
 	}
 	for _, bad := range []string{"", "revoke", "revoke bogus", "revoke 1.2.3.4 k extra", "frobnicate"} {
-		if got := adminCommand(ctl, bad); len(got) < 3 || got[:3] != "err" {
+		if got := adminCommand(adminState{ctl: ctl}, bad); len(got) < 3 || got[:3] != "err" {
 			t.Errorf("adminCommand(%q) = %q, want err", bad, got)
 		}
 	}
@@ -113,7 +113,7 @@ func TestAdminOverTCP(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer l.Close()
-	go serveAdmin(l, ctl)
+	go serveAdmin(l, adminState{ctl: ctl})
 	reply, err := adminRoundTrip(l.Addr().String(), "revoke 10.0.0.9")
 	if err != nil {
 		t.Fatal(err)

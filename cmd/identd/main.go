@@ -34,12 +34,14 @@ import (
 	"identxx/internal/flow"
 	"identxx/internal/hostinfo"
 	"identxx/internal/netaddr"
+	"identxx/internal/telemetry"
 )
 
 func main() {
 	listen := flag.String("listen", ":783", "address to serve ident++ queries on")
 	hostSpec := flag.String("host", "", "host specification file (required)")
 	configDir := flag.String("config", "", "daemon @app configuration directory (*.conf)")
+	telemetryAddr := flag.String("telemetry", "", "HTTP listen address for /metrics, /healthz, /readyz (empty disables)")
 	flag.Parse()
 	if *hostSpec == "" {
 		fmt.Fprintln(os.Stderr, "identd: -host is required")
@@ -67,6 +69,17 @@ func main() {
 		fatal(err)
 	}
 	fmt.Printf("identd: answering for host %s (%s) on %s\n", host.Name, host.IP, addr)
+
+	if *telemetryAddr != "" {
+		ts := telemetry.NewServer()
+		telemetry.RegisterDaemon(ts.Registry, d, telemetry.Label{Key: "host", Value: host.IP.String()})
+		taddr, err := ts.Start(*telemetryAddr)
+		if err != nil {
+			fatal(err)
+		}
+		defer ts.Close()
+		fmt.Printf("identd: telemetry on http://%s/metrics\n", taddr)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

@@ -35,6 +35,10 @@ type AuditEntry struct {
 	seq int64
 }
 
+// Seq returns the entry's global sequence number (1-based, assigned by
+// Record); exported for streaming sinks that need a stable cursor.
+func (e AuditEntry) Seq() int64 { return e.seq }
+
 func (e AuditEntry) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%s %s -> %s (rule: %s)",
@@ -86,6 +90,12 @@ func (s *auditStripe) retained() []AuditEntry {
 type AuditLog struct {
 	stripes []auditStripe
 	seq     atomic.Int64
+
+	// stream is the optional live tap (SetStream): a decision-path-safe
+	// callback invoked once per recorded entry, after the ring write. It is
+	// an atomic pointer so the common case — no sink attached — costs one
+	// load per Record, and attaching costs no lock anywhere.
+	stream atomic.Pointer[func(AuditEntry)]
 }
 
 // auditStripes is fixed: enough to keep concurrent deciders apart without
@@ -120,6 +130,21 @@ func NewAuditLog(capEntries int) *AuditLog {
 func (l *AuditLog) Record(e AuditEntry) {
 	e.seq = l.seq.Add(1)
 	l.stripes[e.seq%int64(len(l.stripes))].record(e)
+	if fn := l.stream.Load(); fn != nil {
+		(*fn)(e)
+	}
+}
+
+// SetStream attaches (or with nil detaches) a live tap invoked once per
+// recorded entry with the sequence number already assigned. Record runs on
+// the decision path, so fn MUST NOT block: sinks buffer and drop (see
+// internal/telemetry.AuditSink), they do not apply backpressure here.
+func (l *AuditLog) SetStream(fn func(AuditEntry)) {
+	if fn == nil {
+		l.stream.Store(nil)
+		return
+	}
+	l.stream.Store(&fn)
 }
 
 // Total returns the number of entries ever recorded.
@@ -158,5 +183,45 @@ func (l *AuditLog) Revocations() []AuditEntry {
 			out = append(out, e)
 		}
 	}
+	return out
+}
+
+// RuleCount aggregates the retained audit entries that named one policy
+// rule: how often it decided, how many of those decisions denied, and how
+// many were revocation teardowns. This is the per-policy-rule drill-down
+// behind `identctl admin rules` — counts cover the audit ring's retention
+// window, not process lifetime.
+type RuleCount struct {
+	Rule                   string
+	Total, Denied, Revoked int64
+}
+
+// RuleCounts aggregates the retained entries by deciding rule, sorted by
+// descending Total then rule string (deterministic for the admin protocol).
+func (l *AuditLog) RuleCounts() []RuleCount {
+	agg := make(map[string]*RuleCount)
+	for _, e := range l.Entries() {
+		rc := agg[e.Rule]
+		if rc == nil {
+			rc = &RuleCount{Rule: e.Rule}
+			agg[e.Rule] = rc
+		}
+		rc.Total++
+		if e.Revoked {
+			rc.Revoked++
+		} else if e.Action == pf.Block {
+			rc.Denied++
+		}
+	}
+	out := make([]RuleCount, 0, len(agg))
+	for _, rc := range agg {
+		out = append(out, *rc)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Total != out[j].Total {
+			return out[i].Total > out[j].Total
+		}
+		return out[i].Rule < out[j].Rule
+	})
 	return out
 }

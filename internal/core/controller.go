@@ -363,6 +363,84 @@ func (c *Controller) CachedFlows() int {
 	return c.flows.cachedFlows(c.clock(), st.epoch)
 }
 
+// Epoch returns the current policy epoch: 0 at construction, bumped by
+// every SetPolicy. Exported as a gauge so operators can confirm a policy
+// push actually swapped the snapshot (the health/metrics surface's
+// "epoch advancing" signal).
+func (c *Controller) Epoch() uint64 {
+	return c.state.Load().epoch
+}
+
+// DatapathCount returns the number of registered switches in the current
+// snapshot — the readiness signal a controller with no network should
+// report before claiming it can enforce anything.
+func (c *Controller) DatapathCount() int {
+	return len(c.state.Load().datapaths)
+}
+
+// ShardStat is one flow-state shard's occupancy snapshot: live (unexpired,
+// current-epoch) cache entries, in-flight decisions, parked duplicate
+// packet-ins across them, and the shard's revocation sequence.
+type ShardStat struct {
+	Cached  int
+	Pending int
+	Waiters int
+	RevSeq  uint64
+}
+
+// ShardStats snapshots every shard for the per-shard drill-down
+// (`identctl admin shards`). Each shard is locked briefly in turn; the
+// result is a consistent per-shard view, not a cross-shard atomic one.
+func (c *Controller) ShardStats() []ShardStat {
+	st := c.state.Load()
+	now := c.clock()
+	out := make([]ShardStat, len(c.flows.shards))
+	for i := range c.flows.shards {
+		s := &c.flows.shards[i]
+		s.mu.Lock()
+		stat := ShardStat{Pending: len(s.pending), RevSeq: s.rev.Load()}
+		for _, waiters := range s.pending {
+			stat.Waiters += len(waiters)
+		}
+		for _, e := range s.respCache {
+			if e.epoch == st.epoch && now.Before(e.expires) {
+				stat.Cached++
+			}
+		}
+		s.mu.Unlock()
+		out[i] = stat
+	}
+	return out
+}
+
+// WideStats reports the revocation index's wide (megaflow-class)
+// registrations: resident count plus lifetime register/drop totals. Zeros
+// when revocation is disabled.
+func (c *Controller) WideStats() (live int, registered, dropped int64) {
+	if c.revoker == nil {
+		return 0, 0, 0
+	}
+	return c.revoker.WideStats()
+}
+
+// PolicyRuleCacheStats reports the current policy's embedded-rules memo
+// occupancy and lifetime evictions (pf.Policy.RuleCacheStats, surfaced
+// here so operators reach it through the same snapshot the fast path
+// reads).
+func (c *Controller) PolicyRuleCacheStats() (entries, evictions int64) {
+	return c.state.Load().policy.RuleCacheStats()
+}
+
+// HostDependencies snapshots the revocation index's per-host view (flows
+// and megaflow classes depending on each host's facts, push-capability) —
+// the per-host drill-down. Nil when revocation is disabled.
+func (c *Controller) HostDependencies() []revoke.HostStat {
+	if c.revoker == nil {
+		return nil
+	}
+	return c.revoker.Hosts(nil)
+}
+
 // mutate applies edit to a private clone of the current snapshot and
 // publishes the result. Concurrent readers see either the old or the new
 // snapshot, never a partial edit.
@@ -879,6 +957,19 @@ type installJob struct {
 var installFanout struct {
 	once sync.Once
 	ch   chan installJob
+	// busy counts workers currently applying a mod — the install-worker
+	// backlog signal health checks report. Touched only on the multi-switch
+	// hand-off path, never on the single-hop fast path.
+	busy atomic.Int64
+	n    int
+}
+
+// InstallBacklog reports how many shared install workers are applying a
+// flow-mod right now, and how many exist in total. All workers busy for a
+// sustained period means installs are degrading to sequential behind slow
+// switches — the signal the readiness surface exposes.
+func InstallBacklog() (busy int64, workers int) {
+	return installFanout.busy.Load(), installFanout.n
 }
 
 func installCh() chan installJob {
@@ -896,12 +987,15 @@ func installCh() chan installJob {
 		// dead switch, and the owning decision would wait on switches it
 		// never touches.
 		installFanout.ch = make(chan installJob)
+		installFanout.n = n
 		for i := 0; i < n; i++ {
 			go func() {
 				for j := range installFanout.ch {
+					installFanout.busy.Add(1)
 					if err := j.dp.Apply(j.mod); err != nil {
 						j.errs.Add(1)
 					}
+					installFanout.busy.Add(-1)
 					j.wg.Done()
 				}
 			}()

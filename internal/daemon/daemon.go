@@ -7,6 +7,7 @@ import (
 
 	"identxx/internal/flow"
 	"identxx/internal/hostinfo"
+	"identxx/internal/metrics"
 	"identxx/internal/wire"
 )
 
@@ -27,6 +28,11 @@ type ForgeFunc func(q wire.Query, honest *wire.Response) *wire.Response
 // being true.
 type Daemon struct {
 	host *hostinfo.Host
+
+	// Counters is the daemon's observability surface (queries answered,
+	// updates pushed, subscriber churn), exported by internal/telemetry's
+	// daemon collector. Always non-nil after New.
+	Counters *metrics.Counter
 
 	mu              sync.RWMutex
 	userApps        map[string]*AppConfig // user-writable config, by exe path
@@ -60,6 +66,7 @@ type Daemon struct {
 func New(h *hostinfo.Host) *Daemon {
 	d := &Daemon{
 		host:     h,
+		Counters: metrics.NewCounter(),
 		userApps: make(map[string]*AppConfig),
 		sysApps:  make(map[string]*AppConfig),
 		dynamic:  make(map[flow.Five][]wire.KV),
@@ -172,6 +179,7 @@ func (d *Daemon) SetForge(f ForgeFunc) {
 // about yields a single section carrying an error pair, like the ident
 // protocol's NO-USER.
 func (d *Daemon) HandleQuery(q wire.Query) *wire.Response {
+	d.Counters.Add("daemon_queries_answered", 1)
 	resp := d.buildResponse(q)
 	// Remember what was asserted (post-forge: the memo tracks what went on
 	// the wire) so a later OS change can be mapped back to this flow and

@@ -58,6 +58,7 @@ func (d *Daemon) Subscribe(fn func(wire.Update)) (cancel func()) {
 	id := d.nextSub
 	d.nextSub++
 	d.subs[id] = fn
+	d.Counters.Add("daemon_subscribes", 1)
 	fn(wire.Update{Hello: true, Serial: d.serial})
 	return func() {
 		d.pubMu.Lock()
@@ -94,6 +95,9 @@ func (d *Daemon) FlowPairStats() (entries, evictions int64) {
 func (d *Daemon) emitLocked(u wire.Update) {
 	d.serial++
 	u.Serial = d.serial
+	if len(d.subs) > 0 {
+		d.Counters.Add("daemon_updates_pushed", int64(len(d.subs)))
+	}
 	for _, fn := range d.subs {
 		fn(u)
 	}

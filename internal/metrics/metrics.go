@@ -192,6 +192,27 @@ func (h *Histogram) Min() time.Duration {
 	return min
 }
 
+// Sum returns the sum of all observations (exact, not sampled: stripes
+// accumulate the running sum even after the reservoir starts evicting).
+func (h *Histogram) Sum() time.Duration {
+	var sum time.Duration
+	for i := range h.stripes {
+		s := &h.stripes[i]
+		s.mu.Lock()
+		sum += s.sum
+		s.mu.Unlock()
+	}
+	return sum
+}
+
+// Samples returns a copy of the retained (reservoir) samples, unordered.
+// Exporters bucket these; the retained set is a uniform sample of the full
+// stream once the reservoir is saturated, so bucket counts derived from it
+// understate true counts but never exceed Count().
+func (h *Histogram) Samples() []time.Duration {
+	return h.retained()
+}
+
 // retained returns a merged copy of every stripe's samples.
 func (h *Histogram) retained() []time.Duration {
 	var out []time.Duration

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -373,6 +374,50 @@ func (e *Engine) hostState(host netaddr.IP) *hostState {
 // operators and the experiment harness.
 func (e *Engine) HostRTT(host netaddr.IP) *metrics.Histogram {
 	return e.hostState(host).rtt
+}
+
+// HostStatus is one host's availability snapshot: query volume and RTT
+// from its histogram, the breaker and negative-cache state, and the
+// consecutive-failure count feeding the breaker.
+type HostStatus struct {
+	Host        netaddr.IP
+	Queries     int64 // RTT observations (delivered exchanges)
+	RTTMean     time.Duration
+	RTTP99      time.Duration
+	Fails       int  // consecutive failures toward the breaker threshold
+	BreakerOpen bool // breaker currently rejecting queries
+	NegCached   bool // negative cache currently serving a failure verdict
+}
+
+// HostStats snapshots every host the engine has ever queried, sorted by
+// address — the per-host drill-down behind `identctl admin hosts` and the
+// telemetry export. Quantiles read the striped reservoir, so the call is
+// safe (and meaningful) under live traffic.
+func (e *Engine) HostStats() []HostStatus {
+	e.hostMu.Lock()
+	hosts := make([]netaddr.IP, 0, len(e.hosts))
+	states := make([]*hostState, 0, len(e.hosts))
+	for h, hs := range e.hosts {
+		hosts = append(hosts, h)
+		states = append(states, hs)
+	}
+	e.hostMu.Unlock()
+	now := e.clock()
+	out := make([]HostStatus, len(hosts))
+	for i, hs := range states {
+		st := HostStatus{Host: hosts[i]}
+		st.Queries = hs.rtt.Count()
+		st.RTTMean = hs.rtt.Mean()
+		st.RTTP99 = hs.rtt.Quantile(0.99)
+		hs.mu.Lock()
+		st.Fails = hs.fails
+		st.BreakerOpen = !hs.openTill.IsZero() && now.Before(hs.openTill)
+		st.NegCached = hs.negErr != nil && now.Before(hs.negUntil)
+		hs.mu.Unlock()
+		out[i] = st
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Host < out[j].Host })
+	return out
 }
 
 // join registers interest in (host, flow, keys): the first caller becomes

@@ -19,6 +19,7 @@
 package revoke
 
 import (
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -278,6 +279,53 @@ func (ix *Index) FlushAll() {
 		ws.entries = make(map[uint64]wideEntry)
 		ws.mu.Unlock()
 	}
+}
+
+// HostStat is one host's dependency footprint: how many live flows and
+// wide (megaflow-class) registrations read facts from it, and whether its
+// daemon has proven it pushes updates (facts lease-free).
+type HostStat struct {
+	Host  netaddr.IP
+	Flows int
+	Wide  int
+	Push  bool
+}
+
+// Hosts snapshots the per-host dependency view, appended to dst and sorted
+// by host address. It walks the fact shards' host-scope marker entries
+// (Key ""), which every registration carries for each end, so the count is
+// exact without a flow-side scan. Shards are locked one at a time; the
+// result is per-shard consistent.
+func (ix *Index) Hosts(dst []HostStat) []HostStat {
+	flows := make(map[netaddr.IP]int)
+	wide := make(map[netaddr.IP]int)
+	for i := range ix.factShards {
+		sh := &ix.factShards[i]
+		sh.mu.Lock()
+		for fact, set := range sh.flows {
+			if fact.Key == "" {
+				flows[fact.Host] += len(set)
+			}
+		}
+		for fact, set := range sh.wide {
+			if fact.Key == "" {
+				wide[fact.Host] += len(set)
+			}
+		}
+		sh.mu.Unlock()
+	}
+	for h := range wide {
+		if _, ok := flows[h]; !ok {
+			flows[h] = 0
+		}
+	}
+	ix.pushMu.RLock()
+	for h, n := range flows {
+		dst = append(dst, HostStat{Host: h, Flows: n, Wide: wide[h], Push: ix.push[h]})
+	}
+	ix.pushMu.RUnlock()
+	sort.Slice(dst, func(i, j int) bool { return dst[i].Host < dst[j].Host })
+	return dst
 }
 
 // Stats reports resident registrations and lifetime register/drop counts.

@@ -1,0 +1,140 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"identxx/internal/core"
+)
+
+// DefaultAuditDepth is the sink's channel depth when NewAuditSink gets 0.
+const DefaultAuditDepth = 1024
+
+// AuditSink streams audit entries as JSON lines to a writer, decoupled
+// from the decision path by a bounded channel: Record is a non-blocking
+// send, and when the consumer (disk, pipe, log shipper) cannot keep up the
+// sink drops entries and counts them rather than ever stalling
+// finishDecision. The striped audit ring remains the authoritative
+// bounded history; the sink is a best-effort live feed.
+//
+// Attach it with core.AuditLog.SetStream(sink.Record); detach (SetStream
+// nil) before Close.
+type AuditSink struct {
+	ch      chan core.AuditEntry
+	done    chan struct{}
+	wg      sync.WaitGroup
+	closing sync.Once
+
+	emitted atomic.Int64
+	dropped atomic.Int64
+}
+
+// auditRecord is the wire shape of one JSON line. Field names are stable:
+// they are part of the operational surface (docs/operations.md).
+type auditRecord struct {
+	Seq       int64    `json:"seq"`
+	Time      string   `json:"time"`
+	Flow      string   `json:"flow"`
+	Action    string   `json:"action"`
+	Rule      string   `json:"rule"`
+	Matched   bool     `json:"matched"`
+	KeepState bool     `json:"keep_state,omitempty"`
+	Revoked   bool     `json:"revoked,omitempty"`
+	SetupUs   int64    `json:"setup_us,omitempty"`
+	Diags     []string `json:"diags,omitempty"`
+}
+
+// NewAuditSink starts a sink writing to w with the given channel depth
+// (DefaultAuditDepth when <= 0). The writer goroutine owns w exclusively
+// until Close returns.
+func NewAuditSink(w io.Writer, depth int) *AuditSink {
+	if depth <= 0 {
+		depth = DefaultAuditDepth
+	}
+	s := &AuditSink{
+		ch:   make(chan core.AuditEntry, depth),
+		done: make(chan struct{}),
+	}
+	s.wg.Add(1)
+	go s.loop(w)
+	return s
+}
+
+// Record enqueues an entry without ever blocking: when the channel is
+// full the entry is dropped and counted. Safe to pass directly to
+// core.AuditLog.SetStream.
+func (s *AuditSink) Record(e core.AuditEntry) {
+	select {
+	case s.ch <- e:
+	default:
+		s.dropped.Add(1)
+	}
+}
+
+// Emitted returns how many entries were written out.
+func (s *AuditSink) Emitted() int64 { return s.emitted.Load() }
+
+// Dropped returns how many entries were discarded because the channel was
+// full — the backpressure signal (identxx_audit_sink_dropped_total).
+func (s *AuditSink) Dropped() int64 { return s.dropped.Load() }
+
+// Close drains whatever is already buffered, flushes, and stops the
+// writer. Detach the sink from the audit log first; entries Recorded
+// concurrently with Close may be silently discarded, never deadlocked on.
+func (s *AuditSink) Close() {
+	s.closing.Do(func() { close(s.done) })
+	s.wg.Wait()
+}
+
+func (s *AuditSink) loop(w io.Writer) {
+	defer s.wg.Done()
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	write := func(e core.AuditEntry) {
+		rec := auditRecord{
+			Seq:       e.Seq(),
+			Time:      e.Time.UTC().Format(time.RFC3339Nano),
+			Flow:      e.Flow.String(),
+			Action:    e.Action.String(),
+			Rule:      e.Rule,
+			Matched:   e.Matched,
+			KeepState: e.KeepState,
+			Revoked:   e.Revoked,
+			SetupUs:   e.Setup.Total().Microseconds(),
+			Diags:     e.Diags,
+		}
+		// Encode cannot fail on this shape; a write error means the
+		// destination is gone, and the next entries will fail the same way
+		// — nothing useful to do but keep counting emissions attempted.
+		_ = enc.Encode(rec)
+		s.emitted.Add(1)
+	}
+	for {
+		select {
+		case e := <-s.ch:
+			write(e)
+		default:
+			// Channel momentarily empty: push buffered lines out so a tail
+			// -f reader sees entries promptly, then block for more work.
+			bw.Flush()
+			select {
+			case e := <-s.ch:
+				write(e)
+			case <-s.done:
+				for {
+					select {
+					case e := <-s.ch:
+						write(e)
+					default:
+						bw.Flush()
+						return
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,183 @@
+package telemetry
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"io"
+
+	"identxx/internal/daemon"
+	"identxx/internal/hostinfo"
+	"identxx/internal/netaddr"
+	"identxx/internal/query"
+)
+
+// This file is the anti-drift mechanism behind docs/metrics.md: the doc's
+// metric table must list exactly the names the full wired registry
+// exports, and every counter literal incremented anywhere in non-test
+// source must be declared in one of the wiring tables. Adding a counter
+// without documenting it — or documenting one that no longer exists —
+// fails CI.
+
+type nullResolver struct{}
+
+func (nullResolver) Resolve(host netaddr.IP) (string, bool) { return "", false }
+
+// fullRegistry wires every component the way the binaries do.
+func fullRegistry(t *testing.T) *Registry {
+	t.Helper()
+	ctl := newTestController(t)
+	eng := query.NewEngine(query.Config{Lower: okTransport{}})
+	t.Cleanup(func() { eng.Close() })
+	pool := query.NewPool(query.PoolConfig{Resolver: nullResolver{}})
+	t.Cleanup(func() { pool.Close() })
+	d := daemon.New(hostinfo.New("drift", netaddr.MustParseIP("10.9.9.9"), netaddr.MAC(9)))
+	sink := NewAuditSink(io.Discard, 1)
+	t.Cleanup(sink.Close)
+
+	r := NewRegistry()
+	RegisterController(r, ctl)
+	RegisterEngine(r, eng)
+	RegisterPool(r, pool)
+	RegisterDaemon(r, d)
+	RegisterAuditSink(r, sink)
+	return r
+}
+
+var docMetricRe = regexp.MustCompile("`(identxx_[a-zA-Z0-9_:]+)`")
+
+// docNames extracts the metric names documented in docs/metrics.md's
+// tables (rows whose first cell is a backticked identxx_* name).
+func docNames(t *testing.T) map[string]bool {
+	t.Helper()
+	raw, err := os.ReadFile(filepath.Join("..", "..", "docs", "metrics.md"))
+	if err != nil {
+		t.Fatalf("docs/metrics.md unreadable (every exported metric must be documented there): %v", err)
+	}
+	names := make(map[string]bool)
+	for _, line := range strings.Split(string(raw), "\n") {
+		if !strings.HasPrefix(strings.TrimSpace(line), "| `identxx_") {
+			continue
+		}
+		if m := docMetricRe.FindStringSubmatch(line); m != nil {
+			names[m[1]] = true
+		}
+	}
+	return names
+}
+
+func TestMetricsDocMatchesRegistry(t *testing.T) {
+	registry := fullRegistry(t).Names()
+	doc := docNames(t)
+
+	var missing, stale []string
+	for _, n := range registry {
+		if !doc[n] {
+			missing = append(missing, n)
+		}
+	}
+	seen := make(map[string]bool, len(registry))
+	for _, n := range registry {
+		seen[n] = true
+	}
+	for n := range doc {
+		if !seen[n] {
+			stale = append(stale, n)
+		}
+	}
+	sort.Strings(stale)
+	if len(missing) > 0 {
+		t.Errorf("exported metrics missing from docs/metrics.md (add a table row for each):\n  %s",
+			strings.Join(missing, "\n  "))
+	}
+	if len(stale) > 0 {
+		t.Errorf("docs/metrics.md documents metrics the registry no longer exports (delete the rows):\n  %s",
+			strings.Join(stale, "\n  "))
+	}
+}
+
+var counterLiteralRe = regexp.MustCompile(`\.(?:Add|Cell)\("([a-z][a-z0-9_]*)"`)
+
+// sourceCounterNames scans non-test Go source under internal/ and cmd/
+// for counter-name literals.
+func sourceCounterNames(t *testing.T) map[string][]string {
+	t.Helper()
+	found := make(map[string][]string) // name -> files
+	for _, root := range []string{filepath.Join("..", ".."), filepath.Join("..", "..", "cmd")} {
+		root := root
+		err := filepath.Walk(filepath.Join(root), func(path string, info os.FileInfo, err error) error {
+			if err != nil {
+				return err
+			}
+			if info.IsDir() {
+				base := info.Name()
+				if base == ".git" || base == "testdata" || base == "docs" {
+					return filepath.SkipDir
+				}
+				return nil
+			}
+			if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+				return nil
+			}
+			src, err := os.ReadFile(path)
+			if err != nil {
+				return err
+			}
+			for _, m := range counterLiteralRe.FindAllStringSubmatch(string(src), -1) {
+				found[m[1]] = append(found[m[1]], path)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		break // first root already covers everything
+	}
+	return found
+}
+
+func TestSourceCountersAreDeclared(t *testing.T) {
+	declared := make(map[string]bool)
+	for _, table := range []map[string]string{
+		ControllerCounters, EngineCounters, PoolCounters, DaemonCounters, AuditSinkCounters,
+	} {
+		for name := range table {
+			declared[name] = true
+		}
+	}
+	found := sourceCounterNames(t)
+	var undeclared []string
+	for name, files := range found {
+		if !declared[name] {
+			undeclared = append(undeclared, name+" ("+files[0]+")")
+		}
+	}
+	sort.Strings(undeclared)
+	if len(undeclared) > 0 {
+		t.Errorf("counters incremented in source but absent from the telemetry wiring tables (declare them in wiring.go and document them in docs/metrics.md):\n  %s",
+			strings.Join(undeclared, "\n  "))
+	}
+
+	// The reverse: every declared counter-set name must still be
+	// incremented somewhere (audit_sink_* are closures, not Counter
+	// cells, so they are exempt).
+	var stale []string
+	for _, table := range []map[string]string{
+		ControllerCounters, EngineCounters, PoolCounters, DaemonCounters,
+	} {
+		for name := range table {
+			if len(found[name]) == 0 {
+				stale = append(stale, name)
+			}
+		}
+	}
+	sort.Strings(stale)
+	if len(stale) > 0 {
+		t.Errorf("wiring tables declare counters no source increments (delete the declarations and doc rows):\n  %s",
+			strings.Join(stale, "\n  "))
+	}
+}

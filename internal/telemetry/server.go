@@ -1,0 +1,76 @@
+package telemetry
+
+import (
+	"net"
+	"net/http"
+	"time"
+)
+
+// Server bundles a Registry and a Health set behind one HTTP listener:
+//
+//	GET /metrics  — Prometheus text exposition
+//	GET /healthz  — liveness
+//	GET /readyz   — readiness
+//
+// Both identctl (controller role) and identd (daemon role) mount one; the
+// wiring helpers decide what gets registered.
+type Server struct {
+	Registry *Registry
+	Health   *Health
+
+	srv *http.Server
+	ln  net.Listener
+}
+
+// NewServer creates a server with a fresh registry and health set. Call
+// Start to listen on an address, or use Handler directly (tests).
+func NewServer() *Server {
+	s := &Server{
+		Registry: NewRegistry(),
+		Health:   NewHealth(),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.metricsHandler)
+	mux.HandleFunc("/healthz", s.Health.LiveHandler)
+	mux.HandleFunc("/readyz", s.Health.ReadyHandler)
+	s.srv = &http.Server{
+		Handler: mux,
+		// Scrapes are small and local; generous-but-bounded timeouts keep a
+		// stuck scraper from pinning goroutines.
+		ReadTimeout:  10 * time.Second,
+		WriteTimeout: 30 * time.Second,
+	}
+	return s
+}
+
+func (s *Server) metricsHandler(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	// Errors past the header are connection failures; nothing to do.
+	_ = s.Registry.WritePrometheus(w)
+}
+
+// Handler returns the mux, for tests and embedding.
+func (s *Server) Handler() http.Handler {
+	return s.srv.Handler
+}
+
+// Start listens on addr and serves in a background goroutine. The returned
+// address carries the resolved port (useful with ":0").
+func (s *Server) Start(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s.ln = ln
+	go func() {
+		// ErrServerClosed after Close; anything else means the listener
+		// died, which the next scrape will notice.
+		_ = s.srv.Serve(ln)
+	}()
+	return ln.Addr(), nil
+}
+
+// Close stops the listener and in-flight handlers.
+func (s *Server) Close() error {
+	return s.srv.Close()
+}

@@ -1,0 +1,57 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestHealthHandlers(t *testing.T) {
+	s := NewServer()
+	s.Registry.RegisterGaugeFunc("x", "x.", func() int64 { return 1 })
+	ok := true
+	s.Health.AddReadiness("gate", func() error {
+		if !ok {
+			return fmt.Errorf("gate closed")
+		}
+		return nil
+	})
+	addr, err := s.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	base := "http://" + addr.String()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	if code, body := get("/healthz"); code != 200 || !strings.Contains(body, "ok") {
+		t.Errorf("healthz = %d %q", code, body)
+	}
+	if code, body := get("/readyz"); code != 200 || !strings.Contains(body, "ok gate") {
+		t.Errorf("readyz = %d %q", code, body)
+	}
+	ok = false
+	if code, body := get("/readyz"); code != 503 || !strings.Contains(body, "fail gate: gate closed") {
+		t.Errorf("readyz after failure = %d %q", code, body)
+	}
+	code, body := get("/metrics")
+	if code != 200 {
+		t.Fatalf("metrics = %d", code)
+	}
+	if !strings.Contains(body, "identxx_x 1") {
+		t.Errorf("metrics body missing gauge:\n%s", body)
+	}
+	parseExposition(t, body)
+}

@@ -1,0 +1,232 @@
+package telemetry
+
+import (
+	"fmt"
+
+	"identxx/internal/core"
+	"identxx/internal/daemon"
+	"identxx/internal/query"
+)
+
+// This file is the single source of truth for what each component exports:
+// a declared raw-name → help table per counter set, plus the gauges,
+// histograms, and health probes derived from the component's snapshot
+// surfaces. docs/metrics.md mirrors these tables; the drift test
+// (docs_drift_test.go) fails CI when either side changes alone.
+
+// ControllerCounters documents every counter the controller increments.
+var ControllerCounters = map[string]string{
+	"packet_ins":                     "Packet-in events admitted to the decision path.",
+	"response_cache_hits":            "Flow setups resolved from the exact response cache without daemon queries.",
+	"duplicate_packet_ins":           "Packet-ins for a flow whose decision was already in flight.",
+	"waiters_resolved":               "Parked duplicate packet-ins resolved by the first verdict.",
+	"waiters_forwarded":              "Packets forwarded on behalf of resolved waiters.",
+	"flows_allowed":                  "Flow setups whose verdict was Allow.",
+	"flows_denied":                   "Flow setups whose verdict was Block.",
+	"eval_diags":                     "Policy evaluations that emitted diagnostics (missing keys, signature failures).",
+	"entries_installed":              "Flow-table entries installed across all datapaths.",
+	"install_errors":                 "Flow-mod installs rejected by a datapath.",
+	"query_errors":                   "Endpoint queries that failed for reasons other than timeout.",
+	"query_timeouts":                 "Endpoint queries that timed out.",
+	"answered_on_behalf":             "Queries the controller answered for daemon-less hosts (§4 incremental benefit).",
+	"decisions_headeronly":           "Decisions resolved by the header-only pre-pass without querying either end.",
+	"policy_reloads":                 "SetPolicy snapshot swaps (each bumps the policy epoch).",
+	"flow_removed":                   "Flow-removed notifications from datapaths (idle/hard timeout expiries).",
+	"unknown_datapath":               "Packet-ins from datapaths absent from the current snapshot.",
+	"non_ip_dropped":                 "Packet-ins dropped because the frame was not parseable IP.",
+	"waiters_overflowed":             "Duplicate packet-ins dropped because the shard's waiter list was full.",
+	"path_errors":                    "Topology path lookups that failed during install or teardown.",
+	"queries_intercepted":            "ident++ queries the controller intercepted and answered itself (§3.4).",
+	"responses_augmented":            "Transit responses the controller augmented with its own observations (§3.4).",
+	"megaflow_hits":                  "Flow setups resolved by the megaflow wildcard cache.",
+	"megaflow_installs":              "Wildcard entries installed into the megaflow cache.",
+	"megaflow_teardowns":             "Wildcard entries torn down by revocation or policy change.",
+	"megaflow_expired":               "Wildcard entries dropped by TTL expiry.",
+	"megaflow_hit_raced":             "Megaflow hits that raced a concurrent teardown and fell through to a full decision.",
+	"flows_revoked":                  "Installed flows torn down live by the revocation plane.",
+	"revocations_updates":            "Daemon-pushed endpoint-state updates received.",
+	"revocations_flows":              "Flows matched by revocation updates (teardown initiated).",
+	"revocations_inflight":           "Revocations that cancelled a decision still in flight.",
+	"revocations_raced":              "Revocations that raced a concurrent cache store and re-ran teardown.",
+	"revocations_hellos":             "Daemon hello updates (subscription handshakes) processed.",
+	"revocations_resyncs":            "Full resyncs forced by serial gaps in a daemon's update stream.",
+	"revocations_noop":               "Updates that matched no registered fact (nothing to tear down).",
+	"revocations_entries":            "Fact dependencies registered in the revocation index.",
+	"revocations_lease_expired":      "Flows torn down by lease expiry (daemons that never push).",
+	"revocations_wide_lease_expired": "Megaflow classes torn down by lease expiry.",
+}
+
+// EngineCounters documents the query engine's counters.
+var EngineCounters = map[string]string{
+	"engine_queries_sent":      "Queries the engine passed to the lower transport (post-coalescing).",
+	"engine_coalesce_hits":     "Queries coalesced onto an identical in-flight exchange.",
+	"engine_negcache_hits":     "Queries served a cached host-unreachable verdict without touching the wire.",
+	"engine_retries":           "Extra attempts after retryable transport failures.",
+	"engine_breaker_opens":     "Circuit breakers opened by consecutive host failures.",
+	"engine_breaker_fastfails": "Queries rejected while a host's breaker was open.",
+	"engine_timeouts":          "Query attempts that exceeded the request timeout.",
+	"engine_host_recoveries":   "Hosts whose breaker and negative cache were cleared by a subscription hello.",
+}
+
+// PoolCounters documents the TCP connection pool's counters.
+var PoolCounters = map[string]string{
+	"pool_queries_sent":           "Query exchanges written to daemon connections.",
+	"pool_requests_failed":        "In-flight exchanges failed by connection death.",
+	"pool_timeouts":               "Exchanges that hit their deadline on the wire.",
+	"pool_dials":                  "Daemon connections established.",
+	"pool_dial_errors":            "Daemon dial attempts that failed.",
+	"pool_dial_backoff_fastfails": "Exchanges rejected during dial backoff without an attempt.",
+	"pool_subscribes":             "Update subscriptions established on daemon connections.",
+	"pool_updates":                "Daemon-pushed updates decoded and delivered.",
+	"pool_update_decode_errors":   "Pushed updates dropped because they failed to decode.",
+	"pool_update_resyncs":         "Resyncs synthesized after serial gaps or reconnects.",
+}
+
+// DaemonCounters documents the daemon's counters.
+var DaemonCounters = map[string]string{
+	"daemon_queries_answered": "ident++ queries answered (HandleQuery calls).",
+	"daemon_subscribes":       "Update subscriptions accepted.",
+	"daemon_updates_pushed":   "Update deliveries to subscribers (one per subscriber per update).",
+}
+
+// AuditSinkCounters documents the audit sink's counters.
+var AuditSinkCounters = map[string]string{
+	"audit_sink_emitted": "Audit entries written to the structured sink.",
+	"audit_sink_dropped": "Audit entries dropped because the sink's buffer was full (never blocks the decision path).",
+}
+
+// RegisterController exports the controller's whole surface: its counter
+// set, the setup-latency histograms, and gauges over the snapshot/cache/
+// revocation state. Safe to call once per controller.
+func RegisterController(r *Registry, ctl *core.Controller, labels ...Label) {
+	r.RegisterCounterSet(ctl.Counters, ControllerCounters, labels...)
+
+	r.RegisterGaugeFunc("policy_epoch", "Current policy epoch (bumped by every SetPolicy snapshot swap).",
+		func() int64 { return int64(ctl.Epoch()) }, labels...)
+	r.RegisterGaugeFunc("datapaths", "Switches registered in the current snapshot.",
+		func() int64 { return int64(ctl.DatapathCount()) }, labels...)
+	r.RegisterGaugeFunc("flow_shards", "Flow-state shard count (fixed at construction).",
+		func() int64 { return int64(ctl.Shards()) }, labels...)
+	r.RegisterGaugeFunc("flows_cached", "Live (unexpired, current-epoch) response-cache entries.",
+		func() int64 { return int64(ctl.CachedFlows()) }, labels...)
+	r.RegisterGaugeFunc("decisions_pending", "Decisions in flight across all shards.",
+		func() int64 {
+			var n int64
+			for _, s := range ctl.ShardStats() {
+				n += int64(s.Pending)
+			}
+			return n
+		}, labels...)
+	r.RegisterGaugeFunc("waiters_parked", "Duplicate packet-ins parked on in-flight decisions.",
+		func() int64 {
+			var n int64
+			for _, s := range ctl.ShardStats() {
+				n += int64(s.Waiters)
+			}
+			return n
+		}, labels...)
+
+	r.RegisterGaugeFunc("megaflow_live", "Live wildcard entries in the megaflow cache.",
+		func() int64 { live, _, _, _ := ctl.MegaflowStats(); return int64(live) }, labels...)
+	r.RegisterGaugeFunc("revocation_index_live", "Fact dependencies resident in the revocation index.",
+		func() int64 { live, _, _ := ctl.RevocationIndexStats(); return int64(live) }, labels...)
+	r.RegisterCounterFunc("revocation_index_dropped", "Fact registrations dropped by the index's bounds.",
+		func() int64 { _, _, dropped := ctl.RevocationIndexStats(); return dropped }, labels...)
+	r.RegisterGaugeFunc("revocation_wide_live", "Megaflow-class registrations resident in the revocation index.",
+		func() int64 { live, _, _ := ctl.WideStats(); return int64(live) }, labels...)
+	r.RegisterCounterFunc("revocation_wide_registered", "Lifetime megaflow-class registrations in the revocation index.",
+		func() int64 { _, registered, _ := ctl.WideStats(); return registered }, labels...)
+	r.RegisterCounterFunc("revocation_wide_dropped", "Megaflow-class registrations dropped by the index's bounds.",
+		func() int64 { _, _, dropped := ctl.WideStats(); return dropped }, labels...)
+	r.RegisterGaugeFunc("rule_cache_entries", "Resident entries in the policy's embedded-rules memo.",
+		func() int64 { entries, _ := ctl.PolicyRuleCacheStats(); return entries }, labels...)
+	r.RegisterCounterFunc("rule_cache_evictions", "Lifetime evictions from the policy's embedded-rules memo.",
+		func() int64 { _, evictions := ctl.PolicyRuleCacheStats(); return evictions }, labels...)
+
+	r.RegisterCounterFunc("audit_records", "Audit entries ever recorded (ring sequence number).",
+		ctl.Audit.Total, labels...)
+
+	busyWorkers := func() int64 { busy, _ := core.InstallBacklog(); return busy }
+	r.RegisterGaugeFunc("install_workers_busy", "Install fan-out workers currently applying flow-mods.",
+		busyWorkers, labels...)
+	r.RegisterGaugeFunc("install_workers", "Install fan-out worker pool size (0 until first multi-switch install).",
+		func() int64 { _, workers := core.InstallBacklog(); return int64(workers) }, labels...)
+
+	r.RegisterHistogram("setup_total", "End-to-end flow-setup latency (Figure 1: punt + max(queries) + eval + install).", ctl.Setup.Total, labels...)
+	r.RegisterHistogram("setup_punt", "Switch-to-controller punt latency.", ctl.Setup.Punt, labels...)
+	r.RegisterHistogram("setup_query_src", "ident++ round trip to the source daemon.", ctl.Setup.QuerySrc, labels...)
+	r.RegisterHistogram("setup_query_dst", "ident++ round trip to the destination daemon.", ctl.Setup.QueryDst, labels...)
+	r.RegisterHistogram("setup_eval", "PF+=2 policy evaluation latency.", ctl.Setup.Eval, labels...)
+	r.RegisterHistogram("setup_install", "Flow-entry install latency along the path.", ctl.Setup.Install, labels...)
+}
+
+// RegisterControllerHealth wires the controller's readiness to real
+// signals: switches registered (a controller with no datapaths enforces
+// nothing) and the install fan-out not saturated. Liveness stays the HTTP
+// baseline — a wedged process stops answering.
+func RegisterControllerHealth(h *Health, ctl *core.Controller) {
+	h.AddReadiness("datapaths", func() error {
+		if ctl.DatapathCount() == 0 {
+			return fmt.Errorf("%w: no datapaths registered", errNotReady)
+		}
+		return nil
+	})
+	h.AddReadiness("install-workers", func() error {
+		busy, workers := core.InstallBacklog()
+		if workers > 0 && busy >= int64(workers) {
+			return fmt.Errorf("%w: install fan-out saturated (%d/%d busy)", errNotReady, busy, workers)
+		}
+		return nil
+	})
+}
+
+// RegisterEngine exports the query engine's counters and gauges.
+func RegisterEngine(r *Registry, eng *query.Engine, labels ...Label) {
+	r.RegisterCounterSet(eng.Counters, EngineCounters, labels...)
+	r.RegisterGauge("engine_inflight", "Queries between admission and delivery (coalesced waiters excluded).",
+		&eng.InFlight, labels...)
+	r.RegisterGaugeFunc("engine_hosts", "Hosts with per-host engine state (negative cache, breaker, RTT histogram).",
+		func() int64 { return int64(len(eng.HostStats())) }, labels...)
+}
+
+// RegisterPool exports the TCP pool's counters. When the pool shares its
+// Counter with the engine, register only one of the two sets.
+func RegisterPool(r *Registry, pool *query.Pool, labels ...Label) {
+	r.RegisterCounterSet(pool.Counters, PoolCounters, labels...)
+}
+
+// RegisterPoolHealth wires readiness to pool connectivity: not ready while
+// the pool has only ever failed to dial (it has proven it cannot reach any
+// daemon). A pool that has not dialed yet — no traffic — is ready.
+func RegisterPoolHealth(h *Health, pool *query.Pool) {
+	h.AddReadiness("query-pool", func() error {
+		dials := pool.Counters.Get("pool_dials")
+		dialErrors := pool.Counters.Get("pool_dial_errors")
+		if dials == 0 && dialErrors > 0 {
+			return fmt.Errorf("%w: query pool has never reached a daemon (%d dial errors)", errNotReady, dialErrors)
+		}
+		return nil
+	})
+}
+
+// RegisterDaemon exports the daemon's counters plus its memo and
+// publication state.
+func RegisterDaemon(r *Registry, d *daemon.Daemon, labels ...Label) {
+	r.RegisterCounterSet(d.Counters, DaemonCounters, labels...)
+	r.RegisterGaugeFunc("daemon_answered_entries", "Flows resident in the answered-facts memo.",
+		func() int64 { entries, _ := d.AnsweredStats(); return entries }, labels...)
+	r.RegisterCounterFunc("daemon_answered_evictions", "Lifetime evictions from the answered-facts memo.",
+		func() int64 { _, evictions := d.AnsweredStats(); return evictions }, labels...)
+	r.RegisterGaugeFunc("daemon_flowpair_entries", "Flows with application-supplied pairs resident.",
+		func() int64 { entries, _ := d.FlowPairStats(); return entries }, labels...)
+	r.RegisterCounterFunc("daemon_flowpair_evictions", "Lifetime evictions from the application flow-pair map.",
+		func() int64 { _, evictions := d.FlowPairStats(); return evictions }, labels...)
+	r.RegisterCounterFunc("daemon_update_serial", "Serial of the most recently published update.",
+		func() int64 { return int64(d.UpdateSerial()) }, labels...)
+}
+
+// RegisterAuditSink exports the sink's emit/drop counters.
+func RegisterAuditSink(r *Registry, s *AuditSink, labels ...Label) {
+	r.RegisterCounterFunc("audit_sink_emitted", AuditSinkCounters["audit_sink_emitted"], s.Emitted, labels...)
+	r.RegisterCounterFunc("audit_sink_dropped", AuditSinkCounters["audit_sink_dropped"], s.Dropped, labels...)
+}
