@@ -72,6 +72,7 @@ bench-m7:
 BASE ?= main
 BENCH_COUNT ?= 3
 BENCH_TIME ?= 20000x
+BENCH_OUT ?= BENCH_$(BENCH_COUNT).json
 .PHONY: bench-compare
 bench-compare:
 	@tmp=$$(mktemp -d); \
@@ -79,9 +80,9 @@ bench-compare:
 	git worktree add --detach $$tmp/base $(BASE) >/dev/null; \
 	trap 'git worktree remove --force '"$$tmp"'/base >/dev/null 2>&1; rm -rf '"$$tmp" EXIT; \
 	echo "== base ($(BASE)) =="; \
-	(cd $$tmp/base && $(GO) test -run=NONE -bench='M7_|M8_|M9_|M10_|M11_|M12_' -benchmem -count=$(BENCH_COUNT) -benchtime=$(BENCH_TIME) .) | tee $$tmp/base.txt; \
+	(cd $$tmp/base && $(GO) test -run=NONE -bench='M7_|M8_|M9_|M10_|M11_|M12_|M13_' -benchmem -count=$(BENCH_COUNT) -benchtime=$(BENCH_TIME) .) | tee $$tmp/base.txt; \
 	echo "== head =="; \
-	$(GO) test -run=NONE -bench='M7_|M8_|M9_|M10_|M11_|M12_' -benchmem -count=$(BENCH_COUNT) -benchtime=$(BENCH_TIME) . | tee $$tmp/head.txt; \
+	$(GO) test -run=NONE -bench='M7_|M8_|M9_|M10_|M11_|M12_|M13_' -benchmem -count=$(BENCH_COUNT) -benchtime=$(BENCH_TIME) . | tee $$tmp/head.txt; \
 	if command -v benchstat >/dev/null 2>&1; then benchstat $$tmp/base.txt $$tmp/head.txt || true; fi; \
 	$(GO) run ./cmd/benchdiff \
 		-max-allocs 'BenchmarkM7_ShardedHandleEvent=2' \
@@ -90,7 +91,8 @@ bench-compare:
 		-max-allocs 'BenchmarkM10_PolicyEval/compiled=2' \
 		-max-allocs 'BenchmarkM11_Revocation/no-subscribers=2' \
 		-max-allocs 'BenchmarkM12_Megaflow/member-hit=2' \
-		-json BENCH_$(BENCH_COUNT).json \
+		-max-allocs 'BenchmarkM13_CredentialedSession/steady=2' \
+		-json $(BENCH_OUT) \
 		$$tmp/base.txt $$tmp/head.txt
 
 # Documentation gates. The drift tests pin docs/metrics.md to the wired
@@ -119,6 +121,8 @@ fuzz:
 	$(GO) test -fuzz=FuzzDecodeQuery -fuzztime=$(FUZZTIME) ./internal/wire/
 	$(GO) test -fuzz=FuzzDecodeResponse -fuzztime=$(FUZZTIME) ./internal/wire/
 	$(GO) test -fuzz=FuzzParsePolicy -fuzztime=$(FUZZTIME) ./internal/pf/
+	$(GO) test -fuzz=FuzzDecodeHello -fuzztime=$(FUZZTIME) ./internal/wire/
+	$(GO) test -fuzz=FuzzParseCredential -fuzztime=$(FUZZTIME) ./internal/cred/
 
 # Compile every example's .control files through pfcheck (with -explain,
 # so the compiler's lowering and key analysis run too): example configs

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"identxx/internal/core"
+	"identxx/internal/cred"
 	"identxx/internal/daemon"
 	"identxx/internal/experiments"
 	"identxx/internal/flow"
@@ -27,6 +28,7 @@ import (
 	"identxx/internal/openflow"
 	"identxx/internal/pf"
 	"identxx/internal/query"
+	"identxx/internal/sig"
 	"identxx/internal/wire"
 	"identxx/internal/workload"
 )
@@ -893,6 +895,135 @@ func BenchmarkM12_Megaflow(b *testing.B) {
 				ctl.SetPolicy(pf.MustCompile("m12", m12Policy)) // flush: next lap re-widens
 				b.StartTimer()
 			}
+		}
+	})
+}
+
+// m13Host is m9Host returning the daemon too, so credential-plane
+// benchmarks can install and rotate credentials on it.
+func m13Host(b *testing.B, name, ip string) (netaddr.IP, string, flow.Five, *daemon.Daemon) {
+	b.Helper()
+	hostIP := netaddr.MustParseIP(ip)
+	h := hostinfo.New(name, hostIP, 1)
+	alice := h.AddUser("alice", "users")
+	proc := h.Exec(alice, workload.Skype.Exe())
+	five, err := h.Connect(proc.PID, flow.Five{
+		DstIP: netaddr.MustParseIP("10.4.0.2"), Proto: netaddr.ProtoTCP, DstPort: 5060,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	d := daemon.New(h)
+	srv := daemon.NewServer(d)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { srv.Close() })
+	return hostIP, addr.String(), five, d
+}
+
+// BenchmarkM13_CredentialedSession measures the credential plane (PR 8):
+//
+//   - hello-verify: the once-per-session price — parse the credential
+//     blob, check the authority signature, check the hello transcript
+//     signature. This is ~two Ed25519 verifications and is paid exactly
+//     once per daemon session (and once per rotation re-hello), never per
+//     query.
+//   - steady: the controller's steady state over a fully credentialed
+//     query plane (RequireCredentials, both daemons verified) with a warm
+//     response cache. The credential plane must cost this path nothing:
+//     CI enforces the same ≤ 2 allocs/op budget as the insecure M9 hit
+//     variant, and the subtest asserts no re-verification happened during
+//     the timed loop.
+func BenchmarkM13_CredentialedSession(b *testing.B) {
+	authPub, authPriv := sig.MustGenerateKey()
+
+	b.Run("hello-verify", func(b *testing.B) {
+		host := netaddr.MustParseIP("10.4.2.1")
+		ic, err := cred.Issue(authPriv, host, nil, time.Now().Add(time.Hour))
+		if err != nil {
+			b.Fatal(err)
+		}
+		blob := ic.Encode()
+		helloSig := ic.SignHello(host, 7)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c, err := cred.Parse(blob)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := c.Verify(authPub, time.Now()); err != nil {
+				b.Fatal(err)
+			}
+			if err := c.VerifyHello(host, 7, helloSig); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("steady", func(b *testing.B) {
+		srcIP, srcAddr, five, srcD := m13Host(b, "pc", "10.4.0.1")
+		dstIP, dstAddr, _, dstD := m13Host(b, "server", "10.4.0.2")
+		issue := func(d *daemon.Daemon, host netaddr.IP) {
+			ic, err := cred.Issue(authPriv, host, nil, time.Now().Add(time.Hour))
+			if err != nil {
+				b.Fatal(err)
+			}
+			d.SetCredential(ic)
+		}
+		issue(srcD, srcIP)
+		issue(dstD, dstIP)
+		pool := query.NewPool(query.PoolConfig{
+			Resolver:     query.StaticResolver{srcIP: srcAddr, dstIP: dstAddr},
+			AuthorityKey: authPub,
+		})
+		b.Cleanup(func() { pool.Close() })
+		eng := query.NewEngine(query.Config{Lower: pool})
+		b.Cleanup(eng.Close)
+		ctl := core.New(core.Config{
+			Name:               "m13",
+			Policy:             pf.MustCompile("m13", "block all\npass from any to any with eq(@src[name], skype)"),
+			Transport:          eng,
+			Topology:           &m7Topo{hops: []core.Hop{{Datapath: 1, OutPort: 2}}},
+			InstallEntries:     true,
+			AsyncQueries:       true,
+			ResponseCacheTTL:   time.Hour,
+			RequireCredentials: true,
+		})
+		ctl.AddDatapath(&m7Datapath{id: 1})
+		ev := openflow.PacketIn{
+			SwitchID: 1, BufferID: openflow.BufferNone, InPort: 1,
+			Tuple: flow.Ten{
+				EthType: flow.EthTypeIPv4,
+				SrcIP:   five.SrcIP, DstIP: five.DstIP, Proto: five.Proto,
+				SrcPort: five.SrcPort, DstPort: five.DstPort,
+			},
+		}
+		ctl.HandleEvent(ev) // decide once: hellos verify, cache warms
+		deadline := time.Now().Add(5 * time.Second)
+		for ctl.Counters.Get("flows_allowed") == 0 || pool.Counters.Get("pool_cred_verified") < 2 {
+			if time.Now().After(deadline) {
+				b.Fatal("credentialed warm-up never completed")
+			}
+			time.Sleep(time.Millisecond)
+		}
+		verifiedBefore := pool.Counters.Get("pool_cred_verified")
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ctl.HandleEvent(ev)
+		}
+		b.StopTimer()
+		if ctl.Counters.Get("response_cache_hits") < int64(b.N) {
+			b.Fatal("cache-hit path not exercised")
+		}
+		if got := pool.Counters.Get("pool_cred_verified"); got != verifiedBefore {
+			b.Fatalf("re-verified during steady state (%d -> %d): crypto leaked onto the hot path", verifiedBefore, got)
+		}
+		if ctl.Counters.Get("cred_unauthorized") != 0 {
+			b.Fatal("credentialed session rejected during steady state")
 		}
 	})
 }

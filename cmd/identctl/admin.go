@@ -20,8 +20,13 @@ package main
 //	status                   ->  ok epoch=<n> datapaths=<n> shards=<n> cached=<n> install_busy=<n> install_workers=<n>
 //	counters                 ->  ok <n>  then n lines  <name> <value>
 //	shards                   ->  ok <n>  then n lines  shard=<i> cached=<n> pending=<n> waiters=<n> revseq=<n>
-//	hosts                    ->  ok <n>  then n lines  host=<ip> flows=<n> wide=<n> push=<bool> queries=<n> rtt_mean=<dur> rtt_p99=<dur> fails=<n> breaker=<bool>
+//	hosts                    ->  ok <n>  then n lines  host=<ip> flows=<n> wide=<n> push=<bool> queries=<n> rtt_mean=<dur> rtt_p99=<dur> fails=<n> breaker=<bool> cred=<state> scope=<keys> exp=<rfc3339> cred_err=<verdict>
 //	rules                    ->  ok <n>  then n lines  rule=<q-string> total=<n> denied=<n> revoked=<n>
+//	creds                    ->  ok <n>  then n lines  host=<ip> present=<bool> verified=<bool> scope=<keys> exp=<rfc3339> err=<verdict>
+//
+// The cred fields on `hosts` are `-` placeholders when the controller runs
+// in insecure mode (no -authority-key); cred=<state> is ok, none (no hello
+// seen yet), or the last rejection verdict (missing/forged/expired/scope).
 
 import (
 	"bufio"
@@ -136,6 +141,8 @@ func adminCommand(st adminState, line string) string {
 		return b.String()
 	case "hosts":
 		return hostsReply(st)
+	case "creds":
+		return credsReply(st)
 	case "rules":
 		counts := ctl.Audit.RuleCounts()
 		var b strings.Builder
@@ -178,10 +185,77 @@ func hostsReply(st adminState) string {
 	for _, ip := range ips {
 		d := depBy[ip]
 		e := engBy[ip]
-		fmt.Fprintf(&b, "\nhost=%s flows=%d wide=%d push=%t queries=%d rtt_mean=%s rtt_p99=%s fails=%d breaker=%t",
+		state, scope, exp, credErr := credFields(st.eng, ip)
+		fmt.Fprintf(&b, "\nhost=%s flows=%d wide=%d push=%t queries=%d rtt_mean=%s rtt_p99=%s fails=%d breaker=%t cred=%s scope=%s exp=%s cred_err=%s",
 			ip, d.Flows, d.Wide, d.Push, e.Queries,
 			e.RTTMean.Round(time.Microsecond), e.RTTP99.Round(time.Microsecond),
-			e.Fails, e.BreakerOpen)
+			e.Fails, e.BreakerOpen, state, scope, exp, credErr)
+	}
+	return b.String()
+}
+
+// credFields renders one host's credential status for the hosts table:
+// all `-` in insecure mode; cred=none before any hello; otherwise ok or
+// the rejection verdict. cred_err keeps the last verify error even while
+// cred=ok (a verified session that had an answer rejected for scope shows
+// cred=ok cred_err=scope).
+func credFields(eng *query.Engine, ip netaddr.IP) (state, scope, exp, credErr string) {
+	state, scope, exp, credErr = "-", "-", "-", "-"
+	if eng == nil || !eng.Credentialed() {
+		return
+	}
+	cs, ok := eng.CredentialStatus(ip)
+	if !ok || !cs.Present {
+		state = "none"
+		return
+	}
+	switch {
+	case cs.Verified:
+		state = "ok"
+	case cs.Err != "":
+		state = cs.Err
+	default:
+		state = "none"
+	}
+	if cs.Wild {
+		scope = "*"
+	} else if len(cs.Scope) > 0 {
+		scope = strings.Join(cs.Scope, ",")
+	}
+	if !cs.Expiry.IsZero() {
+		exp = cs.Expiry.UTC().Format(time.RFC3339)
+	}
+	if cs.Err != "" {
+		credErr = cs.Err
+	}
+	return
+}
+
+// credsReply is the credential drill-down: one line per session the query
+// plane has seen, whatever its verdict. Empty in insecure mode.
+func credsReply(st adminState) string {
+	var sessions []query.HostCredStatus
+	if st.eng != nil {
+		sessions = st.eng.CredentialSessions()
+	}
+	sort.Slice(sessions, func(i, j int) bool { return sessions[i].Host < sessions[j].Host })
+	var b strings.Builder
+	fmt.Fprintf(&b, "ok %d", len(sessions))
+	for _, s := range sessions {
+		scope, exp, errStr := "-", "-", "-"
+		if s.Wild {
+			scope = "*"
+		} else if len(s.Scope) > 0 {
+			scope = strings.Join(s.Scope, ",")
+		}
+		if !s.Expiry.IsZero() {
+			exp = s.Expiry.UTC().Format(time.RFC3339)
+		}
+		if s.Err != "" {
+			errStr = s.Err
+		}
+		fmt.Fprintf(&b, "\nhost=%s present=%t verified=%t scope=%s exp=%s err=%s",
+			s.Host, s.Present, s.Verified, scope, exp, errStr)
 	}
 	return b.String()
 }
@@ -222,6 +296,7 @@ var listCommands = map[string]bool{
 	"shards":   true,
 	"hosts":    true,
 	"rules":    true,
+	"creds":    true,
 }
 
 // adminMain is the `identctl admin` subcommand: it sends one admin command
@@ -232,7 +307,7 @@ func adminMain(args []string) {
 	admin := fs.String("admin", "127.0.0.1:7833", "admin address of the serving identctl")
 	fs.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: identctl admin [-admin addr] <command> [args]")
-		fmt.Fprintln(os.Stderr, "commands: status, stats [megaflow|wide|rulecache], counters, shards, hosts, rules, sweep")
+		fmt.Fprintln(os.Stderr, "commands: status, stats [megaflow|wide|rulecache], counters, shards, hosts, rules, creds, sweep")
 		fs.PrintDefaults()
 	}
 	fs.Parse(args)

@@ -1,0 +1,162 @@
+package main
+
+// `identctl cred` is the delegation authority's offline toolchain: keygen
+// mints the authority keypair (the private half never touches a serving
+// controller — only the .pub file does, via -authority-key), issue signs a
+// short-lived credential scoping one host to a key set, and show prints
+// and optionally verifies a credential file. The issued file goes to the
+// host's identd (-cred), which presents it in every subscription hello;
+// rotation is re-running issue over the same path.
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"identxx/internal/cred"
+	"identxx/internal/netaddr"
+	"identxx/internal/sig"
+)
+
+func credMain(args []string) {
+	if len(args) == 0 {
+		credUsage()
+		os.Exit(2)
+	}
+	switch args[0] {
+	case "keygen":
+		credKeygen(args[1:])
+	case "issue":
+		credIssue(args[1:])
+	case "show":
+		credShow(args[1:])
+	default:
+		fmt.Fprintf(os.Stderr, "identctl cred: unknown command %q\n", args[0])
+		credUsage()
+		os.Exit(2)
+	}
+}
+
+func credUsage() {
+	fmt.Fprintln(os.Stderr, `usage: identctl cred <command>
+  keygen -out <file>          generate an authority keypair (<file> + <file>.pub)
+  issue -authority <file> -host <ip> [-keys a,b|*] [-ttl dur] -out <file>
+                              issue a host credential signed by the authority
+  show [-authority <pubfile>] <file>
+                              print a credential file, verifying when a key is given`)
+}
+
+func credKeygen(args []string) {
+	fs := flag.NewFlagSet("cred keygen", flag.ExitOnError)
+	out := fs.String("out", "", "private-key output path; the public half goes to <out>.pub (required)")
+	fs.Parse(args)
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "identctl cred keygen: -out is required")
+		os.Exit(2)
+	}
+	pub, priv, err := sig.GenerateKey()
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(*out, []byte(priv.String()+"\n"), 0o600); err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(*out+".pub", []byte(pub.String()+"\n"), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("identctl: authority keypair written to %s (public half %s.pub)\n", *out, *out)
+}
+
+func credIssue(args []string) {
+	fs := flag.NewFlagSet("cred issue", flag.ExitOnError)
+	authority := fs.String("authority", "", "authority private-key file from `cred keygen` (required)")
+	hostArg := fs.String("host", "", "host IP the credential speaks for (required)")
+	keys := fs.String("keys", "*", "comma-separated keys the host may assert (* = all)")
+	ttl := fs.Duration("ttl", 24*time.Hour, "credential lifetime")
+	out := fs.String("out", "", "credential output path, - for stdout (required)")
+	fs.Parse(args)
+	if *authority == "" || *hostArg == "" || *out == "" {
+		fmt.Fprintln(os.Stderr, "identctl cred issue: -authority, -host and -out are required")
+		os.Exit(2)
+	}
+	priv := loadAuthorityPriv(*authority)
+	host, err := netaddr.ParseIP(*hostArg)
+	if err != nil {
+		fatal(err)
+	}
+	var keyList []string
+	if *keys != "" && *keys != "*" {
+		keyList = strings.Split(*keys, ",")
+	}
+	ic, err := cred.Issue(priv, host, keyList, time.Now().Add(*ttl))
+	if err != nil {
+		fatal(err)
+	}
+	data := cred.EncodeIssued(ic)
+	if *out == "-" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o600); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("identctl: credential for %s (keys %s) written to %s, expires %s\n",
+		host, scopeString(ic.Credential), *out, ic.Expiry.Format(time.RFC3339))
+}
+
+func credShow(args []string) {
+	fs := flag.NewFlagSet("cred show", flag.ExitOnError)
+	authority := fs.String("authority", "", "authority public-key file to verify against (optional)")
+	fs.Parse(args)
+	rest := fs.Args()
+	if len(rest) != 1 {
+		fmt.Fprintln(os.Stderr, "usage: identctl cred show [-authority <pubfile>] <file>")
+		os.Exit(2)
+	}
+	ic, err := cred.LoadFile(rest[0])
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("host:   %s\nscope:  %s\nexpiry: %s\n",
+		ic.Host, scopeString(ic.Credential), ic.Expiry.Format(time.RFC3339))
+	if *authority != "" {
+		pub := loadAuthorityPub(*authority)
+		if err := ic.Verify(pub, time.Now()); err != nil {
+			fatal(fmt.Errorf("credential INVALID: %w", err))
+		}
+		fmt.Println("verify: ok")
+	}
+}
+
+func scopeString(c cred.Credential) string {
+	if c.Wild {
+		return "*"
+	}
+	return strings.Join(c.Keys, ",")
+}
+
+func loadAuthorityPriv(path string) sig.PrivateKey {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	priv, err := sig.ParsePrivateKey(strings.TrimSpace(string(data)))
+	if err != nil {
+		fatal(fmt.Errorf("%s: %w", path, err))
+	}
+	return priv
+}
+
+func loadAuthorityPub(path string) sig.PublicKey {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	pub, err := sig.ParsePublicKey(strings.TrimSpace(string(data)))
+	if err != nil {
+		fatal(fmt.Errorf("%s: %w", path, err))
+	}
+	return pub
+}

@@ -39,6 +39,7 @@ import (
 	"identxx/internal/openflow"
 	"identxx/internal/pf"
 	"identxx/internal/query"
+	"identxx/internal/sig"
 	"identxx/internal/telemetry"
 )
 
@@ -51,11 +52,16 @@ func main() {
 		adminMain(os.Args[2:])
 		return
 	}
+	if len(os.Args) > 1 && os.Args[1] == "cred" {
+		credMain(os.Args[2:])
+		return
+	}
 	listen := flag.String("listen", ":6633", "secure-channel listen address")
 	policyDir := flag.String("policy", "", ".control policy directory (required)")
 	topoFile := flag.String("topology", "", "host placement file (required)")
 	queryTimeout := flag.Duration("query-timeout", 2*time.Second, "ident++ query timeout")
 	adminAddr := flag.String("admin", "127.0.0.1:7833", "admin listen address for `identctl revoke` (empty disables)")
+	authorityFile := flag.String("authority-key", "", "delegation-authority public key file; daemon answers require a valid credential (empty = insecure mode)")
 	leaseTTL := flag.Duration("revocation-lease", 5*time.Minute, "fact lease for daemons that do not push updates (0 disables)")
 	cacheTTL := flag.Duration("cache-ttl", 0, "response-cache TTL for repeated flow setups (0 disables caching)")
 	megaflow := flag.Bool("megaflow", false, "widen cached verdicts into wildcard megaflows (requires -cache-ttl)")
@@ -85,12 +91,18 @@ func main() {
 		fatal(err)
 	}
 
+	var authority sig.PublicKey
+	if *authorityFile != "" {
+		authority = loadAuthorityPub(*authorityFile)
+	}
+
 	// The production query plane: pooled pipelined connections to the
 	// daemons the topology declares, under the coalescing/negative-cache
 	// engine, driving the controller's non-blocking decision pipeline.
 	pool := query.NewPool(query.PoolConfig{
 		Resolver:       topoResolver{topo},
 		RequestTimeout: *queryTimeout,
+		AuthorityKey:   authority,
 	})
 	defer pool.Close()
 	eng := query.NewEngine(query.Config{
@@ -109,6 +121,7 @@ func main() {
 		RevocationLeaseTTL: *leaseTTL,
 		ResponseCacheTTL:   *cacheTTL,
 		Megaflow:           *megaflow,
+		RequireCredentials: *authorityFile != "",
 	})
 	// Close the revocation loop: daemon pushes demuxed by the pool land in
 	// the controller's teardown pipeline.

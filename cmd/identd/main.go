@@ -19,7 +19,7 @@
 //
 // Usage:
 //
-//	identd -listen :783 -host host.spec [-config /etc/identxx]
+//	identd -listen :783 -host host.spec [-config /etc/identxx] [-cred host.cred]
 package main
 
 import (
@@ -29,7 +29,9 @@ import (
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
+	"identxx/internal/cred"
 	"identxx/internal/daemon"
 	"identxx/internal/flow"
 	"identxx/internal/hostinfo"
@@ -41,6 +43,8 @@ func main() {
 	listen := flag.String("listen", ":783", "address to serve ident++ queries on")
 	hostSpec := flag.String("host", "", "host specification file (required)")
 	configDir := flag.String("config", "", "daemon @app configuration directory (*.conf)")
+	credFile := flag.String("cred", "", "credential file from `identctl cred issue` (empty = insecure mode)")
+	credReload := flag.Duration("cred-reload", time.Minute, "how often to re-read -cred for rotation (0 disables)")
 	telemetryAddr := flag.String("telemetry", "", "HTTP listen address for /metrics, /healthz, /readyz (empty disables)")
 	flag.Parse()
 	if *hostSpec == "" {
@@ -62,6 +66,24 @@ func main() {
 			fatal(err)
 		}
 		d.InstallConfig(cf, true)
+	}
+	if *credFile != "" {
+		ic, err := cred.LoadFile(*credFile)
+		if err != nil {
+			fatal(err)
+		}
+		if ic.Host != host.IP {
+			fatal(fmt.Errorf("credential %s is for host %s, this daemon answers for %s", *credFile, ic.Host, host.IP))
+		}
+		d.SetCredential(ic)
+		fmt.Printf("identd: credential loaded, expires %s\n", ic.Expiry.Format(time.RFC3339))
+		if *credReload > 0 {
+			// Rotation loop: the operator drops a fresh credential in place
+			// (identctl cred issue -out <same path>) and the daemon re-hellos
+			// every live subscription with it before the old one expires — no
+			// restart, no resync (the serial does not move).
+			go reloadCredential(d, *credFile, *credReload)
+		}
 	}
 	srv := daemon.NewServer(d)
 	addr, err := srv.Listen(*listen)
@@ -91,6 +113,28 @@ func main() {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "identd:", err)
 	os.Exit(1)
+}
+
+// reloadCredential re-reads path every interval and installs the file's
+// credential when it changes (detected by the authority signature). A
+// transient read or parse error keeps the current credential — expiry is
+// the controller's concern, and a daemon with a stale credential simply
+// loses its sessions at expiry like any other lapsed host.
+func reloadCredential(d *daemon.Daemon, path string, interval time.Duration) {
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for range tick.C {
+		ic, err := cred.LoadFile(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "identd: credential reload:", err)
+			continue
+		}
+		if cur := d.Credential(); cur != nil && cur.Sig == ic.Sig {
+			continue
+		}
+		d.SetCredential(ic)
+		fmt.Printf("identd: credential rotated, expires %s\n", ic.Expiry.Format(time.RFC3339))
+	}
 }
 
 // parseHostSpec builds a hostinfo.Host from the directive format above.

@@ -70,6 +70,43 @@ func isTimeout(err error) bool {
 	return errors.As(err, &t) && t.Timeout()
 }
 
+// unauthorizedErr marks query failures caused by the credential plane
+// (internal/query's session verification) without importing it: the
+// daemon answered, but its credential was forged, expired, missing, or
+// its answer exceeded the credential's key scope. Such errors also
+// satisfy IsNoDaemon — an unauthorized daemon gets the daemon-less
+// fallback — but are counted apart (cred_unauthorized vs query_errors)
+// so operators can tell "daemon down" from "daemon unauthorized".
+type unauthorizedErr interface{ Unauthorized() bool }
+
+// isUnauthorized walks the Unwrap chain by hand: errors.As would heap-
+// allocate its target on every call, and this sits on the miss path of
+// every daemon-less flow setup (the M8 zero-alloc budget).
+func isUnauthorized(err error) bool {
+	for err != nil {
+		if ue, ok := err.(unauthorizedErr); ok {
+			return ue.Unauthorized()
+		}
+		u, ok := err.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		err = u.Unwrap()
+	}
+	return false
+}
+
+// CredentialChecker is the credential face a transport must expose when
+// Config.RequireCredentials is set (internal/query.Engine over a
+// credentialed Pool implements it). HostAuthorized gates fact ingestion;
+// CredentialExpiry lets the revocation plane lease facts no further than
+// the asserting credential's lifetime — expiry as a revocation event.
+type CredentialChecker interface {
+	Credentialed() bool
+	HostAuthorized(host netaddr.IP) bool
+	CredentialExpiry(host netaddr.IP) (time.Time, bool)
+}
+
 // QueryTransport delivers an ident++ query to a host's daemon and returns
 // its response plus the round-trip latency (virtual in simulation, wall on
 // TCP).
@@ -171,6 +208,16 @@ type Config struct {
 	// channel exists. Zero disables leases. Requires Revocation.
 	RevocationLeaseTTL time.Duration
 
+	// RequireCredentials turns on the credential plane's controller half:
+	// the Transport must implement CredentialChecker and actually enforce
+	// credentials (a credentialed query plane — see internal/cred), facts
+	// from unauthorized hosts are refused at ingestion and fall back to
+	// answer-on-behalf/no-info, and registered facts are leased no longer
+	// than the asserting credential's remaining lifetime, so credential
+	// expiry tears dependent flows down through the revocation index.
+	// Leave false for netsim and experiments: the insecure mode.
+	RequireCredentials bool
+
 	// Shards sets the number of flow-state shards, rounded up to a power
 	// of two. Zero picks a hardware-sized default (≥ GOMAXPROCS).
 	Shards int
@@ -241,6 +288,11 @@ type Controller struct {
 	revoker  *revoke.Index
 	leaseTTL time.Duration
 
+	// credTr is the transport's credential face (nil unless
+	// Config.RequireCredentials): consulted at fact ingestion and when
+	// leasing registered facts.
+	credTr CredentialChecker
+
 	// Counters and latency recorder are exported for the harness.
 	Counters *metrics.Counter
 	Setup    *metrics.SetupRecorder
@@ -255,6 +307,7 @@ type Controller struct {
 		flowsAllowed, flowsDenied, installs *atomic.Int64
 		evalDiags, installErrors            *atomic.Int64
 		queryErrors, queryTimeouts          *atomic.Int64
+		credUnauthorized                    *atomic.Int64
 		answeredOnBehalf, headerOnly        *atomic.Int64
 		revUpdates, revFlows, revInflight   *atomic.Int64
 		megaHits, megaInstalls              *atomic.Int64
@@ -294,6 +347,17 @@ func New(cfg Config) *Controller {
 		}
 		asyncTr = at
 	}
+	var credTr CredentialChecker
+	if cfg.RequireCredentials {
+		ct, ok := cfg.Transport.(CredentialChecker)
+		if !ok || !ct.Credentialed() {
+			// Refusing to start beats silently authorizing everyone: a
+			// transport without credential enforcement would make
+			// RequireCredentials a no-op.
+			panic("core: Config.RequireCredentials requires a credential-enforcing Transport (query plane with an authority key); netsim/experiments run with it off")
+		}
+		credTr = ct
+	}
 	c := &Controller{
 		name:      cfg.Name,
 		sourceTag: "controller:" + cfg.Name,
@@ -323,6 +387,7 @@ func New(cfg Config) *Controller {
 	c.hot.installErrors = c.Counters.Cell("install_errors")
 	c.hot.queryErrors = c.Counters.Cell("query_errors")
 	c.hot.queryTimeouts = c.Counters.Cell("query_timeouts")
+	c.hot.credUnauthorized = c.Counters.Cell("cred_unauthorized")
 	c.hot.answeredOnBehalf = c.Counters.Cell("answered_on_behalf")
 	c.hot.headerOnly = c.Counters.Cell("decisions_headeronly")
 	c.hot.revUpdates = c.Counters.Cell("revocations_updates")
@@ -341,6 +406,7 @@ func New(cfg Config) *Controller {
 		c.revoker = revoke.NewIndex(shards)
 		c.leaseTTL = cfg.RevocationLeaseTTL
 	}
+	c.credTr = credTr
 	c.state.Store(&ctlState{
 		policy:    cfg.Policy,
 		prog:      cfg.Policy.Program(),
@@ -917,17 +983,30 @@ func (c *Controller) resolveWaiters(waiters []parked, pass bool, hops []Hop) {
 // the daemon may be answering again for the very next packet.
 func (c *Controller) resolveResponse(st *ctlState, five flow.Five, host netaddr.IP, resp *wire.Response, rtt time.Duration, err error) (_ *wire.Response, _ time.Duration, built, transient bool) {
 	if err == nil {
-		return resp, rtt, false, false
-	}
-	if !IsNoDaemon(err) {
+		// RequireCredentials: the credentialed query plane already rejects
+		// unauthorized responses, but ingestion is the trust boundary —
+		// re-check here so no transport composition can slip facts from an
+		// unauthorized host into a verdict. Refused answers fall through
+		// to answer-on-behalf/no-info like any unauthorized session.
+		if c.credTr == nil || c.credTr.HostAuthorized(host) {
+			return resp, rtt, false, false
+		}
+		c.hot.credUnauthorized.Add(1)
+	} else if !IsNoDaemon(err) {
 		if isTimeout(err) {
 			c.hot.queryTimeouts.Add(1)
 		} else {
 			c.hot.queryErrors.Add(1)
 		}
 		return nil, rtt, false, true
+	} else if isUnauthorized(err) {
+		// The credential plane rejected the daemon's word (forged,
+		// expired, out-of-scope): counted apart from transport trouble so
+		// operators can tell "daemon down" from "daemon unauthorized".
+		c.hot.credUnauthorized.Add(1)
+	} else {
+		c.hot.queryErrors.Add(1)
 	}
-	c.hot.queryErrors.Add(1)
 	// Answer on behalf of daemon-less hosts from local configuration.
 	pairs := st.answers[host]
 	if len(pairs) == 0 {

@@ -256,6 +256,18 @@ func (c *Controller) registerDeps(s *decisionScratch) {
 	if c.leaseTTL > 0 && (!c.revoker.PushCapable(five.SrcIP) || !c.revoker.PushCapable(five.DstIP)) {
 		lease = c.clock().Add(c.leaseTTL)
 	}
+	if c.credTr != nil {
+		// Expiry-as-lease: facts admitted under a credential are leased no
+		// longer than that credential's remaining lifetime, so even if the
+		// live lapse-resync were missed the lease sweep still tears the
+		// flow down at expiry. A rotation refreshes subsequent decisions;
+		// existing registrations keep the expiry they were admitted under.
+		for _, h := range [2]netaddr.IP{five.SrcIP, five.DstIP} {
+			if exp, ok := c.credTr.CredentialExpiry(h); ok && (lease.IsZero() || exp.Before(lease)) {
+				lease = exp
+			}
+		}
+	}
 	c.revoker.Register(revoke.Registration{
 		Flow:  five,
 		Facts: facts,

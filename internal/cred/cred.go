@@ -1,0 +1,318 @@
+// Package cred is the credential plane for the query/update wire: a
+// delegation authority (an offline Ed25519 keypair, its public half loaded
+// by the controller) issues short-lived credentials scoped to one host and
+// one key-set. A credential binds a *session keypair* — generated at issue
+// time, held by the daemon — so the daemon proves possession by signing a
+// hello transcript (host, serial) per session, and the controller pays
+// signature verification exactly once per session: after the hello checks
+// out, serial continuity on the already-verified TCP stream proves the
+// same peer is still talking.
+//
+// This closes the trust gap the paper leaves open when the network
+// delegates decisions to end hosts (§5 discussion of compromised hosts):
+// without it, any process that can reach the controller's query socket can
+// assert arbitrary facts for any host. Scoping follows the short-lived
+// delegated-credential shape — no revocation round-trips are needed for
+// expiry, which instead flows through the controller's existing lease
+// sweep as a revocation event.
+//
+// The wire form is a single line with no newlines, safe to ride an
+// update-frame `cred:` line past legacy decoders (which skip unknown
+// lines):
+//
+//	v1 host=10.0.0.7 keys=name,user-id exp=1767225600 pub=<b64> sig=<b64>
+//
+// Unknown space-separated tokens are ignored on parse so future issuers
+// can say more, mirroring the update codec's stance.
+package cred
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"identxx/internal/netaddr"
+	"identxx/internal/sig"
+)
+
+// Errors distinguishing why a credential was rejected; the pool counts
+// each class separately so operators can tell forgery from staleness.
+var (
+	ErrMalformed = errors.New("cred: malformed credential")
+	ErrForged    = errors.New("cred: authority signature invalid")
+	ErrExpired   = errors.New("cred: credential expired")
+	ErrHostScope = errors.New("cred: credential issued for a different host")
+)
+
+// Domain-separation tags: the authority signs claims, the session key
+// signs hello transcripts, and neither signature can be replayed as the
+// other (or as a §3.3 req-sig, which canonicalizes different fields).
+const (
+	claimsTag = "identxx-cred-v1"
+	helloTag  = "identxx-hello-v1"
+)
+
+// Wildcard is the key-set token granting every key.
+const Wildcard = "*"
+
+// Credential is the public, wire-carried part of a delegation: claims
+// plus the authority's signature over their canonical encoding.
+type Credential struct {
+	Host   netaddr.IP    // the one host this credential may assert facts for
+	Keys   []string      // sorted asserted-key scope; nil with Wild set
+	Wild   bool          // scope is every key
+	Expiry time.Time     // second granularity; not valid at or after this instant
+	Pub    sig.PublicKey // session public key, proven via the hello transcript
+	Sig    string        // authority signature (unpadded base64)
+}
+
+// keysToken renders the key scope as the signed/encoded form.
+func (c Credential) keysToken() string {
+	if c.Wild {
+		return Wildcard
+	}
+	return strings.Join(c.Keys, ",")
+}
+
+// claims returns the canonically-signed values, in order.
+func (c Credential) claims() []string {
+	return []string{
+		claimsTag,
+		c.Host.String(),
+		c.keysToken(),
+		strconv.FormatInt(c.Expiry.Unix(), 10),
+		c.Pub.String(),
+	}
+}
+
+// Covers reports whether key is inside the credential's key-set scope.
+// It is allocation-free: scopes are a handful of keys, scanned linearly.
+func (c Credential) Covers(key string) bool {
+	if c.Wild {
+		return true
+	}
+	for _, k := range c.Keys {
+		if k == key {
+			return true
+		}
+	}
+	return false
+}
+
+// Verify checks the authority signature and then the expiry, in that
+// order — a forged credential reports ErrForged even when also stale,
+// because its claimed expiry is meaningless. Host scope is checked by
+// the session layer (which knows which host the session is for) via
+// ErrHostScope.
+func (c Credential) Verify(authority sig.PublicKey, now time.Time) error {
+	if err := sig.Verify(authority, c.Sig, c.claims()...); err != nil {
+		return ErrForged
+	}
+	if !now.Before(c.Expiry) {
+		return ErrExpired
+	}
+	return nil
+}
+
+// VerifyHello checks the session-key signature over one hello transcript
+// (host, serial): possession of the credential's private half, bound to
+// this session's serial baseline.
+func (c Credential) VerifyHello(host netaddr.IP, serial uint64, sigB64 string) error {
+	return sig.Verify(c.Pub, sigB64, helloTag, host.String(), strconv.FormatUint(serial, 10))
+}
+
+// Encode renders the single-line wire form carried on an update frame's
+// `cred:` line.
+func (c Credential) Encode() string {
+	return fmt.Sprintf("v1 host=%s keys=%s exp=%d pub=%s sig=%s",
+		c.Host, c.keysToken(), c.Expiry.Unix(), c.Pub, c.Sig)
+}
+
+// Parse decodes the Encode form. Unknown tokens are skipped; missing
+// required fields are ErrMalformed. Parse does not verify — call Verify
+// with the authority key.
+func Parse(s string) (Credential, error) {
+	var c Credential
+	rest, ok := strings.CutPrefix(strings.TrimSpace(s), "v1")
+	if !ok {
+		return c, fmt.Errorf("%w: missing version", ErrMalformed)
+	}
+	var haveHost, haveKeys, haveExp, havePub, haveSig bool
+	for _, tok := range strings.Fields(rest) {
+		name, val, found := strings.Cut(tok, "=")
+		if !found {
+			return c, fmt.Errorf("%w: token %q", ErrMalformed, tok)
+		}
+		switch name {
+		case "host":
+			ip, err := netaddr.ParseIP(val)
+			if err != nil {
+				return c, fmt.Errorf("%w: host %q", ErrMalformed, val)
+			}
+			c.Host, haveHost = ip, true
+		case "keys":
+			if val == Wildcard {
+				c.Wild, c.Keys = true, nil
+			} else {
+				keys, err := normalizeKeys(strings.Split(val, ","))
+				if err != nil {
+					return c, err
+				}
+				c.Keys = keys
+			}
+			haveKeys = val != ""
+		case "exp":
+			unix, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return c, fmt.Errorf("%w: exp %q", ErrMalformed, val)
+			}
+			c.Expiry, haveExp = time.Unix(unix, 0).UTC(), true
+		case "pub":
+			pub, err := sig.ParsePublicKey(val)
+			if err != nil {
+				return c, fmt.Errorf("%w: pub", ErrMalformed)
+			}
+			c.Pub, havePub = pub, true
+		case "sig":
+			c.Sig, haveSig = val, val != ""
+		}
+	}
+	if !haveHost || !haveKeys || !haveExp || !havePub || !haveSig {
+		return c, fmt.Errorf("%w: missing required field", ErrMalformed)
+	}
+	return c, nil
+}
+
+// normalizeKeys sorts, dedupes, and validates a key-set. Keys must be
+// nonempty and free of the characters the wire form reserves.
+func normalizeKeys(keys []string) ([]string, error) {
+	out := make([]string, 0, len(keys))
+	for _, k := range keys {
+		if k == "" || strings.ContainsAny(k, " ,=\n") {
+			return nil, fmt.Errorf("%w: key %q", ErrMalformed, k)
+		}
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	out = slicesCompact(out)
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%w: empty key-set", ErrMalformed)
+	}
+	return out, nil
+}
+
+// slicesCompact removes adjacent duplicates from a sorted slice.
+func slicesCompact(s []string) []string {
+	w := 0
+	for i, v := range s {
+		if i == 0 || v != s[w-1] {
+			s[w] = v
+			w++
+		}
+	}
+	return s[:w]
+}
+
+// Issued is what a daemon holds: the wire-public credential plus the
+// private half of its session key, used to sign hello transcripts.
+type Issued struct {
+	Credential
+	Priv sig.PrivateKey
+}
+
+// SignHello signs one hello transcript (host, serial) with the session
+// key; the result rides the hello update's `csig:` line.
+func (i *Issued) SignHello(host netaddr.IP, serial uint64) string {
+	return sig.Sign(i.Priv, helloTag, host.String(), strconv.FormatUint(serial, 10))
+}
+
+// Issue mints a credential: it generates a fresh session keypair and has
+// the authority's private key sign the (host, key-set, expiry, session
+// pub) claims. keys may be nil or [Wildcard] for an unscoped grant.
+func Issue(authority sig.PrivateKey, host netaddr.IP, keys []string, expiry time.Time) (*Issued, error) {
+	if authority.IsZero() {
+		return nil, fmt.Errorf("%w: zero authority key", sig.ErrBadKey)
+	}
+	c := Credential{Host: host, Expiry: expiry.Truncate(time.Second).UTC()}
+	if len(keys) == 0 || (len(keys) == 1 && keys[0] == Wildcard) {
+		c.Wild = true
+	} else {
+		norm, err := normalizeKeys(keys)
+		if err != nil {
+			return nil, err
+		}
+		c.Keys = norm
+	}
+	pub, priv, err := sig.GenerateKey()
+	if err != nil {
+		return nil, err
+	}
+	c.Pub = pub
+	c.Sig = sig.Sign(authority, c.claims()...)
+	return &Issued{Credential: c, Priv: priv}, nil
+}
+
+// EncodeIssued renders the credential file a daemon loads (`identd
+// -cred`): the public blob on a `cred` line and the session private key
+// on a `priv` line. Write it 0600.
+func EncodeIssued(i *Issued) []byte {
+	var b strings.Builder
+	b.WriteString("# identxx delegation credential; keep private (holds the session key).\n")
+	b.WriteString("cred ")
+	b.WriteString(i.Credential.Encode())
+	b.WriteString("\npriv ")
+	b.WriteString(i.Priv.String())
+	b.WriteString("\n")
+	return []byte(b.String())
+}
+
+// ParseIssued decodes the EncodeIssued form. Blank lines and #-comments
+// are skipped.
+func ParseIssued(data []byte) (*Issued, error) {
+	var out Issued
+	var haveCred, havePriv bool
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, val, found := strings.Cut(line, " ")
+		if !found {
+			return nil, fmt.Errorf("%w: line %q", ErrMalformed, line)
+		}
+		switch name {
+		case "cred":
+			c, err := Parse(val)
+			if err != nil {
+				return nil, err
+			}
+			out.Credential, haveCred = c, true
+		case "priv":
+			priv, err := sig.ParsePrivateKey(strings.TrimSpace(val))
+			if err != nil {
+				return nil, err
+			}
+			out.Priv, havePriv = priv, true
+		}
+	}
+	if !haveCred || !havePriv {
+		return nil, fmt.Errorf("%w: credential file needs cred and priv lines", ErrMalformed)
+	}
+	if !out.Priv.Public().Equal(out.Pub) {
+		return nil, fmt.Errorf("%w: priv line does not match credential's session key", ErrMalformed)
+	}
+	return &out, nil
+}
+
+// LoadFile reads and decodes an EncodeIssued credential file.
+func LoadFile(path string) (*Issued, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return ParseIssued(data)
+}

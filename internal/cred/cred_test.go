@@ -1,0 +1,167 @@
+package cred
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"identxx/internal/netaddr"
+	"identxx/internal/sig"
+)
+
+var (
+	testHost = netaddr.MustParseIP("10.0.0.7")
+	testNow  = time.Unix(1767225600, 0).UTC() // fixed instant; creds expire relative to it
+)
+
+func issue(t *testing.T, auth sig.PrivateKey, keys []string, ttl time.Duration) *Issued {
+	t.Helper()
+	ic, err := Issue(auth, testHost, keys, testNow.Add(ttl))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ic
+}
+
+func TestIssueVerifyRoundTrip(t *testing.T) {
+	authPub, authPriv := sig.MustGenerateKey()
+	ic := issue(t, authPriv, []string{"name", "user-id"}, time.Hour)
+
+	if err := ic.Verify(authPub, testNow); err != nil {
+		t.Fatalf("fresh credential rejected: %v", err)
+	}
+	// Wire round trip preserves the credential exactly.
+	parsed, err := Parse(ic.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(parsed, ic.Credential) {
+		t.Fatalf("round trip changed credential:\n got %+v\nwant %+v", parsed, ic.Credential)
+	}
+	if err := parsed.Verify(authPub, testNow); err != nil {
+		t.Fatalf("parsed credential rejected: %v", err)
+	}
+	// The hello transcript binds (host, serial) under the session key.
+	hs := ic.SignHello(testHost, 42)
+	if err := parsed.VerifyHello(testHost, 42, hs); err != nil {
+		t.Fatalf("hello transcript rejected: %v", err)
+	}
+	if err := parsed.VerifyHello(testHost, 43, hs); err == nil {
+		t.Fatal("hello signature replayed at a different serial verified")
+	}
+	if err := parsed.VerifyHello(netaddr.MustParseIP("10.0.0.8"), 42, hs); err == nil {
+		t.Fatal("hello signature replayed for a different host verified")
+	}
+}
+
+func TestVerifyRejections(t *testing.T) {
+	authPub, authPriv := sig.MustGenerateKey()
+	_, roguePriv := sig.MustGenerateKey()
+
+	forged := issue(t, roguePriv, nil, time.Hour)
+	if err := forged.Verify(authPub, testNow); !errors.Is(err, ErrForged) {
+		t.Fatalf("forged credential: got %v, want ErrForged", err)
+	}
+
+	expired := issue(t, authPriv, nil, -time.Minute)
+	if err := expired.Verify(authPub, testNow); !errors.Is(err, ErrExpired) {
+		t.Fatalf("expired credential: got %v, want ErrExpired", err)
+	}
+	// Expiry boundary is exclusive: not valid at the expiry instant.
+	edge := issue(t, authPriv, nil, 0)
+	if err := edge.Verify(authPub, testNow); !errors.Is(err, ErrExpired) {
+		t.Fatalf("credential at expiry instant: got %v, want ErrExpired", err)
+	}
+
+	// A forged credential that is also stale reports forged: its claims,
+	// expiry included, are meaningless.
+	staleForged := issue(t, roguePriv, nil, -time.Minute)
+	if err := staleForged.Verify(authPub, testNow); !errors.Is(err, ErrForged) {
+		t.Fatalf("stale forged credential: got %v, want ErrForged", err)
+	}
+
+	// Tampering with any claim breaks the authority signature.
+	tampered := issue(t, authPriv, []string{"name"}, time.Hour).Credential
+	tampered.Wild, tampered.Keys = true, nil
+	if err := tampered.Verify(authPub, testNow); !errors.Is(err, ErrForged) {
+		t.Fatalf("scope-widened credential: got %v, want ErrForged", err)
+	}
+}
+
+func TestCovers(t *testing.T) {
+	_, authPriv := sig.MustGenerateKey()
+	scoped := issue(t, authPriv, []string{"user-id", "name", "name"}, time.Hour)
+	if got := scoped.Keys; !reflect.DeepEqual(got, []string{"name", "user-id"}) {
+		t.Fatalf("keys not sorted+deduped: %v", got)
+	}
+	for key, want := range map[string]bool{"name": true, "user-id": true, "os-patch": false, "": false} {
+		if scoped.Covers(key) != want {
+			t.Fatalf("scoped.Covers(%q) = %v, want %v", key, !want, want)
+		}
+	}
+	wild := issue(t, authPriv, nil, time.Hour)
+	if !wild.Wild || !wild.Covers("anything") {
+		t.Fatal("nil key-set should grant wildcard scope")
+	}
+	star := issue(t, authPriv, []string{Wildcard}, time.Hour)
+	if !star.Wild {
+		t.Fatal(`["*"] key-set should grant wildcard scope`)
+	}
+	if _, err := Issue(authPriv, testHost, []string{"bad key"}, testNow); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("key with space accepted: %v", err)
+	}
+}
+
+func TestParseMalformed(t *testing.T) {
+	_, authPriv := sig.MustGenerateKey()
+	good := issue(t, authPriv, []string{"name"}, time.Hour).Encode()
+	for _, bad := range []string{
+		"",
+		"v2 " + good,
+		"v1",
+		"v1 host=10.0.0.7 keys=name exp=123", // missing pub+sig
+		"v1 host=nonsense keys=name exp=1 pub=x sig=y", // bad host
+		"v1 host=10.0.0.7 keys=name exp=soon pub=x sig=y",
+		"v1 host=10.0.0.7 keys= exp=1 pub=x sig=y",
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Fatalf("Parse(%q) accepted", bad)
+		}
+	}
+	// Unknown tokens are skipped, like unknown update lines.
+	withExtra := "v1 future=stuff " + good[len("v1 "):]
+	if _, err := Parse(withExtra); err != nil {
+		t.Fatalf("unknown token rejected: %v", err)
+	}
+}
+
+func TestIssuedFileRoundTrip(t *testing.T) {
+	_, authPriv := sig.MustGenerateKey()
+	ic := issue(t, authPriv, []string{"name"}, time.Hour)
+	path := filepath.Join(t.TempDir(), "host.cred")
+	if err := os.WriteFile(path, EncodeIssued(ic), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back.Credential, ic.Credential) {
+		t.Fatalf("file round trip changed credential:\n got %+v\nwant %+v", back.Credential, ic.Credential)
+	}
+	// The reloaded private key still signs valid transcripts.
+	if err := back.VerifyHello(testHost, 7, back.SignHello(testHost, 7)); err != nil {
+		t.Fatal(err)
+	}
+
+	// A priv line from a different keypair is rejected — it could never
+	// produce transcripts matching the credential's session key.
+	other := issue(t, authPriv, []string{"name"}, time.Hour)
+	mixed := &Issued{Credential: ic.Credential, Priv: other.Priv}
+	if _, err := ParseIssued(EncodeIssued(mixed)); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("mismatched priv line accepted: %v", err)
+	}
+}

@@ -1,0 +1,47 @@
+package cred
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"identxx/internal/netaddr"
+	"identxx/internal/sig"
+)
+
+// FuzzParseCredential throws attacker-shaped blobs at the credential
+// parser: whatever rides a hello's `cred:` line is untrusted input on a
+// public socket. Properties: no panic, and accepted blobs survive an
+// encode/re-parse identity (Parse∘Encode∘Parse = Parse), so the form the
+// controller logs/re-displays is the form it verified.
+func FuzzParseCredential(f *testing.F) {
+	_, authPriv := sig.MustGenerateKey()
+	ic, err := Issue(authPriv, netaddr.MustParseIP("10.0.0.7"), []string{"name", "user-id"}, time.Unix(1767225600, 0))
+	if err != nil {
+		f.Fatal(err)
+	}
+	wild, err := Issue(authPriv, netaddr.MustParseIP("10.0.0.8"), nil, time.Unix(1, 0))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(ic.Encode())
+	f.Add(wild.Encode())
+	f.Add("v1 host=10.0.0.7 keys=* exp=0 pub= sig=")
+	f.Add("v1 future=stuff host=10.0.0.7")
+	f.Add("v2 host=10.0.0.7")
+	f.Add("v1 keys=,,, exp=99999999999999999999")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, blob string) {
+		c, err := Parse(blob)
+		if err != nil {
+			return
+		}
+		again, err := Parse(c.Encode())
+		if err != nil {
+			t.Fatalf("re-parse of encoded accepted credential failed: %v\nencoded: %q", err, c.Encode())
+		}
+		if !reflect.DeepEqual(again, c) {
+			t.Fatalf("encode/parse identity broken:\n got %+v\nwant %+v", again, c)
+		}
+	})
+}

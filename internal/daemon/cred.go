@@ -1,0 +1,63 @@
+package daemon
+
+import (
+	"identxx/internal/cred"
+	"identxx/internal/wire"
+)
+
+// This file is the daemon's half of the credential plane (internal/cred):
+// holding the issued credential, attaching it to every hello, and
+// re-helloing live subscriptions when the credential rotates so sessions
+// never lapse into unauthorized.
+
+// SetCredential installs (or rotates) the daemon's delegation credential.
+// Hellos from now on carry it, signed with its session key over the
+// (host, serial) transcript. If subscribers are live, each immediately
+// receives a re-hello at the *current* serial: the controller re-verifies
+// the new credential but sees no serial movement, so a rotation costs one
+// signature check and zero resyncs — the "refresh before expiry" path.
+// A nil ic removes the credential (hellos go back to the legacy shape).
+func (d *Daemon) SetCredential(ic *cred.Issued) {
+	d.pubMu.Lock()
+	defer d.pubMu.Unlock()
+	d.credential = ic
+	if len(d.subs) == 0 {
+		return
+	}
+	u := d.helloLocked()
+	d.Counters.Add("daemon_rehellos", int64(len(d.subs)))
+	for _, fn := range d.subs {
+		fn(u)
+	}
+}
+
+// Credential returns the currently installed credential, or nil.
+func (d *Daemon) Credential() *cred.Issued {
+	d.pubMu.Lock()
+	defer d.pubMu.Unlock()
+	return d.credential
+}
+
+// CredentialExpiry returns the installed credential's expiry as a unix
+// timestamp, or 0 when no credential is installed — the shape the
+// telemetry gauge wants.
+func (d *Daemon) CredentialExpiry() int64 {
+	d.pubMu.Lock()
+	defer d.pubMu.Unlock()
+	if d.credential == nil {
+		return 0
+	}
+	return d.credential.Expiry.Unix()
+}
+
+// helloLocked builds a hello update at the current serial, carrying the
+// credential and its signed session transcript when one is installed.
+// d.pubMu must be held.
+func (d *Daemon) helloLocked() wire.Update {
+	u := wire.Update{Hello: true, Serial: d.serial}
+	if ic := d.credential; ic != nil {
+		u.Cred = ic.Encode()
+		u.CredSig = ic.SignHello(d.host.IP, d.serial)
+	}
+	return u
+}

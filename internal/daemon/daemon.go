@@ -5,6 +5,7 @@ import (
 	"strings"
 	"sync"
 
+	"identxx/internal/cred"
 	"identxx/internal/flow"
 	"identxx/internal/hostinfo"
 	"identxx/internal/metrics"
@@ -58,6 +59,9 @@ type Daemon struct {
 	// subscribed; the next Subscribe burns a serial so the subscriber's
 	// transport detects the lapse and resyncs.
 	dirty bool
+	// credential, when set, rides every hello (cred.go); pubMu guards it
+	// because hellos are built under pubMu.
+	credential *cred.Issued
 }
 
 // New creates a daemon serving queries about h. The daemon registers

@@ -59,7 +59,7 @@ func (d *Daemon) Subscribe(fn func(wire.Update)) (cancel func()) {
 	d.nextSub++
 	d.subs[id] = fn
 	d.Counters.Add("daemon_subscribes", 1)
-	fn(wire.Update{Hello: true, Serial: d.serial})
+	fn(d.helloLocked())
 	return func() {
 		d.pubMu.Lock()
 		delete(d.subs, id)

@@ -13,6 +13,7 @@ import (
 	"identxx/internal/flow"
 	"identxx/internal/metrics"
 	"identxx/internal/netaddr"
+	"identxx/internal/sig"
 	"identxx/internal/wire"
 )
 
@@ -35,6 +36,15 @@ type PoolConfig struct {
 
 	// Counters receives transport counters; a private set when nil.
 	Counters *metrics.Counter
+
+	// AuthorityKey, when set, switches the pool into credentialed mode
+	// (cred.go): every per-host session must present a credential issued
+	// by this authority in its hello and prove possession via the signed
+	// hello transcript. Responses and updates from sessions that never
+	// verified — or whose credential expired — are rejected as
+	// core.IsNoDaemon failures. Zero value = insecure mode (netsim,
+	// experiments): every session is trusted, as before.
+	AuthorityKey sig.PublicKey
 }
 
 const (
@@ -61,6 +71,7 @@ type Pool struct {
 	dialTimeout time.Duration
 	reqTimeout  time.Duration
 	maxBackoff  time.Duration
+	authority   sig.PublicKey // non-zero: credentialed mode (cred.go)
 
 	Counters *metrics.Counter
 	// Conns gauges currently established connections.
@@ -88,6 +99,7 @@ func NewPool(cfg PoolConfig) *Pool {
 		dialTimeout: cfg.DialTimeout,
 		reqTimeout:  cfg.RequestTimeout,
 		maxBackoff:  cfg.MaxBackoff,
+		authority:   cfg.AuthorityKey,
 		Counters:    cfg.Counters,
 		hosts:       make(map[netaddr.IP]*hostConn),
 	}
@@ -257,6 +269,10 @@ type hostConn struct {
 	// while we were away — forces a resync.
 	lastSerial uint64
 	haveSerial bool
+
+	// cred is the session's credential-verification state (cred.go);
+	// meaningful only in credentialed pools.
+	cred credState
 }
 
 // exchange writes one query and waits for its response or the deadline.
@@ -379,12 +395,14 @@ func (hc *hostConn) dialLocked(deadline time.Time) error {
 	hc.pool.Counters.Add("pool_dials", 1)
 	hc.pool.Conns.Inc()
 	go hc.readLoop(conn, hc.gen)
-	if hc.pool.updateFn() != nil {
+	if hc.pool.updateFn() != nil || hc.pool.credentialed() {
 		// Opt this connection into the daemon's update stream before any
 		// query goes out (the caller holds sendMu, so nothing interleaves).
 		// The daemon acknowledges with a hello update the reader demuxes;
 		// a subscribe the daemon cannot take breaks the connection and
-		// surfaces as an ordinary exchange failure.
+		// surfaces as an ordinary exchange failure. Credentialed pools
+		// always subscribe even with no update handler: the hello is where
+		// the session's credential arrives.
 		conn.SetWriteDeadline(deadline)
 		if err := wire.WriteSubscribe(conn); err != nil {
 			gen := hc.gen
@@ -465,6 +483,17 @@ func (hc *hostConn) readLoop(conn net.Conn, gen uint64) {
 			hc.teardown(gen, fmt.Errorf("query: %s: pipeline desync", hc.addr))
 			return
 		}
+		if hc.pool.credentialed() {
+			// Session-level authorization: daemon.Server processes one
+			// connection's frames in order, so the hello (and its verify)
+			// always lands before the first response. The connection
+			// itself stays up — an unauthorized daemon is still a daemon,
+			// just one whose word counts for nothing.
+			if err := hc.authorizeResponse(resp); err != nil {
+				deliver(c, callResult{err: err})
+				continue
+			}
+		}
 		deliver(c, callResult{resp: resp})
 	}
 }
@@ -482,6 +511,25 @@ func (hc *hostConn) handleUpdate(frame wire.Frame) bool {
 		return false
 	}
 	fn := hc.pool.updateFn()
+
+	// Credentialed pools authenticate the stream before believing it:
+	// hellos carry the session's credential (verified here, once), and
+	// everything from an unverified session is suppressed — including the
+	// hello itself, so an unauthenticated daemon is never marked
+	// push-capable, and synthetic resyncs, so a forger cannot flush the
+	// controller's answer-on-behalf state for a host it doesn't own. The
+	// one resync an untrusted peer *can* cause is credResync: the moment a
+	// previously verified session turns untrusted, everything admitted on
+	// its word is torn down — our decision, not the daemon's.
+	credResync, suppress := false, false
+	if hc.pool.credentialed() {
+		if u.Hello {
+			credResync, suppress = hc.verifyHello(u)
+		} else {
+			suppress = hc.filterUpdate(u)
+		}
+	}
+
 	hc.mu.Lock()
 	resync := false
 	if u.Hello {
@@ -497,9 +545,12 @@ func (hc *hostConn) handleUpdate(frame wire.Frame) bool {
 	if fn == nil {
 		return true
 	}
-	if resync {
+	if (resync && !suppress) || credResync {
 		hc.pool.Counters.Add("pool_update_resyncs", 1)
 		fn(hc.host, wire.Update{Serial: u.Serial})
+	}
+	if suppress {
+		return true
 	}
 	hc.pool.Counters.Add("pool_updates", 1)
 	fn(hc.host, u)
@@ -531,6 +582,12 @@ func (hc *hostConn) teardown(gen uint64, err error) {
 	failed := hc.pending
 	hc.pending = nil
 	hc.horizon = time.Time{}
+	// Credential trust is per-session: the next connection's hello must
+	// re-verify. Last-known status (present/err/expiry) survives for the
+	// admin plane; no resync is emitted — if the reconnect hello verifies
+	// at an unchanged serial, continuity was never broken.
+	hc.cred.verified = false
+	hc.stopLapseLocked()
 	// The next exchange redials immediately — losing an established
 	// connection says nothing about whether a fresh dial will succeed.
 	// The dial backoff arms only when that dial itself fails.

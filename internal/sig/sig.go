@@ -71,6 +71,11 @@ func (p PublicKey) String() string {
 // IsZero reports whether the key is unset.
 func (p PublicKey) IsZero() bool { return len(p.k) == 0 }
 
+// Equal reports whether two public keys are the same key.
+func (p PublicKey) Equal(q PublicKey) bool {
+	return string(p.k) == string(q.k)
+}
+
 // ParsePublicKey decodes the String form.
 func ParsePublicKey(s string) (PublicKey, error) {
 	b, err := base64.RawStdEncoding.DecodeString(s)
@@ -78,6 +83,25 @@ func ParsePublicKey(s string) (PublicKey, error) {
 		return PublicKey{}, fmt.Errorf("%w: %q", ErrBadKey, s)
 	}
 	return PublicKey{ed25519.PublicKey(b)}, nil
+}
+
+// IsZero reports whether the private key is unset.
+func (p PrivateKey) IsZero() bool { return len(p.k) == 0 }
+
+// String encodes the private key (seed plus public half, the stdlib's
+// native layout) as unpadded base64 for key files. Treat the result like
+// the key material it is: 0600 files, never on the wire.
+func (p PrivateKey) String() string {
+	return base64.RawStdEncoding.EncodeToString(p.k)
+}
+
+// ParsePrivateKey decodes the PrivateKey String form.
+func ParsePrivateKey(s string) (PrivateKey, error) {
+	b, err := base64.RawStdEncoding.DecodeString(s)
+	if err != nil || len(b) != ed25519.PrivateKeySize {
+		return PrivateKey{}, fmt.Errorf("%w: private key", ErrBadKey)
+	}
+	return PrivateKey{ed25519.PrivateKey(b)}, nil
 }
 
 // canonical produces an injective byte encoding of the signed values:

@@ -54,6 +54,7 @@ var ControllerCounters = map[string]string{
 	"revocations_entries":            "Fact dependencies registered in the revocation index.",
 	"revocations_lease_expired":      "Flows torn down by lease expiry (daemons that never push).",
 	"revocations_wide_lease_expired": "Megaflow classes torn down by lease expiry.",
+	"cred_unauthorized":              "Daemon answers excluded from verdicts by credential enforcement (unverified, expired, or out-of-scope sessions).",
 }
 
 // EngineCounters documents the query engine's counters.
@@ -70,16 +71,23 @@ var EngineCounters = map[string]string{
 
 // PoolCounters documents the TCP connection pool's counters.
 var PoolCounters = map[string]string{
-	"pool_queries_sent":           "Query exchanges written to daemon connections.",
-	"pool_requests_failed":        "In-flight exchanges failed by connection death.",
-	"pool_timeouts":               "Exchanges that hit their deadline on the wire.",
-	"pool_dials":                  "Daemon connections established.",
-	"pool_dial_errors":            "Daemon dial attempts that failed.",
-	"pool_dial_backoff_fastfails": "Exchanges rejected during dial backoff without an attempt.",
-	"pool_subscribes":             "Update subscriptions established on daemon connections.",
-	"pool_updates":                "Daemon-pushed updates decoded and delivered.",
-	"pool_update_decode_errors":   "Pushed updates dropped because they failed to decode.",
-	"pool_update_resyncs":         "Resyncs synthesized after serial gaps or reconnects.",
+	"pool_queries_sent":            "Query exchanges written to daemon connections.",
+	"pool_requests_failed":         "In-flight exchanges failed by connection death.",
+	"pool_timeouts":                "Exchanges that hit their deadline on the wire.",
+	"pool_dials":                   "Daemon connections established.",
+	"pool_dial_errors":             "Daemon dial attempts that failed.",
+	"pool_dial_backoff_fastfails":  "Exchanges rejected during dial backoff without an attempt.",
+	"pool_subscribes":              "Update subscriptions established on daemon connections.",
+	"pool_updates":                 "Daemon-pushed updates decoded and delivered.",
+	"pool_update_decode_errors":    "Pushed updates dropped because they failed to decode.",
+	"pool_update_resyncs":          "Resyncs synthesized after serial gaps or reconnects.",
+	"pool_cred_verified":           "Session hellos whose credential and transcript signature verified.",
+	"pool_cred_missing":            "Session hellos rejected for presenting no credential.",
+	"pool_cred_forged":             "Session hellos rejected for a bad authority or transcript signature.",
+	"pool_cred_expired":            "Session hellos rejected for an expired credential.",
+	"pool_cred_scope_rejects":      "Updates or answer pairs rejected for asserting keys outside the credential's scope.",
+	"pool_cred_lapsed":             "Verified sessions invalidated live by credential expiry (lapse timer).",
+	"pool_cred_rejected_responses": "Query responses withheld from the engine because the session was unverified, expired, or out of scope.",
 }
 
 // DaemonCounters documents the daemon's counters.
@@ -87,6 +95,7 @@ var DaemonCounters = map[string]string{
 	"daemon_queries_answered": "ident++ queries answered (HandleQuery calls).",
 	"daemon_subscribes":       "Update subscriptions accepted.",
 	"daemon_updates_pushed":   "Update deliveries to subscribers (one per subscriber per update).",
+	"daemon_rehellos":         "Hello re-deliveries triggered by credential rotation (one per subscriber per SetCredential).",
 }
 
 // AuditSinkCounters documents the audit sink's counters.
@@ -193,6 +202,8 @@ func RegisterEngine(r *Registry, eng *query.Engine, labels ...Label) {
 // Counter with the engine, register only one of the two sets.
 func RegisterPool(r *Registry, pool *query.Pool, labels ...Label) {
 	r.RegisterCounterSet(pool.Counters, PoolCounters, labels...)
+	r.RegisterGaugeFunc("pool_creds_verified", "Sessions currently holding a verified, unexpired credential.",
+		func() int64 { return int64(pool.VerifiedSessions()) }, labels...)
 }
 
 // RegisterPoolHealth wires readiness to pool connectivity: not ready while
@@ -223,6 +234,8 @@ func RegisterDaemon(r *Registry, d *daemon.Daemon, labels ...Label) {
 		func() int64 { _, evictions := d.FlowPairStats(); return evictions }, labels...)
 	r.RegisterCounterFunc("daemon_update_serial", "Serial of the most recently published update.",
 		func() int64 { return int64(d.UpdateSerial()) }, labels...)
+	r.RegisterGaugeFunc("daemon_cred_expiry_timestamp_seconds", "Unix expiry of the daemon's loaded credential (0 when none).",
+		d.CredentialExpiry, labels...)
 }
 
 // RegisterAuditSink exports the sink's emit/drop counters.

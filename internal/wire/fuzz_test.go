@@ -2,6 +2,7 @@ package wire
 
 import (
 	"reflect"
+	"strings"
 	"testing"
 
 	"identxx/internal/flow"
@@ -94,6 +95,51 @@ func FuzzDecodeResponse(f *testing.F) {
 				t.Fatalf("clone diverged on %q: %q vs %q", k, gv, lv)
 			}
 			_ = cv
+		}
+	})
+}
+
+// FuzzDecodeHello checks the update codec with the hello path's
+// credential extension: the `cred:`/`csig:` lines are attacker-controlled
+// input on a public socket, so no payload may panic the decoder, and one
+// encode/decode round trip must be a fixed point — the form the pool
+// verifies signatures over is the form that survives relay. (Exact
+// first-decode identity is asserted unless a value carried an interior
+// CR, which sanitizeValue canonicalizes to a space on re-encode.)
+func FuzzDecodeHello(f *testing.F) {
+	for _, seed := range [][]byte{
+		[]byte("0 0 0\nserial: 7\nhello: 1\n"),
+		[]byte("0 0 0\nserial: 7\nhello: 1\ncred: v1 host=10.0.0.1 keys=* exp=1767225600 pub=AAAA sig=BBBB\ncsig: CCCC\n"),
+		EncodeUpdate(Update{Serial: 1, Hello: true, Cred: "v1 host=10.0.0.1 keys=name,user-id exp=2 pub=x sig=y", CredSig: "z"}),
+		EncodeUpdate(Update{Flow: flow.Five{Proto: 6, SrcPort: 234, DstPort: 80}, Serial: 3, Key: KeyName, Old: "skype", New: ""}),
+		[]byte("0 0 0\nserial: 7\ncred: \n"),           // empty blob collapses to absent
+		[]byte("0 0 0\nserial: 7\ncsig: a b c\n"),      // spaces inside values survive
+		[]byte("0 0 0\nhello: 1\ncred: x\n"),           // malformed: no serial
+		[]byte("0 0 0\nserial: 9\ncred no-colon\n"),    // malformed line
+		[]byte("0 0 0\nserial: 1\nunknown: ignored\n"), // unknown lines skipped
+		[]byte(""),
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		u, err := DecodeUpdate(payload, fuzzSrc, fuzzDst)
+		if err != nil {
+			return
+		}
+		again, err := DecodeUpdate(EncodeUpdate(u), fuzzSrc, fuzzDst)
+		if err != nil {
+			t.Fatalf("re-encoded update is undecodable: %v", err)
+		}
+		crFree := !strings.ContainsRune(u.Key+u.Old+u.New+u.Cred+u.CredSig, '\r')
+		if crFree && again != u {
+			t.Fatalf("update round trip diverged:\n  first:  %+v\n  second: %+v", u, again)
+		}
+		third, err := DecodeUpdate(EncodeUpdate(again), fuzzSrc, fuzzDst)
+		if err != nil {
+			t.Fatalf("second re-encode is undecodable: %v", err)
+		}
+		if third != again {
+			t.Fatalf("round trip has no fixed point:\n  second: %+v\n  third:  %+v", again, third)
 		}
 	})
 }

@@ -25,6 +25,8 @@ import (
 //	[key: <key>]
 //	[old: <value>]
 //	[new: <value>]
+//	[cred: <credential blob>]
+//	[csig: <hello transcript signature>]
 //
 // The tuple line is all zeros (and the frame envelope's addresses are
 // zero) when the update is not scoped to one flow. Which daemon the update
@@ -51,13 +53,22 @@ import (
 // serial and asserts nothing, but its arrival proves the daemon pushes
 // updates at all (hosts that never say hello fall back to TTL leases on
 // the controller).
+// Hellos may additionally carry the daemon's delegation credential: Cred
+// is the credential blob (internal/cred wire form) and CredSig the
+// session-key signature over this hello's (host, serial) transcript.
+// Both ride optional `cred:`/`csig:` lines, so legacy peers on either
+// side interoperate — old daemons send hellos without them (a
+// credential-requiring controller then counts the session unverified),
+// and old controllers skip them as unknown lines.
 type Update struct {
-	Flow   flow.Five
-	Key    string
-	Old    string
-	New    string
-	Serial uint64
-	Hello  bool
+	Flow    flow.Five
+	Key     string
+	Old     string
+	New     string
+	Serial  uint64
+	Hello   bool
+	Cred    string
+	CredSig string
 }
 
 // FlowScoped reports whether the update names one flow.
@@ -88,6 +99,16 @@ func EncodeUpdate(u Update) []byte {
 	if u.New != "" {
 		b.WriteString("new: ")
 		b.WriteString(sanitizeValue(u.New))
+		b.WriteByte('\n')
+	}
+	if u.Cred != "" {
+		b.WriteString("cred: ")
+		b.WriteString(sanitizeValue(u.Cred))
+		b.WriteByte('\n')
+	}
+	if u.CredSig != "" {
+		b.WriteString("csig: ")
+		b.WriteString(sanitizeValue(u.CredSig))
 		b.WriteByte('\n')
 	}
 	return []byte(b.String())
@@ -137,6 +158,10 @@ func DecodeUpdate(payload []byte, srcIP, dstIP netaddr.IP) (Update, error) {
 			u.Old = val
 		case "new":
 			u.New = val
+		case "cred":
+			u.Cred = val
+		case "csig":
+			u.CredSig = val
 		default:
 			// Unknown lines are skipped: future daemons may say more.
 		}
