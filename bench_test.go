@@ -18,6 +18,7 @@ import (
 	"testing"
 	"time"
 
+	"identxx/internal/cluster"
 	"identxx/internal/core"
 	"identxx/internal/cred"
 	"identxx/internal/daemon"
@@ -1026,4 +1027,187 @@ func BenchmarkM13_CredentialedSession(b *testing.B) {
 			b.Fatal("credentialed session rejected during steady state")
 		}
 	})
+}
+
+// m14Replica is one in-process controller replica for the cluster
+// benchmarks: the M8 steady-state configuration (warmable response cache,
+// entries installed at a sink datapath).
+func m14Replica(name string) *core.Controller {
+	srcIP := netaddr.MustParseIP("10.0.0.1")
+	dstIP := netaddr.MustParseIP("10.0.0.2")
+	ctl := core.New(core.Config{
+		Name:   name,
+		Policy: pf.MustCompile(name, m8Policy),
+		Transport: &m7Transport{responses: map[netaddr.IP]map[string]string{
+			srcIP: {"name": "skype"},
+			dstIP: {"name": "skype"},
+		}},
+		Topology:         &m7Topo{hops: []core.Hop{{Datapath: 1, OutPort: 2}}},
+		InstallEntries:   true,
+		ResponseCacheTTL: time.Hour,
+	})
+	ctl.AddDatapath(&m7Datapath{id: 1})
+	return ctl
+}
+
+// m14Event is m8Event with a chosen source port (the ownership hash keys
+// on the 5-tuple, so ports steer flows between replicas).
+func m14Event(port netaddr.Port) openflow.PacketIn {
+	ev := m8Event(netaddr.MustParseIP("10.0.0.1"), netaddr.MustParseIP("10.0.0.2"))
+	ev.Tuple.SrcPort = port
+	return ev
+}
+
+// BenchmarkM14_Cluster prices the consistent-hash ownership layer
+// (internal/cluster) in front of the controller:
+//
+//   - owned-hit: the M8 cache-hit fast path through the Router for a flow
+//     this replica owns — one ring lookup of added work. Carries the same
+//     ≤ 2 allocs/op budget as M8/M9-hit (CI gates it): single-replica
+//     deployments must not pay for the cluster layer.
+//   - forwarded: a non-owned flow handed to its owner over an in-process
+//     link and decided there — the per-event price of getting ownership
+//     wrong at the ingress switch (wire cost excluded; see the query-plane
+//     benchmarks for socket round-trip pricing).
+//   - rebalance: a full ring rebuild — membership swap plus the takeover
+//     sweep scanning a 256-flow switch table for orphaned entries.
+//   - aggregate/replicas=N: total decision throughput of N in-process
+//     replicas each decides its owned slice of a warmed flow population.
+//     On a multi-core runner this is the scale-out headline (4 replicas
+//     ≥ 3x one); on a single-core runner it reports the ownership layer's
+//     overhead instead, since the replicas share the core.
+func BenchmarkM14_Cluster(b *testing.B) {
+	b.Run("owned-hit", func(b *testing.B) {
+		rt := cluster.NewRouter(m14Replica("m14"), cluster.Member{ID: "r1"}, cluster.Options{})
+		ev := m14Event(40000) // single-member ring: every flow is owned
+		rt.HandleEvent(ev)    // warm the cache and the pools
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rt.HandleEvent(ev)
+		}
+		b.StopTimer()
+		if rt.Counters.Get("cluster_events_owned") < int64(b.N) {
+			b.Fatal("events did not take the owned path")
+		}
+	})
+
+	b.Run("forwarded", func(b *testing.B) {
+		var ra, rb *cluster.Router
+		ra = cluster.NewRouter(m14Replica("m14a"), cluster.Member{ID: "r1"}, cluster.Options{
+			Dial: func(m cluster.Member) (cluster.Link, error) { return cluster.Loopback{Peer: rb}, nil },
+		})
+		rb = cluster.NewRouter(m14Replica("m14b"), cluster.Member{ID: "r2"}, cluster.Options{
+			Dial: func(m cluster.Member) (cluster.Link, error) { return cluster.Loopback{Peer: ra}, nil },
+		})
+		members := []cluster.Member{{ID: "r1"}, {ID: "r2"}}
+		if err := ra.SetMembers(members); err != nil {
+			b.Fatal(err)
+		}
+		if err := rb.SetMembers(members); err != nil {
+			b.Fatal(err)
+		}
+		ev := m14Event(40000)
+		for p := netaddr.Port(40000); ra.Owns(ev.Tuple.Five()); p++ {
+			ev = m14Event(p)
+		}
+		ra.HandleEvent(ev) // warm the owner's cache
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ra.HandleEvent(ev)
+		}
+		b.StopTimer()
+		if rb.Counters.Get("cluster_events_received") < int64(b.N) {
+			b.Fatal("events were not forwarded to the owner")
+		}
+	})
+
+	b.Run("rebalance", func(b *testing.B) {
+		ctl := m14Replica("m14")
+		sw := openflow.NewSwitch(1, "s1", 0)
+		ctl.AddDatapath(sw)
+		for p := netaddr.Port(0); p < 256; p++ {
+			ctl.HandleEvent(m14Event(40000 + p))
+		}
+		var rt *cluster.Router
+		rt = cluster.NewRouter(ctl, cluster.Member{ID: "r1"}, cluster.Options{
+			Dial: func(m cluster.Member) (cluster.Link, error) { return cluster.Loopback{Peer: rt}, nil },
+		})
+		one := []cluster.Member{{ID: "r1"}}
+		two := []cluster.Member{{ID: "r1"}, {ID: "r2"}}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if i%2 == 0 {
+				rt.SetMembers(two)
+			} else {
+				rt.SetMembers(one)
+			}
+		}
+	})
+
+	for _, replicas := range []int{1, 2, 4} {
+		b.Run("aggregate/replicas="+itoa(replicas), func(b *testing.B) {
+			members := make([]cluster.Member, replicas)
+			for i := range members {
+				members[i] = cluster.Member{ID: "r" + itoa(i)}
+			}
+			rts := make([]*cluster.Router, replicas)
+			for i := range rts {
+				i := i
+				rts[i] = cluster.NewRouter(m14Replica("m14-"+itoa(i)), members[i], cluster.Options{
+					// Peers are never consulted: each goroutine drives only
+					// events its replica owns.
+					Dial: func(m cluster.Member) (cluster.Link, error) { return cluster.Loopback{Peer: rts[i]}, nil },
+				})
+			}
+			for _, rt := range rts {
+				if err := rt.SetMembers(members); err != nil {
+					b.Fatal(err)
+				}
+			}
+			// Per-replica owned, warmed working sets.
+			const working = 64
+			events := make([][]openflow.PacketIn, replicas)
+			for p := netaddr.Port(40000); ; p++ {
+				ev := m14Event(p)
+				for i, rt := range rts {
+					if rt.Owns(ev.Tuple.Five()) && len(events[i]) < working {
+						rt.HandleEvent(ev)
+						events[i] = append(events[i], ev)
+					}
+				}
+				done := 0
+				for i := range events {
+					if len(events[i]) == working {
+						done++
+					}
+				}
+				if done == replicas {
+					break
+				}
+			}
+			var gid atomic.Uint32
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				r := int(gid.Add(1)) % replicas
+				rt, evs := rts[r], events[r]
+				i := 0
+				for pb.Next() {
+					rt.HandleEvent(evs[i%working])
+					i++
+				}
+			})
+			b.StopTimer()
+			var fwd int64
+			for _, rt := range rts {
+				fwd += rt.Counters.Get("cluster_events_forwarded")
+			}
+			if fwd != 0 {
+				b.Fatalf("%d events left their replica (owned sets wrong)", fwd)
+			}
+		})
+	}
 }

@@ -23,6 +23,8 @@ package main
 //	hosts                    ->  ok <n>  then n lines  host=<ip> flows=<n> wide=<n> push=<bool> queries=<n> rtt_mean=<dur> rtt_p99=<dur> fails=<n> breaker=<bool> cred=<state> scope=<keys> exp=<rfc3339> cred_err=<verdict>
 //	rules                    ->  ok <n>  then n lines  rule=<q-string> total=<n> denied=<n> revoked=<n>
 //	creds                    ->  ok <n>  then n lines  host=<ip> present=<bool> verified=<bool> scope=<keys> exp=<rfc3339> err=<verdict>
+//	ring                     ->  ok <n>  then n lines  replica=<id> addr=<addr> self=<bool> linked=<bool> share=<frac> [owned=<n> forwarded=<n> received=<n> fallbacks=<n> epoch=<n> origin=<id>]
+//	ring drop <replica-id>   ->  same listing after removing the replica from the ring (failover)
 //
 // The cred fields on `hosts` are `-` placeholders when the controller runs
 // in insecure mode (no -authority-key); cred=<state> is ok, none (no hello
@@ -39,6 +41,7 @@ import (
 	"strings"
 	"time"
 
+	"identxx/internal/cluster"
 	"identxx/internal/core"
 	"identxx/internal/netaddr"
 	"identxx/internal/query"
@@ -46,10 +49,12 @@ import (
 )
 
 // adminState is everything the admin channel can drill into. eng may be
-// nil (tests that only exercise the controller).
+// nil (tests that only exercise the controller); rt is nil when the
+// controller is not clustered.
 type adminState struct {
 	ctl *core.Controller
 	eng *query.Engine
+	rt  *cluster.Router
 }
 
 // serveAdmin runs the admin listener until the listener is closed.
@@ -139,6 +144,18 @@ func adminCommand(st adminState, line string) string {
 				i, s.Cached, s.Pending, s.Waiters, s.RevSeq)
 		}
 		return b.String()
+	case "ring":
+		if st.rt == nil {
+			return "err cluster disabled (run with -cluster-self)"
+		}
+		if len(f) == 3 && f[1] == "drop" {
+			st.rt.RemoveMember(f[2])
+			return ringReply(st)
+		}
+		if len(f) != 1 {
+			return "err usage: ring [drop <replica-id>]"
+		}
+		return ringReply(st)
 	case "hosts":
 		return hostsReply(st)
 	case "creds":
@@ -155,6 +172,36 @@ func adminCommand(st adminState, line string) string {
 	default:
 		return "err unknown command " + f[0]
 	}
+}
+
+// ringReply is the cluster ownership drill-down: one line per replica in
+// the ring with its estimated share of the flow space, and — on the local
+// replica's line — the owned/forwarded/received/fallback counters plus the
+// last replicated-config epoch seen.
+func ringReply(st adminState) string {
+	stats := st.rt.RingStats(0)
+	var b strings.Builder
+	fmt.Fprintf(&b, "ok %d", len(stats))
+	for _, s := range stats {
+		addr := s.Member.Addr
+		if addr == "" {
+			addr = "-"
+		}
+		fmt.Fprintf(&b, "\nreplica=%s addr=%s self=%t linked=%t share=%.3f",
+			s.Member.ID, addr, s.Self, s.Linked, s.Share)
+		if s.Self {
+			c := st.rt.Counters
+			epoch, origin := st.rt.Epoch()
+			if origin == "" {
+				origin = "-"
+			}
+			fmt.Fprintf(&b, " owned=%d forwarded=%d received=%d fallbacks=%d epoch=%d origin=%s",
+				c.Get("cluster_events_owned"), c.Get("cluster_events_forwarded"),
+				c.Get("cluster_events_received"), c.Get("cluster_forward_fallbacks"),
+				epoch, origin)
+		}
+	}
+	return b.String()
 }
 
 // hostsReply merges the revocation index's per-host dependency view with
@@ -297,6 +344,7 @@ var listCommands = map[string]bool{
 	"hosts":    true,
 	"rules":    true,
 	"creds":    true,
+	"ring":     true,
 }
 
 // adminMain is the `identctl admin` subcommand: it sends one admin command
@@ -307,7 +355,7 @@ func adminMain(args []string) {
 	admin := fs.String("admin", "127.0.0.1:7833", "admin address of the serving identctl")
 	fs.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: identctl admin [-admin addr] <command> [args]")
-		fmt.Fprintln(os.Stderr, "commands: status, stats [megaflow|wide|rulecache], counters, shards, hosts, rules, creds, sweep")
+		fmt.Fprintln(os.Stderr, "commands: status, stats [megaflow|wide|rulecache], counters, shards, hosts, rules, creds, ring [drop <id>], sweep")
 		fs.PrintDefaults()
 	}
 	fs.Parse(args)

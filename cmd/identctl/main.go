@@ -34,6 +34,7 @@ import (
 	"syscall"
 	"time"
 
+	"identxx/internal/cluster"
 	"identxx/internal/core"
 	"identxx/internal/netaddr"
 	"identxx/internal/openflow"
@@ -67,6 +68,9 @@ func main() {
 	megaflow := flag.Bool("megaflow", false, "widen cached verdicts into wildcard megaflows (requires -cache-ttl)")
 	telemetryAddr := flag.String("telemetry", "", "HTTP listen address for /metrics, /healthz, /readyz (empty disables)")
 	auditLog := flag.String("audit-log", "", "structured audit stream destination: file path, or - for stdout (empty disables)")
+	clusterSelf := flag.String("cluster-self", "", "this replica as id@addr for multi-controller operation (empty = single controller)")
+	clusterPeers := flag.String("cluster-peers", "", "comma-separated peer replicas as id@addr")
+	clusterListen := flag.String("cluster-listen", "", "inter-controller listen address (defaults to -cluster-self's addr)")
 	flag.Parse()
 	if *policyDir == "" || *topoFile == "" {
 		fmt.Fprintln(os.Stderr, "identctl: -policy and -topology are required")
@@ -126,6 +130,51 @@ func main() {
 	// Close the revocation loop: daemon pushes demuxed by the pool land in
 	// the controller's teardown pipeline.
 	eng.SetUpdateHandler(ctl.HandleUpdate)
+
+	// Multi-controller operation: wrap the controller in the ownership
+	// router. Non-owned packet-ins forward to their owning replica; each
+	// replica re-queries and re-subscribes for the flows it owns.
+	var rt *cluster.Router
+	if *clusterSelf != "" {
+		self, err := parseMember(*clusterSelf)
+		if err != nil {
+			fatal(err)
+		}
+		rt = cluster.NewRouter(ctl, self, cluster.Options{})
+		members := []cluster.Member{self}
+		if *clusterPeers != "" {
+			for _, p := range strings.Split(*clusterPeers, ",") {
+				m, err := parseMember(strings.TrimSpace(p))
+				if err != nil {
+					fatal(err)
+				}
+				if m.Addr == "" {
+					fatal(fmt.Errorf("cluster peer %s needs an address (id@addr)", m.ID))
+				}
+				members = append(members, m)
+			}
+		}
+		claddr := *clusterListen
+		if claddr == "" {
+			claddr = self.Addr
+		}
+		if claddr == "" {
+			fatal(fmt.Errorf("-cluster-self needs an address (id@addr) or -cluster-listen"))
+		}
+		cl, err := net.Listen("tcp", claddr)
+		if err != nil {
+			fatal(err)
+		}
+		defer cl.Close()
+		go rt.Serve(cl)
+		if err := rt.SetMembers(members); err != nil {
+			fmt.Fprintf(os.Stderr, "identctl: cluster: %v\n", err)
+		}
+		fmt.Printf("identctl: replica %s in a %d-member ring, inter-controller on %s\n",
+			self.ID, len(members), claddr)
+	} else if *clusterPeers != "" || *clusterListen != "" {
+		fatal(fmt.Errorf("-cluster-peers/-cluster-listen require -cluster-self"))
+	}
 	if *leaseTTL > 0 {
 		go func() {
 			tick := time.NewTicker(*leaseTTL / 2)
@@ -141,7 +190,7 @@ func main() {
 			fatal(err)
 		}
 		defer al.Close()
-		go serveAdmin(al, adminState{ctl: ctl, eng: eng})
+		go serveAdmin(al, adminState{ctl: ctl, eng: eng, rt: rt})
 	}
 	var auditSink *telemetry.AuditSink
 	if *auditLog != "" {
@@ -163,6 +212,9 @@ func main() {
 	if *telemetryAddr != "" {
 		ts := telemetry.NewServer()
 		telemetry.RegisterController(ts.Registry, ctl)
+		if rt != nil {
+			telemetry.RegisterRouter(ts.Registry, rt)
+		}
 		telemetry.RegisterEngine(ts.Registry, eng)
 		telemetry.RegisterPool(ts.Registry, pool)
 		telemetry.RegisterControllerHealth(ts.Health, ctl)
@@ -177,7 +229,7 @@ func main() {
 		defer ts.Close()
 		fmt.Printf("identctl: telemetry on http://%s/metrics\n", taddr)
 	}
-	handler := &channelHandler{ctl: ctl}
+	handler := &channelHandler{ctl: ctl, rt: rt}
 	server := openflow.NewChannelServer(handler)
 	addr, err := server.Listen(*listen)
 	if err != nil {
@@ -198,13 +250,29 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
-// channelHandler adapts ChannelServer callbacks onto the controller.
+// parseMember parses "id@addr" (addr optional for -cluster-self when
+// -cluster-listen is given separately).
+func parseMember(s string) (cluster.Member, error) {
+	id, addr, _ := strings.Cut(s, "@")
+	if id == "" {
+		return cluster.Member{}, fmt.Errorf("bad cluster member %q, want id@addr", s)
+	}
+	return cluster.Member{ID: id, Addr: addr}, nil
+}
+
+// channelHandler adapts ChannelServer callbacks onto the controller — or,
+// in multi-controller operation, onto the ownership router in front of it.
 type channelHandler struct {
 	ctl *core.Controller
+	rt  *cluster.Router // nil when not clustered
 }
 
 func (h *channelHandler) SwitchConnected(sw *openflow.RemoteSwitch) {
 	fmt.Printf("identctl: switch %d connected\n", sw.DatapathID())
+	if h.rt != nil {
+		h.rt.AddDatapath(sw)
+		return
+	}
 	h.ctl.AddDatapath(sw)
 }
 
@@ -212,10 +280,18 @@ func (h *channelHandler) PacketIn(sw *openflow.RemoteSwitch, ev openflow.PacketI
 	// The wire codec does not carry the parsed tuple; rebuild it from the
 	// frame before handing the event to the controller.
 	ev = rebuildTuple(ev)
+	if h.rt != nil {
+		h.rt.HandleEvent(ev)
+		return
+	}
 	h.ctl.HandleEvent(ev)
 }
 
 func (h *channelHandler) FlowRemoved(sw *openflow.RemoteSwitch, ev openflow.FlowRemoved) {
+	if h.rt != nil {
+		h.rt.HandleFlowRemoved(nil, ev)
+		return
+	}
 	h.ctl.HandleFlowRemoved(nil, ev)
 }
 

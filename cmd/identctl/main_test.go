@@ -2,9 +2,11 @@ package main
 
 import (
 	"net"
+	"strings"
 	"testing"
 	"time"
 
+	"identxx/internal/cluster"
 	"identxx/internal/core"
 	"identxx/internal/flow"
 	"identxx/internal/netaddr"
@@ -143,3 +145,51 @@ func (d *sinkDatapath) DatapathID() uint64                  { return d.id }
 func (d *sinkDatapath) Apply(openflow.FlowMod) error        { return nil }
 func (d *sinkDatapath) PacketOut(port uint16, frame []byte) {}
 func (d *sinkDatapath) ReleaseBuffer(id uint32)             {}
+
+// TestAdminRing drives the cluster drill-down: listing, the self line's
+// counters, the drop form, and the error without a router.
+func TestAdminRing(t *testing.T) {
+	ctl := core.New(core.Config{
+		Name:             "ring-test",
+		Policy:           pf.MustCompile("p", "pass all"),
+		Transport:        nullTransport{},
+		Topology:         &sinkTopo{},
+		ResponseCacheTTL: time.Hour,
+	})
+	ctl.AddDatapath(&sinkDatapath{id: 1})
+	rt := cluster.NewRouter(ctl, cluster.Member{ID: "a", Addr: "127.0.0.1:1"}, cluster.Options{})
+	if err := rt.SetMembers([]cluster.Member{
+		{ID: "a", Addr: "127.0.0.1:1"}, {ID: "b", Addr: "127.0.0.1:2"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := adminCommand(adminState{ctl: ctl}, "ring"); !strings.HasPrefix(got, "err") {
+		t.Errorf("ring without a router = %q, want err", got)
+	}
+
+	got := adminCommand(adminState{ctl: ctl, rt: rt}, "ring")
+	lines := strings.Split(got, "\n")
+	if lines[0] != "ok 2" {
+		t.Fatalf("ring head = %q, want ok 2", lines[0])
+	}
+	var selfLine string
+	for _, l := range lines[1:] {
+		if strings.Contains(l, "self=true") {
+			selfLine = l
+		}
+	}
+	for _, field := range []string{"replica=a", "share=", "owned=", "forwarded=", "fallbacks=", "epoch="} {
+		if !strings.Contains(selfLine, field) {
+			t.Errorf("self line %q missing %s", selfLine, field)
+		}
+	}
+
+	got = adminCommand(adminState{ctl: ctl, rt: rt}, "ring drop b")
+	if !strings.HasPrefix(got, "ok 1\n") {
+		t.Errorf("ring drop = %q, want 1-member listing", got)
+	}
+	if got := adminCommand(adminState{ctl: ctl, rt: rt}, "ring bogus"); !strings.HasPrefix(got, "err") {
+		t.Errorf("ring bogus = %q, want err", got)
+	}
+}

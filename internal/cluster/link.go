@@ -1,0 +1,329 @@
+package cluster
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"identxx/internal/openflow"
+	"identxx/internal/wire"
+)
+
+// Link is one replica's handle on a peer: forward a packet-in to it, push
+// a config snapshot at it. Implementations must be safe for concurrent
+// use — the Router calls ForwardEvent from every packet-in goroutine.
+type Link interface {
+	// ForwardEvent hands a non-owned packet-in to the peer and waits for
+	// its ack (the peer acks after its decision completes, so forwarding
+	// inherits the decision path's backpressure). A non-nil error means
+	// the event may not have been processed; the Router falls back to a
+	// local decision.
+	ForwardEvent(ev openflow.PacketIn) error
+	// PushSnapshot delivers an epoch-fenced config snapshot. ErrStaleEpoch
+	// means the peer already holds a config that supersedes s — not a
+	// transport failure.
+	PushSnapshot(s *Snapshot) error
+	Close() error
+}
+
+// ErrStaleEpoch is returned by snapshot application and pushes when the
+// receiver's applied (epoch, origin) already supersedes the snapshot's.
+var ErrStaleEpoch = errors.New("cluster: snapshot epoch not newer than applied")
+
+// errLinkDown is the fast-fail result while a peer link is in dial
+// backoff or its connection has just died.
+var errLinkDown = errors.New("cluster: peer link down")
+
+// Loopback is the in-process Link: forwards become direct calls into the
+// peer Router. It is what in-process replica sets (tests, benchmarks, one
+// process hosting several replicas) use; semantics match the TCP link
+// minus the wire.
+type Loopback struct{ Peer *Router }
+
+func (l Loopback) ForwardEvent(ev openflow.PacketIn) error {
+	l.Peer.DeliverEvent(ev)
+	return nil
+}
+
+func (l Loopback) PushSnapshot(s *Snapshot) error { return l.Peer.ApplySnapshot(s) }
+func (l Loopback) Close() error                   { return nil }
+
+// Inter-controller link tuning. The link reuses the query plane's shape —
+// one pipelined connection per peer, FIFO correlation, per-request
+// deadlines, immediate redial after a connection death and exponential
+// backoff after dial failures — with the same constants that plane
+// settled on.
+const (
+	linkDialTimeout    = 1 * time.Second
+	linkRequestTimeout = 2 * time.Second
+	linkInitialBackoff = 50 * time.Millisecond
+	linkMaxBackoff     = 2 * time.Second
+	// linkMaxInFlight bounds pipelined unacked requests per peer; beyond
+	// it, forwards fail fast (and the Router decides locally) rather than
+	// queueing unboundedly behind a slow owner.
+	linkMaxInFlight = 256
+)
+
+// TCPLink is a Link over one pipelined TCP connection. Requests (events,
+// snapshots) are written in FIFO order under sendMu; the peer processes
+// each connection serially and acks in order, so the reader completes
+// waiters front-to-front with no request IDs on the wire. A waiter that
+// hits its deadline abandons its slot (the reader discards the eventual
+// ack into the slot's buffered channel) and the connection is torn down —
+// a peer that stopped acking is indistinguishable from a dead one, and
+// redialing is how the link heals.
+type TCPLink struct {
+	addr string
+
+	sendMu  sync.Mutex
+	conn    net.Conn
+	bw      *bufio.Writer
+	acks    chan chan byte // FIFO of waiter slots for this connection
+	gen     uint64         // bumped by every teardown; guards against double-teardown
+	nextTry time.Time      // dial gate while backing off
+	backoff time.Duration
+}
+
+// DialTCP returns a TCPLink for addr. The connection is established
+// lazily on first use and re-established as needed; construction never
+// blocks.
+func DialTCP(addr string) *TCPLink {
+	return &TCPLink{addr: addr, backoff: linkInitialBackoff}
+}
+
+func (l *TCPLink) ForwardEvent(ev openflow.PacketIn) error {
+	status, err := l.roundTrip(wire.Frame{
+		Type:    wire.FrameEvent,
+		SrcIP:   ev.Tuple.SrcIP,
+		DstIP:   ev.Tuple.DstIP,
+		Payload: encodeEvent(nil, ev),
+	})
+	if err != nil {
+		return err
+	}
+	if status != ackOK {
+		return fmt.Errorf("cluster: peer rejected event (status %d)", status)
+	}
+	return nil
+}
+
+func (l *TCPLink) PushSnapshot(s *Snapshot) error {
+	status, err := l.roundTrip(wire.Frame{Type: wire.FrameSnapshot, Payload: encodeSnapshot(s)})
+	if err != nil {
+		return err
+	}
+	switch status {
+	case ackOK:
+		return nil
+	case ackStale:
+		return ErrStaleEpoch
+	default:
+		return fmt.Errorf("cluster: peer rejected snapshot (status %d)", status)
+	}
+}
+
+// roundTrip writes one request frame and waits for its FIFO-correlated
+// ack, dialing first when no connection is up.
+func (l *TCPLink) roundTrip(f wire.Frame) (byte, error) {
+	l.sendMu.Lock()
+	if l.conn == nil {
+		if time.Now().Before(l.nextTry) {
+			l.sendMu.Unlock()
+			return 0, errLinkDown
+		}
+		if err := l.dialLocked(); err != nil {
+			// Failed dial: back off exponentially so a dead peer costs a
+			// cheap time check, not a dial timeout, per forward.
+			l.nextTry = time.Now().Add(l.backoff)
+			if l.backoff *= 2; l.backoff > linkMaxBackoff {
+				l.backoff = linkMaxBackoff
+			}
+			l.sendMu.Unlock()
+			return 0, err
+		}
+	}
+	slot := make(chan byte, 1)
+	select {
+	case l.acks <- slot:
+	default:
+		l.sendMu.Unlock()
+		return 0, fmt.Errorf("cluster: peer %s pipeline full (%d in flight)", l.addr, linkMaxInFlight)
+	}
+	gen := l.gen
+	if err := wire.WriteFrame(l.bw, f); err == nil {
+		err = l.bw.Flush()
+		if err != nil {
+			l.sendMu.Unlock()
+			l.teardown(gen)
+			return 0, err
+		}
+	} else {
+		l.sendMu.Unlock()
+		l.teardown(gen)
+		return 0, err
+	}
+	l.sendMu.Unlock()
+
+	t := time.NewTimer(linkRequestTimeout)
+	defer t.Stop()
+	select {
+	case status, ok := <-slot:
+		if !ok {
+			return 0, errLinkDown
+		}
+		return status, nil
+	case <-t.C:
+		// The peer stopped acking within the deadline: kill the
+		// connection (failing the requests pipelined behind this one —
+		// they were about to time out against the same wedged peer) and
+		// let the next forward redial.
+		l.teardown(gen)
+		return 0, fmt.Errorf("cluster: peer %s ack deadline exceeded", l.addr)
+	}
+}
+
+func (l *TCPLink) dialLocked() error {
+	conn, err := net.DialTimeout("tcp", l.addr, linkDialTimeout)
+	if err != nil {
+		return err
+	}
+	l.conn = conn
+	l.bw = bufio.NewWriter(conn)
+	l.acks = make(chan chan byte, linkMaxInFlight)
+	l.backoff = linkInitialBackoff
+	l.nextTry = time.Time{}
+	gen := l.gen
+	go l.readAcks(conn, l.acks, gen)
+	return nil
+}
+
+// readAcks is the connection's reader: it completes waiter slots in FIFO
+// order until the connection dies, then fails every waiter still queued.
+func (l *TCPLink) readAcks(conn net.Conn, acks chan chan byte, gen uint64) {
+	br := bufio.NewReader(conn)
+read:
+	for {
+		f, err := wire.ReadFrame(br)
+		if err != nil {
+			break
+		}
+		if f.Type != wire.FrameAck || len(f.Payload) < 1 {
+			break
+		}
+		select {
+		case slot := <-acks:
+			slot <- f.Payload[0]
+		default:
+			// An ack nothing asked for: protocol violation; kill the
+			// connection rather than guess at correlation.
+			break read
+		}
+	}
+	l.teardown(gen)
+	for {
+		select {
+		case slot := <-acks:
+			close(slot)
+		default:
+			return
+		}
+	}
+}
+
+// teardown closes the current connection and starts the fail-fast dial
+// window, exactly once per generation: the reader, a writer hitting an
+// error, and a waiter hitting its deadline can all observe the same death.
+func (l *TCPLink) teardown(gen uint64) {
+	l.sendMu.Lock()
+	defer l.sendMu.Unlock()
+	if l.gen != gen || l.conn == nil {
+		return
+	}
+	l.conn.Close()
+	l.conn, l.bw = nil, nil
+	l.gen++
+	// A connection that died after working gets an immediate redial on
+	// the next forward (nextTry zero): transient resets should not
+	// penalize the next flow. Only failed dials accumulate backoff.
+	l.nextTry = time.Time{}
+	l.backoff = linkInitialBackoff
+}
+
+func (l *TCPLink) Close() error {
+	l.sendMu.Lock()
+	defer l.sendMu.Unlock()
+	if l.conn != nil {
+		l.conn.Close()
+		l.conn, l.bw = nil, nil
+		l.gen++
+	}
+	// Gate redials far enough out that a closed link stays down.
+	l.nextTry = time.Now().Add(24 * time.Hour)
+	return nil
+}
+
+// Serve accepts inter-controller connections on ln and dispatches their
+// frames into the Router until ln is closed. Each connection is processed
+// serially — that is what makes FIFO acks correct — and independent
+// connections in parallel.
+func (r *Router) Serve(ln net.Listener) error {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		go r.serveConn(conn)
+	}
+}
+
+func (r *Router) serveConn(conn net.Conn) {
+	defer conn.Close()
+	br := bufio.NewReader(conn)
+	bw := bufio.NewWriter(conn)
+	ack := [1]byte{}
+	for {
+		f, err := wire.ReadFrame(br)
+		if err != nil {
+			return
+		}
+		switch f.Type {
+		case wire.FrameEvent:
+			ev, err := decodeEvent(f.Payload)
+			if err != nil {
+				ack[0] = ackError
+			} else {
+				r.DeliverEvent(ev)
+				ack[0] = ackOK
+			}
+		case wire.FrameSnapshot:
+			s, err := decodeSnapshot(f.Payload)
+			if err != nil {
+				ack[0] = ackError
+			} else {
+				switch r.ApplySnapshot(s) {
+				case nil:
+					ack[0] = ackOK
+				case ErrStaleEpoch:
+					ack[0] = ackStale
+				default:
+					ack[0] = ackError
+				}
+			}
+		default:
+			ack[0] = ackError
+		}
+		if err := wire.WriteFrame(bw, wire.Frame{Type: wire.FrameAck, Payload: ack[:]}); err != nil {
+			return
+		}
+		// Flush only when the read side has drained: pipelined bursts get
+		// their acks batched into one segment.
+		if br.Buffered() == 0 {
+			if err := bw.Flush(); err != nil {
+				return
+			}
+		}
+	}
+}

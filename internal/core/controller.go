@@ -619,7 +619,9 @@ func (c *Controller) HandleFlowRemoved(sw *openflow.Switch, ev openflow.FlowRemo
 	// switch must go too (deleting the already-gone forward entry is a
 	// no-op).
 	st := c.state.Load()
-	c.deleteAlongPath(st, five, reg.Paths)
+	b := getTeardownBatch()
+	b.appendDeletes(st, five, reg.Paths)
+	c.flushTeardown(b)
 }
 
 // PacketInFromRemote adapts ChannelServer events (TCP-attached switches).
@@ -1020,10 +1022,13 @@ func (c *Controller) resolveResponse(st *ctlState, five flow.Five, host netaddr.
 }
 
 // installJob is one datapath's flow-mod application, dispatched to the
-// shared fan-out workers.
+// shared fan-out workers. A batched teardown sets mods instead of mod: the
+// worker applies the whole slice against the one datapath, so a fan-in
+// revocation tearing N flows hands each switch one job, not 2N.
 type installJob struct {
 	dp   openflow.Datapath
 	mod  openflow.FlowMod
+	mods []openflow.FlowMod
 	wg   *sync.WaitGroup
 	errs *atomic.Int64
 }
@@ -1071,7 +1076,13 @@ func installCh() chan installJob {
 			go func() {
 				for j := range installFanout.ch {
 					installFanout.busy.Add(1)
-					if err := j.dp.Apply(j.mod); err != nil {
+					if j.mods != nil {
+						for _, m := range j.mods {
+							if err := j.dp.Apply(m); err != nil {
+								j.errs.Add(1)
+							}
+						}
+					} else if err := j.dp.Apply(j.mod); err != nil {
 						j.errs.Add(1)
 					}
 					installFanout.busy.Add(-1)

@@ -77,10 +77,19 @@ func (c *Controller) RevokeHost(host netaddr.IP, key string) int {
 
 func (c *Controller) revokeHostFact(host netaddr.IP, key, reason string) int {
 	flows := c.revoker.ResolveFact(host, key, nil)
-	for _, f := range flows {
-		c.revokeResolved(f, reason, false)
-	}
 	n := len(flows)
+	if n > 0 {
+		// One batch for the whole fan-in: the audit rule string is built
+		// once, and each datapath on any torn flow's path receives a single
+		// batched delete job at flush rather than per-flow handoffs.
+		st := c.state.Load()
+		rule := "(revoked: " + reason + ")"
+		b := getTeardownBatch()
+		for _, f := range flows {
+			c.revokeFlowInto(b, st, f, reason, rule, false)
+		}
+		c.flushTeardown(b)
+	}
 	if c.mega != nil {
 		// Wide side: every megaflow whose verdict read the fact goes too —
 		// one teardown deletes the entries of every member of the class.
@@ -104,10 +113,15 @@ func (c *Controller) SweepLeases() int {
 		return 0
 	}
 	expired := c.revoker.ExpiredLeases(c.clock(), nil)
-	for _, f := range expired {
-		c.revokeResolved(f, "lease-expired", false)
-	}
 	n := len(expired)
+	if n > 0 {
+		st := c.state.Load()
+		b := getTeardownBatch()
+		for _, f := range expired {
+			c.revokeFlowInto(b, st, f, "lease-expired", "(revoked: lease-expired)", false)
+		}
+		c.flushTeardown(b)
+	}
 	if n > 0 {
 		c.Counters.Add("revocations_lease_expired", int64(n))
 	}
@@ -135,7 +149,18 @@ func (c *Controller) SweepLeases() int {
 // kept its pre-plane contract (counter only), whereas plane-driven
 // teardowns are audited with their reason.
 func (c *Controller) revokeResolved(five flow.Five, reason string, broadcast bool) {
-	st := c.state.Load()
+	b := getTeardownBatch()
+	c.revokeFlowInto(b, c.state.Load(), five, reason, "(revoked: "+reason+")", broadcast)
+	c.flushTeardown(b)
+}
+
+// revokeFlowInto is the per-flow half of a teardown: sequence bump, cache
+// drop, covering-megaflow teardown, dependency-index drop, audit record —
+// everything except the switch deletes, which accumulate in b (grouped per
+// datapath) for one batched flush. rule is the pre-decorated audit string
+// ("(revoked: <reason>)"), built once by the caller so a fan-in tearing N
+// flows does not concatenate it N times.
+func (c *Controller) revokeFlowInto(b *teardownBatch, st *ctlState, five flow.Five, reason, rule string, broadcast bool) {
 	sh := c.flows.shardFor(five)
 	// Order matters: bump the sequence before dropping the cache, so a
 	// decision that read the cache (or gathered responses) before the bump
@@ -181,59 +206,136 @@ func (c *Controller) revokeResolved(five flow.Five, reason string, broadcast boo
 		}
 		return
 	}
-	deleted := c.deleteAlongPath(st, five, paths)
+	b.appendDeletes(st, five, paths)
 	c.hot.revFlows.Add(1)
-	c.Counters.Add("revocations_entries", int64(deleted))
 	if !broadcast {
 		c.Audit.Record(AuditEntry{
 			Time:    c.clock(),
 			Flow:    five,
 			Action:  pf.Block,
-			Rule:    "(revoked: " + reason + ")",
+			Rule:    rule,
 			Revoked: true,
 		})
 	}
 }
 
-// deleteAlongPath issues delete-by-flow mods (both directions, cookie-
-// scoped) at every datapath in paths, fanning out through the shared
-// install worker pool exactly as installs do, so teardown latency on a
-// long path tends to the slowest switch, not the sum. Returns the number
-// of delete mods issued.
-func (c *Controller) deleteAlongPath(st *ctlState, five flow.Five, paths []uint64) int {
+// teardownLane is one datapath's accumulated delete mods within a batch.
+type teardownLane struct {
+	id   uint64
+	dp   openflow.Datapath
+	mods []openflow.FlowMod
+}
+
+// teardownBatch accumulates cookie-scoped delete flow-mods per datapath
+// across a revocation, so tearing N flows costs one handoff per datapath
+// touched instead of 2N single-mod handoffs (and one WaitGroup total
+// instead of one per flow). Batches are pooled; lane mod slices keep
+// their capacity across uses.
+type teardownBatch struct {
+	lanes  []teardownLane
+	wg     sync.WaitGroup
+	issued int
+}
+
+var teardownPool = sync.Pool{New: func() any { return new(teardownBatch) }}
+
+func getTeardownBatch() *teardownBatch {
+	return teardownPool.Get().(*teardownBatch)
+}
+
+// laneFor returns the batch lane for datapath id, creating it if the batch
+// has not touched that datapath yet. Paths are short, so the linear scan
+// wins over a map (and allocates nothing).
+func (b *teardownBatch) laneFor(st *ctlState, id uint64) *teardownLane {
+	for i := range b.lanes {
+		if b.lanes[i].id == id {
+			return &b.lanes[i]
+		}
+	}
+	dp := st.datapaths[id]
+	if dp == nil {
+		return nil
+	}
+	if len(b.lanes) < cap(b.lanes) {
+		// Reuse a retired lane's mods capacity.
+		b.lanes = b.lanes[:len(b.lanes)+1]
+	} else {
+		b.lanes = append(b.lanes, teardownLane{})
+	}
+	l := &b.lanes[len(b.lanes)-1]
+	l.id, l.dp, l.mods = id, dp, l.mods[:0]
+	return l
+}
+
+// appendDeletes queues delete-by-flow mods (both directions, cookie-
+// scoped) for every datapath in paths.
+func (b *teardownBatch) appendDeletes(st *ctlState, five flow.Five, paths []uint64) {
 	if len(paths) == 0 {
-		return 0
+		return
 	}
 	cookie := five.Hash() | 1
-	rev := five.Reverse()
-	var wg sync.WaitGroup
-	issued := 0
-	ch := installCh()
+	fwd := flow.FiveMatch(five)
+	rev := flow.FiveMatch(five.Reverse())
 	for _, id := range paths {
-		dp := st.datapaths[id]
-		if dp == nil {
+		l := b.laneFor(st, id)
+		if l == nil {
 			continue
 		}
-		for _, m := range [2]openflow.FlowMod{
-			{Delete: true, Cookie: cookie, Match: flow.FiveMatch(five), BufferID: openflow.BufferNone},
-			{Delete: true, Cookie: cookie, Match: flow.FiveMatch(rev), BufferID: openflow.BufferNone},
-		} {
-			issued++
-			wg.Add(1)
-			select {
-			case ch <- installJob{dp: dp, mod: m, wg: &wg, errs: c.hot.installErrors}:
-			default:
-				// No worker free this instant: run inline rather than queue
-				// behind other teardowns' wedged switches.
-				if err := dp.Apply(m); err != nil {
-					c.hot.installErrors.Add(1)
+		l.mods = append(l.mods,
+			openflow.FlowMod{Delete: true, Cookie: cookie, Match: fwd, BufferID: openflow.BufferNone},
+			openflow.FlowMod{Delete: true, Cookie: cookie, Match: rev, BufferID: openflow.BufferNone})
+		b.issued += 2
+	}
+}
+
+// flushTeardown fans the batch's per-datapath delete lanes out through the
+// shared install worker pool exactly as installs do, so teardown latency
+// across datapaths tends to the slowest switch, not the sum. The last lane
+// always runs on the calling goroutine — a single-datapath teardown (the
+// common case) therefore pays no handoff and no wait at all. Waits for
+// every delete to land, bumps the entries counter, and returns the batch
+// to the pool.
+func (c *Controller) flushTeardown(b *teardownBatch) {
+	if last := len(b.lanes) - 1; last >= 0 {
+		if last > 0 {
+			ch := installCh()
+			for i := 0; i < last; i++ {
+				l := &b.lanes[i]
+				b.wg.Add(1)
+				select {
+				case ch <- installJob{dp: l.dp, mods: l.mods, wg: &b.wg, errs: c.hot.installErrors}:
+				default:
+					// No worker free this instant: run inline rather than
+					// queue behind other teardowns' wedged switches.
+					for _, m := range l.mods {
+						if err := l.dp.Apply(m); err != nil {
+							c.hot.installErrors.Add(1)
+						}
+					}
+					b.wg.Done()
 				}
-				wg.Done()
 			}
 		}
+		l := &b.lanes[last]
+		for _, m := range l.mods {
+			if err := l.dp.Apply(m); err != nil {
+				c.hot.installErrors.Add(1)
+			}
+		}
+		if last > 0 {
+			b.wg.Wait()
+		}
 	}
-	wg.Wait()
-	return issued
+	if b.issued > 0 {
+		c.Counters.Add("revocations_entries", int64(b.issued))
+	}
+	for i := range b.lanes {
+		b.lanes[i].dp = nil
+		b.lanes[i].mods = b.lanes[i].mods[:0]
+	}
+	b.lanes = b.lanes[:0]
+	b.issued = 0
+	teardownPool.Put(b)
 }
 
 // registerDeps records the decision's fact dependencies in the index: the

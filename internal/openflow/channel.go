@@ -8,6 +8,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"identxx/internal/flow"
 )
 
 // Datapath abstracts "a switch the controller can program": the in-process
@@ -272,4 +274,12 @@ func (s *ChannelServer) Close() {
 		l.Close()
 	}
 	s.wg.Wait()
+}
+
+// FlowTuples exposes the switch table's flow-granularity tuples for the
+// cluster takeover sweep (see Table.FiveTuples). Only in-process switches
+// are enumerable; a RemoteSwitch's table lives across the wire, and its
+// orphaned entries age out by idle timeout instead.
+func (s *Switch) FlowTuples(dst []flow.Five) []flow.Five {
+	return s.Table.FiveTuples(dst)
 }

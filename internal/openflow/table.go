@@ -362,3 +362,18 @@ func (t *Table) Entries() []*Entry {
 	out = append(out, t.wild...)
 	return out
 }
+
+// FiveTuples appends the five-tuple of every flow-granularity entry to dst
+// and returns it. This is the enumeration a cluster takeover sweep needs:
+// after a ring rebuild, the new owner of a flow must find entries a
+// departed replica installed for it, and those are exactly the
+// flow-granularity entries (megaflow classes live in the wildcard tier
+// and expire by TTL and timeout instead).
+func (t *Table) FiveTuples(dst []flow.Five) []flow.Five {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	for f := range t.five {
+		dst = append(dst, f)
+	}
+	return dst
+}

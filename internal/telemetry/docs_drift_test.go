@@ -10,6 +10,7 @@ import (
 
 	"io"
 
+	"identxx/internal/cluster"
 	"identxx/internal/daemon"
 	"identxx/internal/hostinfo"
 	"identxx/internal/netaddr"
@@ -39,8 +40,11 @@ func fullRegistry(t *testing.T) *Registry {
 	sink := NewAuditSink(io.Discard, 1)
 	t.Cleanup(sink.Close)
 
+	rt := cluster.NewRouter(newTestController(t), cluster.Member{ID: "drift"}, cluster.Options{})
+
 	r := NewRegistry()
 	RegisterController(r, ctl)
+	RegisterRouter(r, rt)
 	RegisterEngine(r, eng)
 	RegisterPool(r, pool)
 	RegisterDaemon(r, d)
@@ -143,7 +147,7 @@ func sourceCounterNames(t *testing.T) map[string][]string {
 func TestSourceCountersAreDeclared(t *testing.T) {
 	declared := make(map[string]bool)
 	for _, table := range []map[string]string{
-		ControllerCounters, EngineCounters, PoolCounters, DaemonCounters, AuditSinkCounters,
+		ControllerCounters, ClusterCounters, EngineCounters, PoolCounters, DaemonCounters, AuditSinkCounters,
 	} {
 		for name := range table {
 			declared[name] = true
@@ -167,7 +171,7 @@ func TestSourceCountersAreDeclared(t *testing.T) {
 	// cells, so they are exempt).
 	var stale []string
 	for _, table := range []map[string]string{
-		ControllerCounters, EngineCounters, PoolCounters, DaemonCounters,
+		ControllerCounters, ClusterCounters, EngineCounters, PoolCounters, DaemonCounters,
 	} {
 		for name := range table {
 			if len(found[name]) == 0 {

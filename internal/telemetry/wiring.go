@@ -3,6 +3,7 @@ package telemetry
 import (
 	"fmt"
 
+	"identxx/internal/cluster"
 	"identxx/internal/core"
 	"identxx/internal/daemon"
 	"identxx/internal/query"
@@ -96,6 +97,22 @@ var DaemonCounters = map[string]string{
 	"daemon_subscribes":       "Update subscriptions accepted.",
 	"daemon_updates_pushed":   "Update deliveries to subscribers (one per subscriber per update).",
 	"daemon_rehellos":         "Hello re-deliveries triggered by credential rotation (one per subscriber per SetCredential).",
+}
+
+// ClusterCounters documents the replica router's counters.
+var ClusterCounters = map[string]string{
+	"cluster_events_owned":      "Packet-ins owned by this replica and decided locally.",
+	"cluster_events_forwarded":  "Packet-ins forwarded to their owning replica.",
+	"cluster_events_received":   "Forwarded packet-ins received from peer replicas and decided here.",
+	"cluster_forward_fallbacks": "Forwards that failed and fell back to a local decision (nonzero means a peer or link is down).",
+	"cluster_ring_rebuilds":     "Ownership ring rebuilds (SetMembers / RemoveMember calls).",
+	"cluster_takeover_swept":    "Orphaned switch entries deleted by takeover sweeps after ring rebuilds.",
+	"cluster_snapshots_pushed":  "Config snapshots accepted by peers.",
+	"cluster_snapshots_fenced":  "Config snapshot pushes rejected by peers already holding a newer epoch (the fence working, not an error).",
+	"cluster_push_errors":       "Config snapshot pushes that failed in transport or application.",
+	"cluster_snapshots_applied": "Peer config snapshots applied locally.",
+	"cluster_snapshots_stale":   "Peer config snapshots rejected locally for a stale epoch.",
+	"cluster_snapshot_errors":   "Peer config snapshots rejected locally for decode or policy-compile failure.",
 }
 
 // AuditSinkCounters documents the audit sink's counters.
@@ -236,6 +253,16 @@ func RegisterDaemon(r *Registry, d *daemon.Daemon, labels ...Label) {
 		func() int64 { return int64(d.UpdateSerial()) }, labels...)
 	r.RegisterGaugeFunc("daemon_cred_expiry_timestamp_seconds", "Unix expiry of the daemon's loaded credential (0 when none).",
 		d.CredentialExpiry, labels...)
+}
+
+// RegisterRouter exports the replica router's counters and ring state.
+// The wrapped controller is registered separately via RegisterController.
+func RegisterRouter(r *Registry, rt *cluster.Router, labels ...Label) {
+	r.RegisterCounterSet(rt.Counters, ClusterCounters, labels...)
+	r.RegisterGaugeFunc("cluster_members", "Replicas in the current ownership ring (1 = single-replica).",
+		func() int64 { return int64(len(rt.Members())) }, labels...)
+	r.RegisterGaugeFunc("cluster_config_epoch", "Applied replicated-config epoch (0 until the first cluster config write).",
+		func() int64 { e, _ := rt.Epoch(); return int64(e) }, labels...)
 }
 
 // RegisterAuditSink exports the sink's emit/drop counters.

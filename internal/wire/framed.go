@@ -30,6 +30,21 @@ const (
 	// payload: "push me updates on this connection". The daemon
 	// acknowledges with a hello update carrying its current serial.
 	FrameSubscribe byte = 'S'
+	// FrameEvent is a controller→controller forwarded packet-in: the
+	// cluster router's hand-off of a non-owned flow's event to the replica
+	// the ring assigns it to. The payload is internal/cluster's binary
+	// event encoding; Src/DstIP mirror the flow for symmetry with Q/R.
+	FrameEvent byte = 'E'
+	// FrameSnapshot is a controller→controller epoch-fenced config
+	// snapshot push (policy source, answers, datapath set). 'C' for
+	// config; 'S' was taken.
+	FrameSnapshot byte = 'C'
+	// FrameAck is the controller→controller reply to FrameEvent and
+	// FrameSnapshot. Inter-controller links are pipelined FIFO streams
+	// exactly like the query plane, so every request kind needs a
+	// response kind to correlate against; the one-byte payload is a
+	// status code (see internal/cluster).
+	FrameAck byte = 'A'
 )
 
 // frameHeaderLen is: 1 type byte, 4+4 IP addresses, 4 payload length.
@@ -76,7 +91,8 @@ func ReadFrame(r io.Reader) (Frame, error) {
 		DstIP: netaddr.IP(binary.BigEndian.Uint32(hdr[5:9])),
 	}
 	switch f.Type {
-	case FrameQuery, FrameResponse, FrameUpdate, FrameSubscribe:
+	case FrameQuery, FrameResponse, FrameUpdate, FrameSubscribe,
+		FrameEvent, FrameSnapshot, FrameAck:
 	default:
 		return Frame{}, fmt.Errorf("wire: unknown frame type %#02x", f.Type)
 	}
