@@ -80,9 +80,9 @@ bench-compare:
 	git worktree add --detach $$tmp/base $(BASE) >/dev/null; \
 	trap 'git worktree remove --force '"$$tmp"'/base >/dev/null 2>&1; rm -rf '"$$tmp" EXIT; \
 	echo "== base ($(BASE)) =="; \
-	(cd $$tmp/base && $(GO) test -run=NONE -bench='M7_|M8_|M9_|M10_|M11_|M12_|M13_|M14_' -benchmem -count=$(BENCH_COUNT) -benchtime=$(BENCH_TIME) .) | tee $$tmp/base.txt; \
+	(cd $$tmp/base && $(GO) test -run=NONE -bench='M7_|M8_|M9_|M10_|M11_|M12_|M13_|M14_|M15_' -benchmem -count=$(BENCH_COUNT) -benchtime=$(BENCH_TIME) .) | tee $$tmp/base.txt; \
 	echo "== head =="; \
-	$(GO) test -run=NONE -bench='M7_|M8_|M9_|M10_|M11_|M12_|M13_|M14_' -benchmem -count=$(BENCH_COUNT) -benchtime=$(BENCH_TIME) . | tee $$tmp/head.txt; \
+	$(GO) test -run=NONE -bench='M7_|M8_|M9_|M10_|M11_|M12_|M13_|M14_|M15_' -benchmem -count=$(BENCH_COUNT) -benchtime=$(BENCH_TIME) . | tee $$tmp/head.txt; \
 	if command -v benchstat >/dev/null 2>&1; then benchstat $$tmp/base.txt $$tmp/head.txt || true; fi; \
 	$(GO) run ./cmd/benchdiff \
 		-max-allocs 'BenchmarkM7_ShardedHandleEvent=2' \
@@ -93,6 +93,7 @@ bench-compare:
 		-max-allocs 'BenchmarkM12_Megaflow/member-hit=2' \
 		-max-allocs 'BenchmarkM13_CredentialedSession/steady=2' \
 		-max-allocs 'BenchmarkM14_Cluster/owned-hit=2' \
+		-max-allocs 'BenchmarkM15_Trace/off=2' \
 		-json $(BENCH_OUT) \
 		$$tmp/base.txt $$tmp/head.txt
 

@@ -30,6 +30,7 @@ import (
 	"identxx/internal/pf"
 	"identxx/internal/query"
 	"identxx/internal/sig"
+	"identxx/internal/trace"
 	"identxx/internal/wire"
 	"identxx/internal/workload"
 )
@@ -1210,4 +1211,71 @@ func BenchmarkM14_Cluster(b *testing.B) {
 			}
 		})
 	}
+}
+
+// m15Controller builds the M8 cache-hit controller with an optional
+// flight recorder attached, the configuration the M15 benchmark prices.
+func m15Controller(rec *trace.Recorder) (*core.Controller, openflow.PacketIn) {
+	srcIP := netaddr.MustParseIP("10.0.0.1")
+	dstIP := netaddr.MustParseIP("10.0.0.2")
+	tr := &m7Transport{responses: map[netaddr.IP]map[string]string{
+		srcIP: {"name": "skype"},
+		dstIP: {"name": "skype"},
+	}}
+	ctl := core.New(core.Config{
+		Name:             "m15",
+		Policy:           pf.MustCompile("m15", m8Policy),
+		Transport:        tr,
+		Topology:         &m7Topo{hops: []core.Hop{{Datapath: 1, OutPort: 2}}},
+		InstallEntries:   true,
+		ResponseCacheTTL: time.Hour,
+		Trace:            rec,
+	})
+	ctl.AddDatapath(&m7Datapath{id: 1})
+	ev := m8Event(srcIP, dstIP)
+	ctl.HandleEvent(ev) // warm the cache and the pools
+	return ctl, ev
+}
+
+// BenchmarkM15_Trace prices the flight recorder (PR 10) on the M8
+// cache-hit path at its three operating points:
+//
+//   - off: no recorder configured. This is the default, and CI's
+//     bench-compare job gates it at the same ≤ 2 allocs/op budget as M8 —
+//     tracing must cost nothing when nobody asked for it.
+//   - sampled: recorder on with 1-in-1024 retention, the recommended
+//     production setting. Every decision pays the buffer checkout and the
+//     per-stage event stores; 1 in 1024 pays the retention copy.
+//   - always: SampleEvery 1, every decision retained — the ceiling.
+func BenchmarkM15_Trace(b *testing.B) {
+	b.Run("off", func(b *testing.B) {
+		ctl, ev := m15Controller(nil)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ctl.HandleEvent(ev)
+		}
+	})
+	b.Run("sampled", func(b *testing.B) {
+		rec := trace.New(trace.Config{SampleEvery: 1024})
+		ctl, ev := m15Controller(rec)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ctl.HandleEvent(ev)
+		}
+	})
+	b.Run("always", func(b *testing.B) {
+		rec := trace.New(trace.Config{SampleEvery: 1})
+		ctl, ev := m15Controller(rec)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ctl.HandleEvent(ev)
+		}
+		b.StopTimer()
+		if rec.Counters.Get("trace_sampled") == 0 {
+			b.Fatal("no traces retained on the always path")
+		}
+	})
 }

@@ -25,6 +25,7 @@ package main
 //	creds                    ->  ok <n>  then n lines  host=<ip> present=<bool> verified=<bool> scope=<keys> exp=<rfc3339> err=<verdict>
 //	ring                     ->  ok <n>  then n lines  replica=<id> addr=<addr> self=<bool> linked=<bool> share=<frac> [owned=<n> forwarded=<n> received=<n> fallbacks=<n> epoch=<n> origin=<id>]
 //	ring drop <replica-id>   ->  same listing after removing the replica from the ring (failover)
+//	trace [slow|<id>]        ->  ok <n>  then n JSON lines, one retained flight-recorder trace each
 //
 // The cred fields on `hosts` are `-` placeholders when the controller runs
 // in insecure mode (no -authority-key); cred=<state> is ok, none (no hello
@@ -46,15 +47,18 @@ import (
 	"identxx/internal/netaddr"
 	"identxx/internal/query"
 	"identxx/internal/revoke"
+	"identxx/internal/trace"
 )
 
 // adminState is everything the admin channel can drill into. eng may be
 // nil (tests that only exercise the controller); rt is nil when the
-// controller is not clustered.
+// controller is not clustered; tr is nil unless the flight recorder was
+// enabled (-trace-sample / -trace-slow).
 type adminState struct {
 	ctl *core.Controller
 	eng *query.Engine
 	rt  *cluster.Router
+	tr  *trace.Recorder
 }
 
 // serveAdmin runs the admin listener until the listener is closed.
@@ -156,6 +160,8 @@ func adminCommand(st adminState, line string) string {
 			return "err usage: ring [drop <replica-id>]"
 		}
 		return ringReply(st)
+	case "trace":
+		return traceReply(st, f[1:])
 	case "hosts":
 		return hostsReply(st)
 	case "creds":
@@ -200,6 +206,40 @@ func ringReply(st adminState) string {
 				c.Get("cluster_events_received"), c.Get("cluster_forward_fallbacks"),
 				epoch, origin)
 		}
+	}
+	return b.String()
+}
+
+// traceReply is the flight-recorder drill-down: one JSON line per retained
+// trace, same encoding as the telemetry server's /trace endpoint.
+func traceReply(st adminState, args []string) string {
+	if st.tr == nil {
+		return "err tracing disabled (run with -trace-sample or -trace-slow)"
+	}
+	var traces []trace.Trace
+	switch {
+	case len(args) == 0:
+		traces = st.tr.Traces()
+	case len(args) == 1 && args[0] == "slow":
+		traces = st.tr.Slow()
+	case len(args) == 1:
+		id, err := trace.ParseID(args[0])
+		if err != nil {
+			return "err " + err.Error()
+		}
+		traces = st.tr.Find(id)
+	default:
+		return "err usage: trace [slow|<id>]"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "ok %d", len(traces))
+	var body strings.Builder
+	if err := trace.WriteJSON(&body, traces); err != nil {
+		return "err " + err.Error()
+	}
+	if s := strings.TrimSuffix(body.String(), "\n"); s != "" {
+		b.WriteString("\n")
+		b.WriteString(s)
 	}
 	return b.String()
 }
@@ -345,6 +385,7 @@ var listCommands = map[string]bool{
 	"rules":    true,
 	"creds":    true,
 	"ring":     true,
+	"trace":    true,
 }
 
 // adminMain is the `identctl admin` subcommand: it sends one admin command
@@ -355,7 +396,7 @@ func adminMain(args []string) {
 	admin := fs.String("admin", "127.0.0.1:7833", "admin address of the serving identctl")
 	fs.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: identctl admin [-admin addr] <command> [args]")
-		fmt.Fprintln(os.Stderr, "commands: status, stats [megaflow|wide|rulecache], counters, shards, hosts, rules, creds, ring [drop <id>], sweep")
+		fmt.Fprintln(os.Stderr, "commands: status, stats [megaflow|wide|rulecache], counters, shards, hosts, rules, creds, ring [drop <id>], trace [slow|<id>], sweep")
 		fs.PrintDefaults()
 	}
 	fs.Parse(args)

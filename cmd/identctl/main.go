@@ -42,6 +42,7 @@ import (
 	"identxx/internal/query"
 	"identxx/internal/sig"
 	"identxx/internal/telemetry"
+	"identxx/internal/trace"
 )
 
 func main() {
@@ -67,6 +68,9 @@ func main() {
 	cacheTTL := flag.Duration("cache-ttl", 0, "response-cache TTL for repeated flow setups (0 disables caching)")
 	megaflow := flag.Bool("megaflow", false, "widen cached verdicts into wildcard megaflows (requires -cache-ttl)")
 	telemetryAddr := flag.String("telemetry", "", "HTTP listen address for /metrics, /healthz, /readyz (empty disables)")
+	telemetryPprof := flag.Bool("telemetry-pprof", false, "mount /debug/pprof/ on the telemetry listener (requires -telemetry; see docs/operations.md before enabling in production)")
+	traceSample := flag.Int("trace-sample", 0, "flight recorder: retain roughly 1 in N decision traces (0 disables sampling; 1 traces everything)")
+	traceSlow := flag.Duration("trace-slow", 0, "flight recorder: always retain decisions slower than this, regardless of -trace-sample (0 disables)")
 	auditLog := flag.String("audit-log", "", "structured audit stream destination: file path, or - for stdout (empty disables)")
 	clusterSelf := flag.String("cluster-self", "", "this replica as id@addr for multi-controller operation (empty = single controller)")
 	clusterPeers := flag.String("cluster-peers", "", "comma-separated peer replicas as id@addr")
@@ -114,6 +118,16 @@ func main() {
 		RequestTimeout: *queryTimeout,
 	})
 	defer eng.Close()
+
+	// The flight recorder exists only when the operator asked for it; a nil
+	// recorder is the zero-overhead disabled state everywhere downstream.
+	var recorder *trace.Recorder
+	if *traceSample > 0 || *traceSlow > 0 {
+		recorder = trace.New(trace.Config{
+			SampleEvery:   *traceSample,
+			SlowThreshold: *traceSlow,
+		})
+	}
 	ctl := core.New(core.Config{
 		Name:               "identctl",
 		Policy:             policy,
@@ -126,6 +140,7 @@ func main() {
 		ResponseCacheTTL:   *cacheTTL,
 		Megaflow:           *megaflow,
 		RequireCredentials: *authorityFile != "",
+		Trace:              recorder,
 	})
 	// Close the revocation loop: daemon pushes demuxed by the pool land in
 	// the controller's teardown pipeline.
@@ -140,7 +155,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		rt = cluster.NewRouter(ctl, self, cluster.Options{})
+		rt = cluster.NewRouter(ctl, self, cluster.Options{Trace: recorder})
 		members := []cluster.Member{self}
 		if *clusterPeers != "" {
 			for _, p := range strings.Split(*clusterPeers, ",") {
@@ -190,7 +205,7 @@ func main() {
 			fatal(err)
 		}
 		defer al.Close()
-		go serveAdmin(al, adminState{ctl: ctl, eng: eng, rt: rt})
+		go serveAdmin(al, adminState{ctl: ctl, eng: eng, rt: rt, tr: recorder})
 	}
 	var auditSink *telemetry.AuditSink
 	if *auditLog != "" {
@@ -221,6 +236,14 @@ func main() {
 		telemetry.RegisterPoolHealth(ts.Health, pool)
 		if auditSink != nil {
 			telemetry.RegisterAuditSink(ts.Registry, auditSink)
+		}
+		telemetry.RegisterBuildInfo(ts.Registry)
+		if recorder != nil {
+			telemetry.RegisterTrace(ts.Registry, recorder)
+			ts.MountTrace(recorder)
+		}
+		if *telemetryPprof {
+			ts.EnablePprof()
 		}
 		taddr, err := ts.Start(*telemetryAddr)
 		if err != nil {

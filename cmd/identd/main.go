@@ -46,6 +46,7 @@ func main() {
 	credFile := flag.String("cred", "", "credential file from `identctl cred issue` (empty = insecure mode)")
 	credReload := flag.Duration("cred-reload", time.Minute, "how often to re-read -cred for rotation (0 disables)")
 	telemetryAddr := flag.String("telemetry", "", "HTTP listen address for /metrics, /healthz, /readyz (empty disables)")
+	telemetryPprof := flag.Bool("telemetry-pprof", false, "mount /debug/pprof/ on the telemetry listener (requires -telemetry; see docs/operations.md before enabling in production)")
 	flag.Parse()
 	if *hostSpec == "" {
 		fmt.Fprintln(os.Stderr, "identd: -host is required")
@@ -95,6 +96,10 @@ func main() {
 	if *telemetryAddr != "" {
 		ts := telemetry.NewServer()
 		telemetry.RegisterDaemon(ts.Registry, d, telemetry.Label{Key: "host", Value: host.IP.String()})
+		telemetry.RegisterBuildInfo(ts.Registry, telemetry.Label{Key: "host", Value: host.IP.String()})
+		if *telemetryPprof {
+			ts.EnablePprof()
+		}
 		taddr, err := ts.Start(*telemetryAddr)
 		if err != nil {
 			fatal(err)

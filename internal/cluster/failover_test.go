@@ -33,6 +33,7 @@ type failoverHost struct {
 	info *hostinfo.Host
 	proc *hostinfo.Process
 	addr string
+	d    *daemon.Daemon
 }
 
 func startFailoverHost(t *testing.T, name, ip, user string) *failoverHost {
@@ -42,6 +43,7 @@ func startFailoverHost(t *testing.T, name, ip, user string) *failoverHost {
 	u := h.info.AddUser(user, "users")
 	h.proc = h.info.Exec(u, workload.Skype.Exe())
 	d := daemon.New(h.info)
+	h.d = d
 	d.InstallConfig(&daemon.ConfigFile{Apps: []*daemon.AppConfig{{
 		Path:  workload.Skype.Path,
 		Pairs: []wire.KV{{Key: wire.KeyName, Value: workload.Skype.Name}},

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"bufio"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"net"
@@ -95,11 +96,21 @@ func DialTCP(addr string) *TCPLink {
 }
 
 func (l *TCPLink) ForwardEvent(ev openflow.PacketIn) error {
+	// A traced event rides the 'T' frame kind: the 8-byte trace ID prefix
+	// lets the owner's decision stitch to the forwarder's trace. Untraced
+	// events keep the byte-identical legacy 'E' encoding, so a ring where
+	// tracing is off never sees the newer kind (see wire.FrameEventTraced).
+	typ := wire.FrameEvent
+	var payload []byte
+	if ev.TraceID != 0 {
+		typ = wire.FrameEventTraced
+		payload = binary.BigEndian.AppendUint64(make([]byte, 0, 8+eventHeaderLen+len(ev.Frame)), ev.TraceID)
+	}
 	status, err := l.roundTrip(wire.Frame{
-		Type:    wire.FrameEvent,
+		Type:    typ,
 		SrcIP:   ev.Tuple.SrcIP,
 		DstIP:   ev.Tuple.DstIP,
-		Payload: encodeEvent(nil, ev),
+		Payload: encodeEvent(payload, ev),
 	})
 	if err != nil {
 		return err
@@ -290,11 +301,22 @@ func (r *Router) serveConn(conn net.Conn) {
 			return
 		}
 		switch f.Type {
-		case wire.FrameEvent:
-			ev, err := decodeEvent(f.Payload)
+		case wire.FrameEvent, wire.FrameEventTraced:
+			payload := f.Payload
+			var tid uint64
+			if f.Type == wire.FrameEventTraced {
+				if len(payload) < 8 {
+					ack[0] = ackError
+					break
+				}
+				tid = binary.BigEndian.Uint64(payload[:8])
+				payload = payload[8:]
+			}
+			ev, err := decodeEvent(payload)
 			if err != nil {
 				ack[0] = ackError
 			} else {
+				ev.TraceID = tid
 				r.DeliverEvent(ev)
 				ack[0] = ackOK
 			}

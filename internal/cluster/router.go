@@ -11,6 +11,7 @@ import (
 	"identxx/internal/netaddr"
 	"identxx/internal/openflow"
 	"identxx/internal/pf"
+	"identxx/internal/trace"
 	"identxx/internal/wire"
 )
 
@@ -40,6 +41,11 @@ type Router struct {
 	mu  sync.Mutex
 	cfg Snapshot
 
+	// tr is the flight recorder for the forwarder's half of a hand-off
+	// (nil = tracing disabled). The owned path never touches it — the
+	// wrapped controller records there — so the M14 budget is unaffected.
+	tr *trace.Recorder
+
 	// Counters is the router's observability surface (cluster_* namespace,
 	// registered via telemetry.RegisterRouter).
 	Counters *metrics.Counter
@@ -60,6 +66,14 @@ type Options struct {
 	// ResolveDatapath maps replicated datapath IDs to local connections;
 	// see Router.resolveDP.
 	ResolveDatapath func(id uint64) openflow.Datapath
+	// Trace enables the flight recorder on the forward path: a forwarded
+	// packet-in mints (or inherits) a trace ID, carries it to the owner as
+	// a FrameEventTraced, and the forwarder retains its own half with a
+	// StageForward span covering the full hand-off round trip. Enabling it
+	// here without also enabling tracing on the peer replicas loses the
+	// owner halves but breaks nothing — the 'T' frame kind is understood
+	// by every replica built with this package.
+	Trace *trace.Recorder
 }
 
 // NewRouter wraps local. The ring starts with self as the only member —
@@ -71,6 +85,7 @@ func NewRouter(local *core.Controller, self Member, opts Options) *Router {
 		self:      self,
 		dial:      opts.Dial,
 		resolveDP: opts.ResolveDatapath,
+		tr:        opts.Trace,
 		Counters:  metrics.NewCounter(),
 	}
 	if r.dial == nil {
@@ -113,16 +128,34 @@ func (r *Router) HandleEvent(ev openflow.PacketIn) {
 		return
 	}
 	r.hot.forwarded.Add(1)
+	// Forwarder half of a stitched trace: mint (or inherit) the ID before
+	// the hand-off so the owner's decision begins under the same ID, and
+	// retain a local trace whose StageForward span covers the full round
+	// trip — the owner's decision plus both wire legs.
+	tb := r.tr.Begin(ev.TraceID)
+	if tb != nil {
+		f := ev.Tuple.Five()
+		tb.SetFlow(uint8(f.Proto), uint32(f.SrcIP), uint32(f.DstIP), uint16(f.SrcPort), uint16(f.DstPort))
+		ev.TraceID = tb.ID()
+	}
 	if err := rg.links[o].ForwardEvent(ev); err != nil {
 		// Availability over strict ownership: an unreachable owner must
 		// not blackhole the flow. Decide locally — installs are idempotent
 		// and revocation-correct teardown of the duplicate state follows
 		// from both replicas subscribing — and count the violation; a
 		// nonzero fallback rate is the operator's cue that a link or
-		// replica is down.
+		// replica is down. The local decision keeps the minted trace ID,
+		// so the fallback's trace stitches to this forward attempt.
 		r.hot.fallbacks.Add(1)
+		tb.Rec(trace.StageForward, trace.FlagFallback|trace.FlagErr, int64(o))
+		tb.SetVerdict("forward-fallback")
+		r.tr.Finish(tb)
 		r.local.HandleEvent(ev)
+		return
 	}
+	tb.Rec(trace.StageForward, 0, int64(o))
+	tb.SetVerdict("forwarded")
+	r.tr.Finish(tb)
 }
 
 // DeliverEvent runs a forwarded packet-in on the local controller. It is

@@ -31,6 +31,7 @@ import (
 	"identxx/internal/openflow"
 	"identxx/internal/pf"
 	"identxx/internal/revoke"
+	"identxx/internal/trace"
 	"identxx/internal/wire"
 )
 
@@ -123,6 +124,18 @@ type QueryTransport interface {
 type AsyncQueryTransport interface {
 	QueryTransport
 	QueryAsync(host netaddr.IP, q wire.Query, done func(resp *wire.Response, rtt time.Duration, err error))
+}
+
+// TracedAsyncQueryTransport is an AsyncQueryTransport that can additionally
+// annotate a decision's flight-recorder buffer with per-exchange query-plane
+// events: the enqueue (with the gate that admitted or rejected it —
+// coalesced, negative-cache, breaker) and the completion (RTT, transport
+// attempts). internal/query.Engine implements it. epFlag identifies the
+// endpoint (trace.FlagSrc or trace.FlagDst) and is OR'd into every event the
+// transport records; a nil tb must behave exactly like QueryAsync.
+type TracedAsyncQueryTransport interface {
+	AsyncQueryTransport
+	QueryAsyncTraced(host netaddr.IP, q wire.Query, tb *trace.Buffer, epFlag uint16, done func(resp *wire.Response, rtt time.Duration, err error))
 }
 
 // Hop is one switch traversal on a flow's path.
@@ -227,6 +240,15 @@ type Config struct {
 
 	// Clock for cache expiry; defaults to time.Now.
 	Clock func() time.Time
+
+	// Trace is the per-decision flight recorder (internal/trace). Nil — the
+	// default — disables tracing entirely: every instrument point on the
+	// decision path degenerates to a nil-receiver call and the ≤2 allocs/op
+	// budgets hold unchanged. When set, each decision records stage-boundary
+	// span events into a pooled buffer, sampled/slow traces are retained in
+	// the recorder's ring, and the trace ID propagates on the query wire
+	// (and, via the cluster router, across replica hand-offs).
+	Trace *trace.Recorder
 }
 
 // ctlState is the immutable configuration snapshot the fast path reads.
@@ -270,13 +292,19 @@ type Controller struct {
 	sourceTag string // "controller:<name>", the §3.4 augmentation source, built once
 	transport QueryTransport
 	asyncTr   AsyncQueryTransport // non-nil iff Config.AsyncQueries
-	topo      Topology
-	latency   LatencyModel
-	idle      time.Duration
-	hard      time.Duration
-	install   bool
-	cacheTTL  time.Duration
-	clock     func() time.Time
+	// asyncTraced is the transport's trace-aware face (nil when the
+	// transport has none); consulted only when a decision holds a trace
+	// buffer, so a plain AsyncQueryTransport keeps working untraced.
+	asyncTraced TracedAsyncQueryTransport
+	// tr is the flight recorder; nil = tracing disabled (the common case).
+	tr       *trace.Recorder
+	topo     Topology
+	latency  LatencyModel
+	idle     time.Duration
+	hard     time.Duration
+	install  bool
+	cacheTTL time.Duration
+	clock    func() time.Time
 
 	state   atomic.Pointer[ctlState] // read-mostly snapshot; fast path loads once
 	writeMu sync.Mutex               // serializes snapshot writers only
@@ -347,6 +375,12 @@ func New(cfg Config) *Controller {
 		}
 		asyncTr = at
 	}
+	var asyncTraced TracedAsyncQueryTransport
+	if asyncTr != nil {
+		if tt, ok := cfg.Transport.(TracedAsyncQueryTransport); ok {
+			asyncTraced = tt
+		}
+	}
 	var credTr CredentialChecker
 	if cfg.RequireCredentials {
 		ct, ok := cfg.Transport.(CredentialChecker)
@@ -359,21 +393,23 @@ func New(cfg Config) *Controller {
 		credTr = ct
 	}
 	c := &Controller{
-		name:      cfg.Name,
-		sourceTag: "controller:" + cfg.Name,
-		transport: cfg.Transport,
-		asyncTr:   asyncTr,
-		topo:      cfg.Topology,
-		latency:   cfg.Latency,
-		idle:      idle,
-		hard:      cfg.HardTimeout,
-		install:   cfg.InstallEntries,
-		cacheTTL:  cfg.ResponseCacheTTL,
-		clock:     clock,
-		flows:     newShardTable(shards),
-		Counters:  metrics.NewCounter(),
-		Setup:     metrics.NewSetupRecorder(),
-		Audit:     NewAuditLog(cfg.AuditCap),
+		name:        cfg.Name,
+		sourceTag:   "controller:" + cfg.Name,
+		transport:   cfg.Transport,
+		asyncTr:     asyncTr,
+		asyncTraced: asyncTraced,
+		tr:          cfg.Trace,
+		topo:        cfg.Topology,
+		latency:     cfg.Latency,
+		idle:        idle,
+		hard:        cfg.HardTimeout,
+		install:     cfg.InstallEntries,
+		cacheTTL:    cfg.ResponseCacheTTL,
+		clock:       clock,
+		flows:       newShardTable(shards),
+		Counters:    metrics.NewCounter(),
+		Setup:       metrics.NewSetupRecorder(),
+		Audit:       NewAuditLog(cfg.AuditCap),
 	}
 	c.hot.packetIns = c.Counters.Cell("packet_ins")
 	c.hot.cacheHits = c.Counters.Cell("response_cache_hits")
@@ -681,6 +717,12 @@ func (c *Controller) HandleEvent(ev openflow.PacketIn) {
 	s := acquireScratch()
 	s.sh, s.dp, s.ev, s.five = sh, dp, ev, five
 	s.revSeq = sh.rev.Load()
+	// Flight recorder: a nil recorder returns a nil buffer and every Rec
+	// below is a nil-receiver no-op — the disabled path stays within the
+	// M8 allocation budget. A forwarded packet-in carries the forwarder's
+	// trace ID and stitches here.
+	s.tb = c.tr.Begin(ev.TraceID)
+	s.tb.SetFlow(uint8(five.Proto), uint32(five.SrcIP), uint32(five.DstIP), uint16(five.SrcPort), uint16(five.DstPort))
 	if c.latency != nil {
 		s.bd.Punt = c.latency.PuntLatency(ev.SwitchID)
 		s.bd.Install = c.latency.InstallLatency(ev.SwitchID)
@@ -695,10 +737,12 @@ func (c *Controller) HandleEvent(ev openflow.PacketIn) {
 	if c.mega != nil {
 		if e := c.mega.lookup(five, c.clock(), st.epoch); e != nil {
 			c.hot.megaHits.Add(1)
+			s.tb.Rec(trace.StageMegaflowProbe, trace.FlagHit, 0)
 			g.mega = e
 			c.finishDecision(s)
 			return
 		}
+		s.tb.Rec(trace.StageMegaflowProbe, 0, 0)
 	}
 
 	// Cache probe first: for a cached key-dependent flow the decision is
@@ -708,6 +752,7 @@ func (c *Controller) HandleEvent(ev openflow.PacketIn) {
 	if c.cacheTTL > 0 {
 		if e, ok := sh.lookup(five, c.clock(), st.epoch); ok {
 			c.hot.cacheHits.Add(1)
+			s.tb.Rec(trace.StageCacheProbe, trace.FlagHit, 0)
 			g.src, g.dst = e.src, e.dst
 			// The lookup retained the entry's view refcount; the deferred
 			// cleanup in finishDecision releases the borrow.
@@ -716,6 +761,7 @@ func (c *Controller) HandleEvent(ev openflow.PacketIn) {
 			c.finishDecision(s)
 			return
 		}
+		s.tb.Rec(trace.StageCacheProbe, 0, 0)
 	}
 
 	// Header-only pre-pass: when the compiled program admits it at all,
@@ -734,10 +780,12 @@ func (c *Controller) HandleEvent(ev openflow.PacketIn) {
 		s.bd.Eval = time.Since(evalStart)
 		if decided {
 			c.hot.headerOnly.Add(1)
+			s.tb.Rec(trace.StagePrepass, trace.FlagHit, int64(s.bd.Eval))
 			g.pre, g.preDecided = d, true
 			c.finishDecision(s)
 			return
 		}
+		s.tb.Rec(trace.StagePrepass, 0, int64(s.bd.Eval))
 		hintsDone = true
 	}
 
@@ -748,8 +796,11 @@ func (c *Controller) HandleEvent(ev openflow.PacketIn) {
 		}
 		srcHints, dstHints = s.srcKeys, s.dstKeys
 	}
-	g.qs = wire.Query{Flow: five, Keys: srcHints}
-	g.qd = wire.Query{Flow: five, Keys: dstHints}
+	// The trace ID rides each endpoint query as a legacy-tolerant wire
+	// line, so the daemon-side view of this exchange attributes to this
+	// decision. ID() is 0 on a nil buffer and EncodeQuery omits it.
+	g.qs = wire.Query{Flow: five, Keys: srcHints, TraceID: s.tb.ID()}
+	g.qd = wire.Query{Flow: five, Keys: dstHints, TraceID: s.tb.ID()}
 	if c.asyncTr != nil {
 		// Non-blocking pipeline: hand both endpoint queries to the query
 		// plane and return — no goroutine parks on the round trip. pending
@@ -757,6 +808,19 @@ func (c *Controller) HandleEvent(ev openflow.PacketIn) {
 		// inline (negative-cache hit, open breaker); whichever completion
 		// drops it to zero finishes the decision.
 		g.pending.Store(2)
+		if c.asyncTraced != nil && s.tb != nil {
+			// The query plane records its own span events (coalescing,
+			// breaker, negative cache, attempts) — richer than the
+			// controller could reconstruct from the completion alone.
+			c.asyncTraced.QueryAsyncTraced(five.SrcIP, g.qs, s.tb, trace.FlagSrc, g.srcDoneFn)
+			c.asyncTraced.QueryAsyncTraced(five.DstIP, g.qd, s.tb, trace.FlagDst, g.dstDoneFn)
+			return
+		}
+		if s.tb != nil {
+			g.selfTraced = true
+			s.tb.Rec(trace.StageQueryEnqueue, trace.FlagSrc, 0)
+			s.tb.Rec(trace.StageQueryEnqueue, trace.FlagDst, 0)
+		}
 		c.asyncTr.QueryAsync(five.SrcIP, g.qs, g.srcDoneFn)
 		c.asyncTr.QueryAsync(five.DstIP, g.qd, g.dstDoneFn)
 		return
@@ -764,9 +828,14 @@ func (c *Controller) HandleEvent(ev openflow.PacketIn) {
 
 	// Blocking transport: query both ends concurrently (§2 step 3), the
 	// destination on a goroutine started through the prebound entry point.
+	if s.tb != nil {
+		g.selfTraced = true
+		s.tb.Rec(trace.StageQueryEnqueue, trace.FlagSrc|trace.FlagDst, 0)
+	}
 	g.wg.Add(1)
 	go g.dstFn()
 	resp, rtt, err := c.transport.Query(five.SrcIP, g.qs)
+	g.recQueryDone(trace.FlagSrc, rtt, err)
 	g.src, g.qsrc, g.srcBuilt, g.srcTransient = c.resolveResponse(st, five, five.SrcIP, resp, rtt, err)
 	g.wg.Wait()
 	c.finishDecision(s)
@@ -788,13 +857,17 @@ func (c *Controller) finishDecision(s *decisionScratch) {
 		// ablation runs there is no table entry, so passed waiters are
 		// packet-out'd along the path instead of silently dropped.
 		if waiters := sh.resolve(five); len(waiters) > 0 {
+			s.tb.Rec(trace.StageWaiterRelease, 0, int64(len(waiters)))
 			c.resolveWaiters(waiters, pass, s.hops)
 			c.hot.waitersResolved.Add(int64(len(waiters)))
 		}
 		// The decision is fully published (audit, metrics, installs); the
 		// scratch — including controller-built response views nothing else
-		// took ownership of — can go back to its pools.
+		// took ownership of — can go back to its pools. The trace buffer
+		// goes first: Finish retires it into the recorder's ring (or drops
+		// it) and re-pools it, so release() only nils the reference.
 		s.gather.releaseBuilt()
+		c.tr.Finish(s.tb)
 		s.release()
 	}()
 
@@ -809,6 +882,8 @@ func (c *Controller) finishDecision(s *decisionScratch) {
 		// under current facts. (Same-shard neighbors occasionally void too;
 		// one spurious re-decision, never a wrong verdict.)
 		c.hot.revInflight.Add(1)
+		s.tb.Rec(trace.StageRevocationVoid, 0, 0)
+		s.tb.SetVerdict("voided")
 		s.dp.ReleaseBuffer(s.ev.BufferID)
 		return
 	}
@@ -877,6 +952,14 @@ func (c *Controller) finishDecision(s *decisionScratch) {
 		bd.Eval = time.Since(evalStart)
 	}
 
+	if s.tb != nil {
+		var evalFlags uint16
+		if d.Action != pf.Pass {
+			evalFlags = trace.FlagDeny
+		}
+		s.tb.Rec(trace.StageEval, evalFlags, int64(bd.Eval))
+	}
+
 	c.Setup.Observe(*bd)
 	c.Audit.Record(AuditEntry{
 		Time:      c.clock(),
@@ -891,11 +974,15 @@ func (c *Controller) finishDecision(s *decisionScratch) {
 
 	if d.Action == pf.Pass {
 		pass = true
+		s.tb.SetVerdict("pass")
 		c.hot.flowsAllowed.Add(1)
 		c.installPath(st, s.dp, s.ev, five, d.KeepState, s)
+		s.tb.Rec(trace.StageInstall, 0, int64(len(s.mods)))
 	} else {
+		s.tb.SetVerdict("deny")
 		c.hot.flowsDenied.Add(1)
 		c.installDrop(s.dp, s.ev, five, s)
+		s.tb.Rec(trace.StageInstall, trace.FlagDeny, int64(len(s.mods)))
 	}
 	if len(d.Diags) > 0 {
 		c.hot.evalDiags.Add(int64(len(d.Diags)))

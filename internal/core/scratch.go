@@ -9,6 +9,7 @@ import (
 	"identxx/internal/metrics"
 	"identxx/internal/openflow"
 	"identxx/internal/pf"
+	"identxx/internal/trace"
 	"identxx/internal/wire"
 )
 
@@ -62,6 +63,12 @@ type decisionScratch struct {
 	// installWG pairs the pooled flow-mod fan-out (applyMods) without a
 	// per-install allocation.
 	installWG sync.WaitGroup
+
+	// tb is the decision's flight-recorder buffer (internal/trace); nil
+	// when tracing is disabled. Owned by the recorder's pool, not the
+	// scratch: finishDecision hands it back via Recorder.Finish before the
+	// scratch is released.
+	tb *trace.Buffer
 
 	gather gatherState
 }
@@ -117,6 +124,7 @@ func (s *decisionScratch) release() {
 	// capacity costs bytes, never correctness.
 	s.srcKeys = s.srcKeys[:0]
 	s.dstKeys = s.dstKeys[:0]
+	s.tb = nil // recorder-owned; Finish already returned it to its pool
 	s.gather.reset()
 	scratchPool.Put(s)
 }
@@ -161,14 +169,34 @@ type gatherState struct {
 	owner   *decisionScratch
 	pending atomic.Int32 // outstanding async ends; 2 → 0
 
+	// selfTraced means the controller records the query-plane span events
+	// itself (blocking transports and async transports without a traced
+	// face). When the transport implements TracedAsyncQueryTransport the
+	// engine records richer events (coalescing, breaker, attempts) and this
+	// stays false so nothing is double-recorded.
+	selfTraced bool
+
 	dstFn                func()
 	srcDoneFn, dstDoneFn func(*wire.Response, time.Duration, error)
 }
 
 func (g *gatherState) runDst() {
 	resp, rtt, err := g.c.transport.Query(g.qd.Flow.DstIP, g.qd)
+	g.recQueryDone(trace.FlagDst, rtt, err)
 	g.dst, g.qdst, g.dstBuilt, g.dstTransient = g.c.resolveResponse(g.st, g.qd.Flow, g.qd.Flow.DstIP, resp, rtt, err)
 	g.wg.Done()
+}
+
+// recQueryDone records one endpoint query's completion when the controller
+// is the one tracing the query plane (see selfTraced).
+func (g *gatherState) recQueryDone(epFlag uint16, rtt time.Duration, err error) {
+	if !g.selfTraced {
+		return
+	}
+	if err != nil {
+		epFlag |= trace.FlagErr
+	}
+	g.owner.tb.Rec(trace.StageQueryDone, epFlag, int64(rtt))
 }
 
 // srcDone and dstDone are the query plane's completion entry points. The
@@ -176,6 +204,7 @@ func (g *gatherState) runDst() {
 // waiters (see internal/query's borrow contract); resolveResponse never
 // mutates it, and downstream it is either cached or dropped, never pooled.
 func (g *gatherState) srcDone(resp *wire.Response, rtt time.Duration, err error) {
+	g.recQueryDone(trace.FlagSrc, rtt, err)
 	g.src, g.qsrc, g.srcBuilt, g.srcTransient = g.c.resolveResponse(g.st, g.qs.Flow, g.qs.Flow.SrcIP, resp, rtt, err)
 	if g.pending.Add(-1) == 0 {
 		g.c.finishDecision(g.owner)
@@ -183,6 +212,7 @@ func (g *gatherState) srcDone(resp *wire.Response, rtt time.Duration, err error)
 }
 
 func (g *gatherState) dstDone(resp *wire.Response, rtt time.Duration, err error) {
+	g.recQueryDone(trace.FlagDst, rtt, err)
 	g.dst, g.qdst, g.dstBuilt, g.dstTransient = g.c.resolveResponse(g.st, g.qd.Flow, g.qd.Flow.DstIP, resp, rtt, err)
 	if g.pending.Add(-1) == 0 {
 		g.c.finishDecision(g.owner)
@@ -202,6 +232,7 @@ func (g *gatherState) reset() {
 	g.mega = nil
 	g.cacheLife = nil
 	g.pending.Store(0)
+	g.selfTraced = false
 }
 
 // releaseBuilt returns the controller-built response views to the pf pool

@@ -184,6 +184,12 @@ func (d *Daemon) SetForge(f ForgeFunc) {
 // protocol's NO-USER.
 func (d *Daemon) HandleQuery(q wire.Query) *wire.Response {
 	d.Counters.Add("daemon_queries_answered", 1)
+	if q.TraceID != 0 {
+		// The controller is flight-recording this decision; count the
+		// daemon's share so the operator can confirm trace IDs survive the
+		// query wire end to end (they otherwise only surface in traces).
+		d.Counters.Add("daemon_queries_traced", 1)
+	}
 	resp := d.buildResponse(q)
 	// Remember what was asserted (post-forge: the memo tracks what went on
 	// the wire) so a later OS change can be mapped back to this flow and

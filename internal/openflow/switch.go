@@ -33,6 +33,12 @@ type PacketIn struct {
 	Reason   PacketInReason
 	Tuple    flow.Ten
 	Frame    []byte
+
+	// TraceID carries the flight-recorder trace across replica hand-offs
+	// (internal/trace): set by a forwarding cluster router, consumed by
+	// the owning controller's decision. 0 = untraced. Not part of the
+	// OpenFlow event itself — switches never set it.
+	TraceID uint64
 }
 
 // FlowRemoved is the eviction notification a switch raises when an entry

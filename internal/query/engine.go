@@ -14,6 +14,7 @@ import (
 	"identxx/internal/flow"
 	"identxx/internal/metrics"
 	"identxx/internal/netaddr"
+	"identxx/internal/trace"
 	"identxx/internal/wire"
 )
 
@@ -127,15 +128,26 @@ type sfKey struct {
 // borrow contract on resp.
 type completion func(resp *wire.Response, rtt time.Duration, err error)
 
+// qcb is one async waiter on a flight: the completion plus the waiter's
+// flight-recorder buffer (nil for untraced decisions) and its endpoint
+// flag. Keeping the trace context per-waiter means coalesced decisions
+// each get the shared exchange's outcome recorded into their own trace.
+type qcb struct {
+	fn completion
+	tb *trace.Buffer
+	ep uint16
+}
+
 // flight is one in-flight wire query and the waiters coalesced onto it.
 type flight struct {
-	key  sfKey
-	q    wire.Query
-	resp *wire.Response
-	rtt  time.Duration
-	err  error
-	cbs  []completion  // async waiters; invoked after delivery
-	done chan struct{} // closed at delivery; blocking waiters select on it
+	key      sfKey
+	q        wire.Query
+	resp     *wire.Response
+	rtt      time.Duration
+	err      error
+	attempts int32         // transport attempts consumed (set by run before deliver)
+	cbs      []qcb         // async waiters; invoked after delivery
+	done     chan struct{} // closed at delivery; blocking waiters select on it
 }
 
 // hostState is the per-host availability record: negative cache, breaker,
@@ -270,7 +282,7 @@ func (e *Engine) Query(host netaddr.IP, q wire.Query) (*wire.Response, time.Dura
 	if err := e.fastFail(host); err != nil {
 		return nil, 0, err
 	}
-	f, leader := e.join(host, q, nil)
+	f, leader := e.join(host, q, qcb{})
 	if leader {
 		e.run(f)
 	} else {
@@ -286,19 +298,43 @@ func (e *Engine) Query(host netaddr.IP, q wire.Query) (*wire.Response, time.Dura
 // exchange with other callers. done must not block for long; the
 // controller's continuation (evaluate + install) is the intended scale.
 func (e *Engine) QueryAsync(host netaddr.IP, q wire.Query, done func(*wire.Response, time.Duration, error)) {
+	e.QueryAsyncTraced(host, q, nil, 0, done)
+}
+
+// QueryAsyncTraced is QueryAsync with a flight-recorder buffer: the engine
+// records the query's enqueue (annotated with the gate that admitted or
+// rejected it — coalesced onto an in-flight exchange, negative-cache hit,
+// breaker fast-fail) and its completion (RTT, transport attempts, error)
+// into tb. A nil tb records nothing and behaves exactly like QueryAsync.
+func (e *Engine) QueryAsyncTraced(host netaddr.IP, q wire.Query, tb *trace.Buffer, ep uint16, done func(*wire.Response, time.Duration, error)) {
 	if e.closed.Load() {
+		tb.Rec(trace.StageQueryEnqueue, ep|trace.FlagErr, 0)
 		done(nil, 0, ErrClosed)
 		return
 	}
 	if err := e.fastFail(host); err != nil {
+		if tb != nil {
+			flags := ep
+			if errors.Is(err, ErrBreakerOpen) {
+				flags |= trace.FlagBreaker
+			} else {
+				flags |= trace.FlagNegCache
+			}
+			tb.Rec(trace.StageQueryEnqueue, flags, 0)
+			tb.Rec(trace.StageQueryDone, flags|trace.FlagErr, 0)
+		}
 		done(nil, 0, err)
 		return
 	}
-	f, leader := e.join(host, q, done)
+	f, leader := e.join(host, q, qcb{fn: done, tb: tb, ep: ep})
 	if !leader {
 		e.hot.coalesced.Add(1)
+		// The leader's query is the one on the wire; this decision rides
+		// it, so the daemon attributes the RTT to the leader's trace ID.
+		tb.Rec(trace.StageQueryEnqueue, ep|trace.FlagCoalesced, 0)
 		return
 	}
+	tb.Rec(trace.StageQueryEnqueue, ep, 0)
 	e.startWorkers.Do(e.spawnWorkers)
 	defer func() {
 		if recover() != nil {
@@ -422,18 +458,20 @@ func (e *Engine) HostStats() []HostStatus {
 
 // join registers interest in (host, flow, keys): the first caller becomes
 // the leader who must execute the flight; later callers coalesce onto it.
-func (e *Engine) join(host netaddr.IP, q wire.Query, cb completion) (*flight, bool) {
+// The key deliberately excludes the trace ID — tracing must not defeat
+// coalescing — so the leader's ID is the one a daemon sees on the wire.
+func (e *Engine) join(host netaddr.IP, q wire.Query, cb qcb) (*flight, bool) {
 	key := sfKey{host: host, flow: q.Flow, keys: strings.Join(q.Keys, "\n")}
 	e.sfMu.Lock()
 	defer e.sfMu.Unlock()
 	if f, ok := e.sf[key]; ok {
-		if cb != nil {
+		if cb.fn != nil {
 			f.cbs = append(f.cbs, cb)
 		}
 		return f, false
 	}
 	f := &flight{key: key, q: q, done: make(chan struct{})}
-	if cb != nil {
+	if cb.fn != nil {
 		f.cbs = append(f.cbs, cb)
 	}
 	e.sf[key] = f
@@ -450,6 +488,7 @@ func (e *Engine) run(f *flight) {
 	var err error
 	for attempt := 0; ; attempt++ {
 		e.hot.sent.Add(1)
+		f.attempts = int32(attempt + 1)
 		resp, rtt, err = e.exchange(host, f.q)
 		if err == nil || !retryable(err) || attempt >= e.retries {
 			break
@@ -475,7 +514,14 @@ func (e *Engine) deliver(f *flight, resp *wire.Response, rtt time.Duration, err 
 	e.InFlight.Dec()
 	close(f.done)
 	for _, cb := range cbs {
-		cb(resp, rtt, err)
+		if cb.tb != nil {
+			flags := cb.ep
+			if err != nil {
+				flags |= trace.FlagErr
+			}
+			cb.tb.RecAux(trace.StageQueryDone, flags, int64(rtt), f.attempts)
+		}
+		cb.fn(resp, rtt, err)
 	}
 }
 

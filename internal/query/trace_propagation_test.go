@@ -1,0 +1,73 @@
+package query
+
+// Satellite acceptance for the flight-recorder PR: trace IDs must survive
+// the query plane's failure handling. A pool reconnect (daemon restart,
+// FIFO resync) re-encodes the query on the fresh connection — the trace
+// line has to ride along again, not get lost with the dead connection's
+// state, or the daemon-side attribution (daemon_queries_traced) would
+// undercount exactly the decisions whose latency the operator is chasing.
+
+import (
+	"testing"
+	"time"
+
+	"identxx/internal/daemon"
+	"identxx/internal/hostinfo"
+	"identxx/internal/netaddr"
+	"identxx/internal/wire"
+)
+
+// TestPoolTraceIDSurvivesReconnect kills the daemon server under a pool
+// and restarts it on the same address: a traced query issued after the
+// redial must still arrive at the daemon with its trace ID intact.
+func TestPoolTraceIDSurvivesReconnect(t *testing.T) {
+	hostIP := netaddr.MustParseIP("10.0.7.1")
+	h := hostinfo.New("pc", hostIP, netaddr.MAC(1))
+	h.AddUser("alice", "users")
+	d := daemon.New(h)
+	srv := daemon.NewServer(d)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewPool(PoolConfig{Resolver: StaticResolver{hostIP: addr.String()}, MaxBackoff: 50 * time.Millisecond})
+	defer p.Close()
+
+	f := testFlow(hostIP, 2100)
+	q := wire.Query{Flow: f, Keys: []string{wire.KeyHost}, TraceID: 0xabcdef0123456789}
+	if _, _, err := p.Query(hostIP, q); err != nil {
+		t.Fatalf("first traced exchange: %v", err)
+	}
+	if got := d.Counters.Get("daemon_queries_traced"); got != 1 {
+		t.Fatalf("daemon_queries_traced = %d after first exchange, want 1", got)
+	}
+
+	// Kill and restart the daemon on the same address. The restarted
+	// daemon is a fresh process image: its counters start at zero, so any
+	// traced count it accumulates can only come from post-reconnect wire
+	// traffic.
+	srv.Close()
+	h2 := hostinfo.New("pc", hostIP, netaddr.MAC(1))
+	h2.AddUser("alice", "users")
+	d2 := daemon.New(h2)
+	srv2 := daemon.NewServer(d2)
+	if _, err := srv2.Listen(addr.String()); err != nil {
+		t.Fatalf("restart on %s: %v", addr, err)
+	}
+	defer srv2.Close()
+
+	// Drive traced queries until one completes over the healed connection.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, _, err := p.Query(hostIP, q); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("pool never reconnected after server restart")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got := d2.Counters.Get("daemon_queries_traced"); got < 1 {
+		t.Errorf("daemon_queries_traced = %d after reconnect, want >= 1 (trace ID lost across redial)", got)
+	}
+}

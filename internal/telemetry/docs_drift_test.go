@@ -15,6 +15,7 @@ import (
 	"identxx/internal/hostinfo"
 	"identxx/internal/netaddr"
 	"identxx/internal/query"
+	"identxx/internal/trace"
 )
 
 // This file is the anti-drift mechanism behind docs/metrics.md: the doc's
@@ -49,6 +50,8 @@ func fullRegistry(t *testing.T) *Registry {
 	RegisterPool(r, pool)
 	RegisterDaemon(r, d)
 	RegisterAuditSink(r, sink)
+	RegisterTrace(r, trace.New(trace.Config{SampleEvery: 1}))
+	RegisterBuildInfo(r)
 	return r
 }
 
@@ -147,7 +150,7 @@ func sourceCounterNames(t *testing.T) map[string][]string {
 func TestSourceCountersAreDeclared(t *testing.T) {
 	declared := make(map[string]bool)
 	for _, table := range []map[string]string{
-		ControllerCounters, ClusterCounters, EngineCounters, PoolCounters, DaemonCounters, AuditSinkCounters,
+		ControllerCounters, ClusterCounters, EngineCounters, PoolCounters, DaemonCounters, AuditSinkCounters, TraceCounters,
 	} {
 		for name := range table {
 			declared[name] = true
@@ -171,7 +174,7 @@ func TestSourceCountersAreDeclared(t *testing.T) {
 	// cells, so they are exempt).
 	var stale []string
 	for _, table := range []map[string]string{
-		ControllerCounters, ClusterCounters, EngineCounters, PoolCounters, DaemonCounters,
+		ControllerCounters, ClusterCounters, EngineCounters, PoolCounters, DaemonCounters, TraceCounters,
 	} {
 		for name := range table {
 			if len(found[name]) == 0 {
@@ -182,6 +185,114 @@ func TestSourceCountersAreDeclared(t *testing.T) {
 	sort.Strings(stale)
 	if len(stale) > 0 {
 		t.Errorf("wiring tables declare counters no source increments (delete the declarations and doc rows):\n  %s",
+			strings.Join(stale, "\n  "))
+	}
+}
+
+var registerKindRe = regexp.MustCompile(`Register(GaugeFunc|Gauge|Histogram)\("([a-z][a-z0-9_]*)"`)
+
+// docTypes extracts (full metric name -> documented type cell) from
+// docs/metrics.md's table rows.
+func docTypes(t *testing.T) map[string]string {
+	t.Helper()
+	raw, err := os.ReadFile(filepath.Join("..", "..", "docs", "metrics.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	types := make(map[string]string)
+	for _, line := range strings.Split(string(raw), "\n") {
+		if !strings.HasPrefix(strings.TrimSpace(line), "| `identxx_") {
+			continue
+		}
+		cells := strings.Split(line, "|")
+		if len(cells) < 3 {
+			continue
+		}
+		m := docMetricRe.FindStringSubmatch(cells[1])
+		if m == nil {
+			continue
+		}
+		types[m[1]] = strings.TrimSpace(cells[2])
+	}
+	return types
+}
+
+// TestGaugesAndHistogramsAreDocumented pins gauge and histogram names the
+// same way counters are pinned: every Register{Gauge,GaugeFunc,Histogram}
+// literal in non-test source must have a docs/metrics.md row whose type
+// cell matches, and every row the doc types as gauge or histogram must
+// correspond to a registration literal.
+func TestGaugesAndHistogramsAreDocumented(t *testing.T) {
+	wantType := make(map[string]string) // full exported name -> gauge|histogram
+	for _, root := range []string{filepath.Join("..", "..")} {
+		err := filepath.Walk(root, func(path string, info os.FileInfo, err error) error {
+			if err != nil {
+				return err
+			}
+			if info.IsDir() {
+				base := info.Name()
+				if base == ".git" || base == "testdata" || base == "docs" {
+					return filepath.SkipDir
+				}
+				return nil
+			}
+			if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+				return nil
+			}
+			src, err := os.ReadFile(path)
+			if err != nil {
+				return err
+			}
+			for _, m := range registerKindRe.FindAllStringSubmatch(string(src), -1) {
+				switch m[1] {
+				case "Gauge", "GaugeFunc":
+					wantType["identxx_"+m[2]] = "gauge"
+				case "Histogram":
+					wantType["identxx_"+m[2]+"_seconds"] = "histogram"
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	doc := docTypes(t)
+
+	var missing, mistyped []string
+	for name, kind := range wantType {
+		switch got, ok := doc[name], doc[name] != ""; {
+		case !ok:
+			missing = append(missing, name+" ("+kind+")")
+		case got != kind:
+			mistyped = append(mistyped, name+": documented as "+got+", registered as "+kind)
+		}
+	}
+	sort.Strings(missing)
+	sort.Strings(mistyped)
+	if len(missing) > 0 {
+		t.Errorf("registered gauges/histograms missing from docs/metrics.md (add a table row for each):\n  %s",
+			strings.Join(missing, "\n  "))
+	}
+	if len(mistyped) > 0 {
+		t.Errorf("docs/metrics.md type cells disagree with the registrations:\n  %s",
+			strings.Join(mistyped, "\n  "))
+	}
+
+	// The reverse: every doc row typed gauge or histogram must come from a
+	// registration literal somewhere in source.
+	var stale []string
+	for name, kind := range doc {
+		if kind != "gauge" && kind != "histogram" {
+			continue
+		}
+		if wantType[name] == "" {
+			stale = append(stale, name+" ("+kind+")")
+		}
+	}
+	sort.Strings(stale)
+	if len(stale) > 0 {
+		t.Errorf("docs/metrics.md documents gauges/histograms nothing registers (delete the rows):\n  %s",
 			strings.Join(stale, "\n  "))
 	}
 }

@@ -3,14 +3,19 @@ package telemetry
 import (
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"time"
+
+	"identxx/internal/trace"
 )
 
 // Server bundles a Registry and a Health set behind one HTTP listener:
 //
-//	GET /metrics  — Prometheus text exposition
-//	GET /healthz  — liveness
-//	GET /readyz   — readiness
+//	GET /metrics      — Prometheus text exposition
+//	GET /healthz      — liveness
+//	GET /readyz       — readiness
+//	GET /trace        — flight-recorder JSON-lines (after MountTrace)
+//	GET /debug/pprof/ — Go profiling (after EnablePprof)
 //
 // Both identctl (controller role) and identd (daemon role) mount one; the
 // wiring helpers decide what gets registered.
@@ -18,6 +23,7 @@ type Server struct {
 	Registry *Registry
 	Health   *Health
 
+	mux *http.ServeMux
 	srv *http.Server
 	ln  net.Listener
 }
@@ -33,6 +39,7 @@ func NewServer() *Server {
 	mux.HandleFunc("/metrics", s.metricsHandler)
 	mux.HandleFunc("/healthz", s.Health.LiveHandler)
 	mux.HandleFunc("/readyz", s.Health.ReadyHandler)
+	s.mux = mux
 	s.srv = &http.Server{
 		Handler: mux,
 		// Scrapes are small and local; generous-but-bounded timeouts keep a
@@ -47,6 +54,47 @@ func (s *Server) metricsHandler(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	// Errors past the header are connection failures; nothing to do.
 	_ = s.Registry.WritePrometheus(w)
+}
+
+// MountTrace exposes the flight recorder's retained traces as JSON-lines
+// on GET /trace:
+//
+//	/trace             — every retained trace, oldest first
+//	/trace?slow=1      — slow-threshold captures only
+//	/trace?id=<hex id> — every retained trace with that ID
+//
+// The export is a snapshot copy; scraping never blocks the decision path.
+func (s *Server) MountTrace(rec *trace.Recorder) {
+	s.mux.HandleFunc("/trace", func(w http.ResponseWriter, req *http.Request) {
+		var traces []trace.Trace
+		q := req.URL.Query()
+		switch {
+		case q.Get("id") != "":
+			id, err := trace.ParseID(q.Get("id"))
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			traces = rec.Find(id)
+		case q.Get("slow") != "":
+			traces = rec.Slow()
+		default:
+			traces = rec.Traces()
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		_ = trace.WriteJSON(w, traces)
+	})
+}
+
+// EnablePprof mounts net/http/pprof's handlers under /debug/pprof/ on this
+// server's mux (never on http.DefaultServeMux). Gated behind a flag in
+// both binaries — see the operations guide for the safety trade-offs.
+func (s *Server) EnablePprof() {
+	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 }
 
 // Handler returns the mux, for tests and embedding.

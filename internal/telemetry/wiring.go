@@ -2,11 +2,14 @@ package telemetry
 
 import (
 	"fmt"
+	"runtime"
+	"runtime/debug"
 
 	"identxx/internal/cluster"
 	"identxx/internal/core"
 	"identxx/internal/daemon"
 	"identxx/internal/query"
+	"identxx/internal/trace"
 )
 
 // This file is the single source of truth for what each component exports:
@@ -94,9 +97,18 @@ var PoolCounters = map[string]string{
 // DaemonCounters documents the daemon's counters.
 var DaemonCounters = map[string]string{
 	"daemon_queries_answered": "ident++ queries answered (HandleQuery calls).",
+	"daemon_queries_traced":   "Answered queries that carried a flight-recorder trace ID from the controller.",
 	"daemon_subscribes":       "Update subscriptions accepted.",
 	"daemon_updates_pushed":   "Update deliveries to subscribers (one per subscriber per update).",
 	"daemon_rehellos":         "Hello re-deliveries triggered by credential rotation (one per subscriber per SetCredential).",
+}
+
+// TraceCounters documents the flight recorder's counters.
+var TraceCounters = map[string]string{
+	"trace_sampled":       "Decision traces retained by the deterministic sampler.",
+	"trace_dropped":       "Decision traces recorded but not retained (neither sampled nor slow).",
+	"trace_slow_captured": "Decision traces retained by the slow-decision threshold despite not being sampled.",
+	"trace_stitched":      "Traces that inherited their ID from another replica's forward (cross-replica stitching).",
 }
 
 // ClusterCounters documents the replica router's counters.
@@ -263,6 +275,36 @@ func RegisterRouter(r *Registry, rt *cluster.Router, labels ...Label) {
 		func() int64 { return int64(len(rt.Members())) }, labels...)
 	r.RegisterGaugeFunc("cluster_config_epoch", "Applied replicated-config epoch (0 until the first cluster config write).",
 		func() int64 { e, _ := rt.Epoch(); return int64(e) }, labels...)
+}
+
+// RegisterTrace exports the flight recorder's retention counters. Call it
+// only when tracing is enabled (a nil recorder has no counters to export).
+func RegisterTrace(r *Registry, rec *trace.Recorder, labels ...Label) {
+	r.RegisterCounterSet(rec.Counters, TraceCounters, labels...)
+}
+
+// RegisterBuildInfo exports the identxx_build_info gauge: constant 1, with
+// the binary's identity carried in labels (the node_exporter convention),
+// so release rollouts are visible per instance in one scrape.
+func RegisterBuildInfo(r *Registry, labels ...Label) {
+	version, commit := "unknown", "unknown"
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		if bi.Main.Version != "" && bi.Main.Version != "(devel)" {
+			version = bi.Main.Version
+		}
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.revision" && s.Value != "" {
+				commit = s.Value
+			}
+		}
+	}
+	labels = append([]Label{
+		{Key: "version", Value: version},
+		{Key: "goversion", Value: runtime.Version()},
+		{Key: "commit", Value: commit},
+	}, labels...)
+	r.RegisterGaugeFunc("build_info", "Always 1; the version, goversion and commit labels identify the running build.",
+		func() int64 { return 1 }, labels...)
 }
 
 // RegisterAuditSink exports the sink's emit/drop counters.

@@ -35,6 +35,14 @@ const (
 	// the ring assigns it to. The payload is internal/cluster's binary
 	// event encoding; Src/DstIP mirror the flow for symmetry with Q/R.
 	FrameEvent byte = 'E'
+	// FrameEventTraced is FrameEvent with an 8-byte big-endian trace ID
+	// prefixed to the event payload: the forwarder's flight-recorder
+	// trace stitches to the owner's decision (internal/trace). Following
+	// the FrameSubscribe precedent, the kind is only ever sent to peers
+	// the operator has opted in — tracing is off by default and enabled
+	// ring-wide after every replica understands it — so a legacy ring
+	// never sees a kind it cannot decode.
+	FrameEventTraced byte = 'T'
 	// FrameSnapshot is a controller→controller epoch-fenced config
 	// snapshot push (policy source, answers, datapath set). 'C' for
 	// config; 'S' was taken.
@@ -92,7 +100,7 @@ func ReadFrame(r io.Reader) (Frame, error) {
 	}
 	switch f.Type {
 	case FrameQuery, FrameResponse, FrameUpdate, FrameSubscribe,
-		FrameEvent, FrameSnapshot, FrameAck:
+		FrameEvent, FrameEventTraced, FrameSnapshot, FrameAck:
 	default:
 		return Frame{}, fmt.Errorf("wire: unknown frame type %#02x", f.Type)
 	}

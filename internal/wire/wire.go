@@ -67,6 +67,13 @@ const MaxMessageSize = 64 * 1024
 type Query struct {
 	Flow flow.Five
 	Keys []string
+
+	// TraceID stitches the query to the controller decision that issued
+	// it (internal/trace). 0 = untraced. On the wire it rides as a
+	// `trace:<hex>` line after the key hints; a legacy decoder sees that
+	// line as just another key hint — and since keys are only hints a
+	// daemon is free to ignore (§3.2), old daemons interoperate untouched.
+	TraceID uint64
 }
 
 // KV is one key-value pair in a response section. Keys may repeat within
@@ -237,6 +244,11 @@ func sanitizeValue(v string) string {
 	return strings.ReplaceAll(v, "\r", " ")
 }
 
+// traceLinePrefix marks the query line carrying the decision trace ID.
+// It is deliberately shaped like a key hint so legacy decoders pass it
+// through harmlessly (see Query.TraceID).
+const traceLinePrefix = "trace:"
+
 // EncodeQuery renders the §3.2 query payload.
 func EncodeQuery(q Query) []byte {
 	var b strings.Builder
@@ -244,6 +256,9 @@ func EncodeQuery(q Query) []byte {
 	for _, k := range q.Keys {
 		b.WriteString(strings.TrimSpace(k))
 		b.WriteByte('\n')
+	}
+	if q.TraceID != 0 {
+		fmt.Fprintf(&b, "%s%016x\n", traceLinePrefix, q.TraceID)
 	}
 	return []byte(b.String())
 }
@@ -263,9 +278,19 @@ func DecodeQuery(payload []byte, srcIP, dstIP netaddr.IP) (Query, error) {
 	q := Query{Flow: f}
 	for _, l := range lines[1:] {
 		l = strings.TrimSpace(l)
-		if l != "" {
-			q.Keys = append(q.Keys, l)
+		if l == "" {
+			continue
 		}
+		if rest, ok := strings.CutPrefix(l, traceLinePrefix); ok {
+			// A malformed trace line degrades to a key hint rather than
+			// failing the query: hints are advisory and a daemon that
+			// cannot attribute a trace can still answer.
+			if id, err := strconv.ParseUint(rest, 16, 64); err == nil && id != 0 {
+				q.TraceID = id
+				continue
+			}
+		}
+		q.Keys = append(q.Keys, l)
 	}
 	return q, nil
 }

@@ -51,6 +51,52 @@ func TestQueryNoKeys(t *testing.T) {
 	}
 }
 
+// TestQueryTraceIDRoundTrip: the flight-recorder trace ID rides the query
+// as a `trace:<hex>` line after the key hints and survives a round trip;
+// an untraced query carries no trace line at all.
+func TestQueryTraceIDRoundTrip(t *testing.T) {
+	q := Query{Flow: sampleFlow(), Keys: []string{KeyUserID}, TraceID: 0xdeadbeefcafe0001}
+	payload := EncodeQuery(q)
+	if !strings.Contains(string(payload), "trace:deadbeefcafe0001\n") {
+		t.Fatalf("payload missing trace line:\n%s", payload)
+	}
+	got, err := DecodeQuery(payload, q.Flow.SrcIP, q.Flow.DstIP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TraceID != q.TraceID {
+		t.Errorf("TraceID = %x, want %x", got.TraceID, q.TraceID)
+	}
+	if len(got.Keys) != 1 || got.Keys[0] != KeyUserID {
+		t.Errorf("keys = %v, want [%s] (trace line must not surface as a hint)", got.Keys, KeyUserID)
+	}
+
+	plain := EncodeQuery(Query{Flow: sampleFlow(), Keys: []string{KeyUserID}})
+	if strings.Contains(string(plain), "trace:") {
+		t.Errorf("untraced query grew a trace line:\n%s", plain)
+	}
+}
+
+// TestQueryTraceLineLegacyTolerance: a malformed trace line must degrade
+// to an ordinary key hint instead of failing the query — hints are
+// advisory, and a legacy peer emitting something trace-shaped still gets
+// an answer.
+func TestQueryTraceLineLegacyTolerance(t *testing.T) {
+	for _, line := range []string{"trace:", "trace:zzzz", "trace:0", "trace:deadbeefcafe00011"} {
+		payload := []byte("6 43210 80\n" + KeyUserID + "\n" + line + "\n")
+		got, err := DecodeQuery(payload, 0, 0)
+		if err != nil {
+			t.Fatalf("DecodeQuery with %q: %v", line, err)
+		}
+		if got.TraceID != 0 {
+			t.Errorf("line %q parsed as TraceID %x, want 0", line, got.TraceID)
+		}
+		if len(got.Keys) != 2 || got.Keys[1] != line {
+			t.Errorf("line %q: keys = %v, want it preserved as a hint", line, got.Keys)
+		}
+	}
+}
+
 func TestDecodeQueryErrors(t *testing.T) {
 	for _, bad := range []string{"", "6 80", "x 1 2", "6 x 2", "6 1 x", "6 1 999999"} {
 		if _, err := DecodeQuery([]byte(bad), 0, 0); err == nil {
