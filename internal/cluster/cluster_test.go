@@ -1,9 +1,11 @@
 package cluster
 
 import (
+	"bufio"
 	"fmt"
 	"net"
 	"reflect"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -362,6 +364,57 @@ func TestTCPLinkForwardSnapshotReconnect(t *testing.T) {
 	waitUntil(t, "event after recovery", func() bool {
 		return rb.Counters.Get("cluster_events_received") >= 2
 	})
+}
+
+// TestTCPLinkTracedFallbackToLegacy: a peer built before FrameEventTraced
+// fails on the unknown 'T' kind and kills the connection without acking;
+// the link must retry the forward once as the legacy 'E' frame, so a
+// mixed-version ring degrades to untraced forwarding instead of a
+// local-decision fallback per traced event.
+func TestTCPLinkTracedFallbackToLegacy(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+
+	var legacyEvents atomic.Int64
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				br := bufio.NewReader(c)
+				for {
+					f, err := wire.ReadFrame(br)
+					if err != nil || f.Type != wire.FrameEvent {
+						// A stale decoder dies on any kind it doesn't
+						// know; dropping the connection simulates that.
+						return
+					}
+					legacyEvents.Add(1)
+					if wire.WriteFrame(c, wire.Frame{Type: wire.FrameAck, Payload: []byte{ackOK}}) != nil {
+						return
+					}
+				}
+			}(conn)
+		}
+	}()
+
+	l := DialTCP(ln.Addr().String())
+	t.Cleanup(func() { l.Close() })
+
+	ev := testPacketIn(testFive(32000))
+	ev.TraceID = 0x1122334455667788
+	if err := l.ForwardEvent(ev); err != nil {
+		t.Fatalf("traced forward against stale peer: %v", err)
+	}
+	if got := legacyEvents.Load(); got != 1 {
+		t.Errorf("legacy events received = %d, want 1 (forward must degrade to 'E')", got)
+	}
 }
 
 // TestTakeoverSweep: after a ring rebuild, entries on the switch for flows

@@ -100,17 +100,29 @@ func (l *TCPLink) ForwardEvent(ev openflow.PacketIn) error {
 	// lets the owner's decision stitch to the forwarder's trace. Untraced
 	// events keep the byte-identical legacy 'E' encoding, so a ring where
 	// tracing is off never sees the newer kind (see wire.FrameEventTraced).
-	typ := wire.FrameEvent
-	var payload []byte
 	if ev.TraceID != 0 {
-		typ = wire.FrameEventTraced
-		payload = binary.BigEndian.AppendUint64(make([]byte, 0, 8+eventHeaderLen+len(ev.Frame)), ev.TraceID)
+		prefix := binary.BigEndian.AppendUint64(make([]byte, 0, 8+eventHeaderLen+len(ev.Frame)), ev.TraceID)
+		if err := l.forwardEventFrame(wire.FrameEventTraced, prefix, ev); err == nil {
+			return nil
+		}
+		// A peer built before FrameEventTraced fails its ReadFrame on the
+		// unknown kind and kills the connection instead of acking, which
+		// surfaces here as a link error. Retry once as the legacy 'E'
+		// frame, dropping the ID: a mixed-version ring degrades to
+		// untraced forwarding, not to a local-decision fallback per
+		// traced event.
 	}
+	return l.forwardEventFrame(wire.FrameEvent, nil, ev)
+}
+
+// forwardEventFrame round-trips one packet-in as the given frame kind,
+// with an optional payload prefix ahead of the event encoding.
+func (l *TCPLink) forwardEventFrame(typ byte, prefix []byte, ev openflow.PacketIn) error {
 	status, err := l.roundTrip(wire.Frame{
 		Type:    typ,
 		SrcIP:   ev.Tuple.SrcIP,
 		DstIP:   ev.Tuple.DstIP,
-		Payload: encodeEvent(payload, ev),
+		Payload: encodeEvent(prefix, ev),
 	})
 	if err != nil {
 		return err

@@ -329,12 +329,8 @@ func (e *Engine) QueryAsyncTraced(host netaddr.IP, q wire.Query, tb *trace.Buffe
 	f, leader := e.join(host, q, qcb{fn: done, tb: tb, ep: ep})
 	if !leader {
 		e.hot.coalesced.Add(1)
-		// The leader's query is the one on the wire; this decision rides
-		// it, so the daemon attributes the RTT to the leader's trace ID.
-		tb.Rec(trace.StageQueryEnqueue, ep|trace.FlagCoalesced, 0)
 		return
 	}
-	tb.Rec(trace.StageQueryEnqueue, ep, 0)
 	e.startWorkers.Do(e.spawnWorkers)
 	defer func() {
 		if recover() != nil {
@@ -466,12 +462,20 @@ func (e *Engine) join(host netaddr.IP, q wire.Query, cb qcb) (*flight, bool) {
 	defer e.sfMu.Unlock()
 	if f, ok := e.sf[key]; ok {
 		if cb.fn != nil {
+			// Record the enqueue before the qcb is published: once it is
+			// appended, a completion worker may deliver the flight — and the
+			// caller's continuation re-pool tb — at any moment, so this is
+			// the last point a write to tb cannot race deliver. The leader's
+			// query is the one on the wire; this decision rides it, so the
+			// daemon attributes the RTT to the leader's trace ID.
+			cb.tb.Rec(trace.StageQueryEnqueue, cb.ep|trace.FlagCoalesced, 0)
 			f.cbs = append(f.cbs, cb)
 		}
 		return f, false
 	}
 	f := &flight{key: key, q: q, done: make(chan struct{})}
 	if cb.fn != nil {
+		cb.tb.Rec(trace.StageQueryEnqueue, cb.ep, 0)
 		f.cbs = append(f.cbs, cb)
 	}
 	e.sf[key] = f

@@ -8,12 +8,14 @@ package query
 // undercount exactly the decisions whose latency the operator is chasing.
 
 import (
+	"sync"
 	"testing"
 	"time"
 
 	"identxx/internal/daemon"
 	"identxx/internal/hostinfo"
 	"identxx/internal/netaddr"
+	"identxx/internal/trace"
 	"identxx/internal/wire"
 )
 
@@ -70,4 +72,114 @@ func TestPoolTraceIDSurvivesReconnect(t *testing.T) {
 	if got := d2.Counters.Get("daemon_queries_traced"); got < 1 {
 		t.Errorf("daemon_queries_traced = %d after reconnect, want >= 1 (trace ID lost across redial)", got)
 	}
+}
+
+// enqueueEvents extracts a retained trace's query-plane events and checks
+// per-trace invariants: exactly one enqueue, recorded before the done.
+func enqueueEvents(t *testing.T, tr trace.Trace) (enq, done *trace.Event) {
+	t.Helper()
+	for i := range tr.Events {
+		ev := &tr.Events[i]
+		switch ev.Stage {
+		case trace.StageQueryEnqueue:
+			if enq != nil {
+				t.Errorf("trace %x: duplicate StageQueryEnqueue", tr.ID)
+			}
+			if done != nil {
+				t.Errorf("trace %x: StageQueryEnqueue recorded after StageQueryDone", tr.ID)
+			}
+			enq = ev
+		case trace.StageQueryDone:
+			done = ev
+		}
+	}
+	if enq == nil || done == nil {
+		t.Errorf("trace %x: missing enqueue/done (enq=%v done=%v)", tr.ID, enq != nil, done != nil)
+	}
+	return enq, done
+}
+
+// TestEngineTracedCoalesceFlags: waiters coalesced onto an in-flight
+// exchange record StageQueryEnqueue with FlagCoalesced — and record it
+// before the qcb is published, so the event can never land after the
+// flight's delivery (or in a re-pooled buffer; see the race test below).
+func TestEngineTracedCoalesceFlags(t *testing.T) {
+	rec := trace.New(trace.Config{SampleEvery: 1, RingSize: 64})
+	lower := &fakeLower{gate: make(chan struct{})}
+	e := NewEngine(Config{Lower: lower})
+	defer e.Close()
+
+	const n = 8
+	q := engQuery(4100)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		tb := rec.Begin(0)
+		e.QueryAsyncTraced(engHost, q, tb, 0, func(*wire.Response, time.Duration, error) {
+			rec.Finish(tb)
+			wg.Done()
+		})
+	}
+	close(lower.gate)
+	wg.Wait()
+
+	traces := rec.Traces()
+	if len(traces) != n {
+		t.Fatalf("retained traces = %d, want %d", len(traces), n)
+	}
+	leaders := 0
+	for _, tr := range traces {
+		enq, _ := enqueueEvents(t, tr)
+		if enq != nil && enq.Flags&trace.FlagCoalesced == 0 {
+			leaders++
+		}
+	}
+	if leaders != 1 {
+		t.Errorf("leader enqueues = %d, want exactly 1 (rest coalesced)", leaders)
+	}
+	if got := e.Counters.Get("engine_coalesce_hits"); got != n-1 {
+		t.Errorf("engine_coalesce_hits = %d, want %d", got, n-1)
+	}
+}
+
+// TestEngineTracedCoalesceRace drives concurrent traced queries whose
+// completions immediately Finish (re-pool) their buffers while other
+// callers are still joining the same flights. Run under -race, this is
+// the regression net for the coalesced-enqueue event being recorded after
+// join publishes the qcb: a worker could deliver the flight and re-pool
+// the buffer concurrently with (or before) the late Rec, corrupting a
+// buffer already re-issued to another decision.
+func TestEngineTracedCoalesceRace(t *testing.T) {
+	rec := trace.New(trace.Config{SampleEvery: 1, RingSize: 64})
+	lower := &fakeLower{fn: func(host netaddr.IP, q wire.Query) (*wire.Response, time.Duration, error) {
+		time.Sleep(50 * time.Microsecond)
+		r := wire.NewResponse(q.Flow)
+		r.Add(wire.KeyHost, "fake")
+		return r, time.Millisecond, nil
+	}}
+	e := NewEngine(Config{Lower: lower})
+	defer e.Close()
+
+	const goroutines = 8
+	const perG = 200
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var inner sync.WaitGroup
+			for i := 0; i < perG; i++ {
+				// Few distinct queries → constant join/deliver contention.
+				q := engQuery(netaddr.Port(5000 + i%4))
+				tb := rec.Begin(0)
+				inner.Add(1)
+				e.QueryAsyncTraced(engHost, q, tb, 0, func(*wire.Response, time.Duration, error) {
+					rec.Finish(tb)
+					inner.Done()
+				})
+			}
+			inner.Wait()
+		}()
+	}
+	wg.Wait()
 }

@@ -281,10 +281,12 @@ func DecodeQuery(payload []byte, srcIP, dstIP netaddr.IP) (Query, error) {
 		if l == "" {
 			continue
 		}
-		if rest, ok := strings.CutPrefix(l, traceLinePrefix); ok {
-			// A malformed trace line degrades to a key hint rather than
-			// failing the query: hints are advisory and a daemon that
-			// cannot attribute a trace can still answer.
+		if rest, ok := strings.CutPrefix(l, traceLinePrefix); ok && q.TraceID == 0 && len(rest) == 16 {
+			// Only the exact shape EncodeQuery emits (%016x) is a trace
+			// line, and only the first one counts; anything else — shorter
+			// hex, a second trace line — degrades to a key hint rather than
+			// failing the query, so a legitimate hint that merely resembles
+			// a trace still reaches the daemon.
 			if id, err := strconv.ParseUint(rest, 16, 64); err == nil && id != 0 {
 				q.TraceID = id
 				continue

@@ -82,7 +82,10 @@ func TestQueryTraceIDRoundTrip(t *testing.T) {
 // advisory, and a legacy peer emitting something trace-shaped still gets
 // an answer.
 func TestQueryTraceLineLegacyTolerance(t *testing.T) {
-	for _, line := range []string{"trace:", "trace:zzzz", "trace:0", "trace:deadbeefcafe00011"} {
+	// Only the exact EncodeQuery shape (%016x, nonzero) is a trace line:
+	// short hex — a legitimate hint that merely resembles a trace — must
+	// reach the daemon as a hint, not be silently consumed.
+	for _, line := range []string{"trace:", "trace:zzzz", "trace:0", "trace:abcd", "trace:deadbeefcafe00011", "trace:0000000000000000"} {
 		payload := []byte("6 43210 80\n" + KeyUserID + "\n" + line + "\n")
 		got, err := DecodeQuery(payload, 0, 0)
 		if err != nil {
@@ -94,6 +97,23 @@ func TestQueryTraceLineLegacyTolerance(t *testing.T) {
 		if len(got.Keys) != 2 || got.Keys[1] != line {
 			t.Errorf("line %q: keys = %v, want it preserved as a hint", line, got.Keys)
 		}
+	}
+}
+
+// TestQueryTraceLineFirstWins: with two trace-shaped lines in one payload,
+// the first sets the trace ID and the second degrades to a hint — a later
+// line must not overwrite the ID the querier attributed the RTT to.
+func TestQueryTraceLineFirstWins(t *testing.T) {
+	payload := []byte("6 43210 80\ntrace:deadbeefcafe0001\ntrace:deadbeefcafe0002\n")
+	got, err := DecodeQuery(payload, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TraceID != 0xdeadbeefcafe0001 {
+		t.Errorf("TraceID = %x, want first line's deadbeefcafe0001", got.TraceID)
+	}
+	if len(got.Keys) != 1 || got.Keys[0] != "trace:deadbeefcafe0002" {
+		t.Errorf("keys = %v, want the second trace line preserved as a hint", got.Keys)
 	}
 }
 
